@@ -1,0 +1,384 @@
+//! Matrix-structured differentiable operations: products, reshapes,
+//! reductions, padding/cropping and block assembly.
+
+use crate::graph::Var;
+use adept_tensor::Tensor;
+
+impl<'g> Var<'g> {
+    /// Differentiable matrix product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/dimension mismatch or cross-graph operands.
+    pub fn matmul(self, rhs: Var<'g>) -> Var<'g> {
+        self.assert_same_graph(&rhs);
+        let a = self.value();
+        let b = rhs.value();
+        let out = a.matmul(&b);
+        self.graph.custom(
+            &[self, rhs],
+            out,
+            Box::new(move |g| {
+                let ga = g.matmul(&b.transpose());
+                let gb = a.transpose().matmul(g);
+                vec![Some(ga), Some(gb)]
+            }),
+        )
+    }
+
+    /// Differentiable matrix transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not rank 2.
+    pub fn transpose(self) -> Var<'g> {
+        let out = self.value().transpose();
+        self.graph.custom(
+            &[self],
+            out,
+            Box::new(move |g| vec![Some(g.transpose())]),
+        )
+    }
+
+    /// Differentiable reshape (same element count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if element counts differ.
+    pub fn reshape(self, shape: &[usize]) -> Var<'g> {
+        let orig = self.shape();
+        let out = self.value().reshape(shape);
+        self.graph.custom(
+            &[self],
+            out,
+            Box::new(move |g| vec![Some(g.reshape(&orig))]),
+        )
+    }
+
+    /// Sum of all elements, as a scalar node.
+    pub fn sum(self) -> Var<'g> {
+        let shape = self.shape();
+        let out = Tensor::scalar(self.value().sum());
+        self.graph.custom(
+            &[self],
+            out,
+            Box::new(move |g| vec![Some(Tensor::full(&shape, g.item()))]),
+        )
+    }
+
+    /// Mean of all elements, as a scalar node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty tensors.
+    pub fn mean(self) -> Var<'g> {
+        let shape = self.shape();
+        let n: usize = shape.iter().product();
+        assert!(n > 0, "mean of empty variable");
+        let out = Tensor::scalar(self.value().mean());
+        self.graph.custom(
+            &[self],
+            out,
+            Box::new(move |g| vec![Some(Tensor::full(&shape, g.item() / n as f64))]),
+        )
+    }
+
+    /// Sums a matrix along `axis` (0 collapses rows, 1 collapses columns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not rank 2 or `axis > 1`.
+    pub fn sum_axis(self, axis: usize) -> Var<'g> {
+        let v = self.value();
+        assert_eq!(v.rank(), 2, "sum_axis expects a matrix");
+        let (r, c) = (v.shape()[0], v.shape()[1]);
+        let out = v.sum_axis(axis);
+        self.graph.custom(
+            &[self],
+            out,
+            Box::new(move |g| {
+                let mut full = Tensor::zeros(&[r, c]);
+                for i in 0..r {
+                    for j in 0..c {
+                        full.as_mut_slice()[i * c + j] =
+                            if axis == 0 { g.as_slice()[j] } else { g.as_slice()[i] };
+                    }
+                }
+                vec![Some(full)]
+            }),
+        )
+    }
+
+    /// Crops a matrix to its leading `rows`×`cols` block.
+    ///
+    /// The backward pass zero-pads the gradient back to the original shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not rank 2 or the crop exceeds bounds.
+    pub fn crop2d(self, rows: usize, cols: usize) -> Var<'g> {
+        let v = self.value();
+        assert_eq!(v.rank(), 2, "crop2d expects a matrix");
+        let (r, c) = (v.shape()[0], v.shape()[1]);
+        assert!(rows <= r && cols <= c, "crop {rows}x{cols} exceeds {r}x{c}");
+        let out = v.block(0, 0, rows, cols);
+        self.graph.custom(
+            &[self],
+            out,
+            Box::new(move |g| {
+                let mut full = Tensor::zeros(&[r, c]);
+                full.set_block(0, 0, g);
+                vec![Some(full)]
+            }),
+        )
+    }
+
+    /// Zero-pads a matrix on the bottom/right to `rows`×`cols`.
+    ///
+    /// The backward pass crops the gradient back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not rank 2 or the target is smaller.
+    pub fn pad2d(self, rows: usize, cols: usize) -> Var<'g> {
+        let v = self.value();
+        assert_eq!(v.rank(), 2, "pad2d expects a matrix");
+        let (r, c) = (v.shape()[0], v.shape()[1]);
+        assert!(rows >= r && cols >= c, "pad target smaller than input");
+        let mut out = Tensor::zeros(&[rows, cols]);
+        out.set_block(0, 0, &v);
+        self.graph.custom(
+            &[self],
+            out,
+            Box::new(move |g| vec![Some(g.block(0, 0, r, c))]),
+        )
+    }
+
+    /// Scatters a vector into a fresh tensor of shape `out_shape`:
+    /// element `i` lands at flat offset `positions[i]`; other entries are 0.
+    ///
+    /// The backward pass gathers the corresponding gradient entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not rank 1, `positions` has a different
+    /// length, contains duplicates, or indexes out of bounds.
+    pub fn scatter(self, out_shape: &[usize], positions: &[usize]) -> Var<'g> {
+        let v = self.value();
+        assert_eq!(v.rank(), 1, "scatter expects a vector");
+        assert_eq!(v.len(), positions.len(), "positions length mismatch");
+        let total: usize = out_shape.iter().product();
+        let mut seen = vec![false; total];
+        let mut out = Tensor::zeros(out_shape);
+        for (i, &p) in positions.iter().enumerate() {
+            assert!(p < total, "position {p} out of bounds for {total}");
+            assert!(!seen[p], "duplicate scatter position {p}");
+            seen[p] = true;
+            out.as_mut_slice()[p] = v.as_slice()[i];
+        }
+        let positions = positions.to_vec();
+        let n = v.len();
+        self.graph.custom(
+            &[self],
+            out,
+            Box::new(move |g| {
+                let mut gv = Tensor::zeros(&[n]);
+                for (i, &p) in positions.iter().enumerate() {
+                    gv.as_mut_slice()[i] = g.as_slice()[p];
+                }
+                vec![Some(gv)]
+            }),
+        )
+    }
+
+    /// Gathers `positions` (flat offsets) into a vector node.
+    ///
+    /// The backward pass scatter-adds gradient entries back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any position is out of bounds.
+    pub fn gather(self, positions: &[usize]) -> Var<'g> {
+        let v = self.value();
+        let total = v.len();
+        let data: Vec<f64> = positions
+            .iter()
+            .map(|&p| {
+                assert!(p < total, "position {p} out of bounds for {total}");
+                v.as_slice()[p]
+            })
+            .collect();
+        let out = Tensor::from_vec(data, &[positions.len()]);
+        let positions = positions.to_vec();
+        let shape = v.shape().to_vec();
+        self.graph.custom(
+            &[self],
+            out,
+            Box::new(move |g| {
+                let mut gv = Tensor::zeros(&shape);
+                for (i, &p) in positions.iter().enumerate() {
+                    gv.as_mut_slice()[p] += g.as_slice()[i];
+                }
+                vec![Some(gv)]
+            }),
+        )
+    }
+}
+
+/// Assembles a `grid_rows`×`grid_cols` grid of equally sized matrix blocks
+/// into one large matrix node.
+///
+/// `blocks` is row-major over the grid; every block must share the same
+/// `k_rows`×`k_cols` shape. The backward pass slices the gradient back into
+/// per-block gradients.
+///
+/// # Panics
+///
+/// Panics if the number of blocks or any block shape disagrees with the
+/// grid, or blocks live on different graphs.
+pub fn assemble_blocks<'g>(
+    blocks: &[Var<'g>],
+    grid_rows: usize,
+    grid_cols: usize,
+) -> Var<'g> {
+    assert!(!blocks.is_empty(), "assemble_blocks needs at least one block");
+    assert_eq!(
+        blocks.len(),
+        grid_rows * grid_cols,
+        "expected {} blocks, got {}",
+        grid_rows * grid_cols,
+        blocks.len()
+    );
+    let graph = blocks[0].graph();
+    let first = blocks[0].value();
+    assert_eq!(first.rank(), 2, "blocks must be matrices");
+    let (kr, kc) = (first.shape()[0], first.shape()[1]);
+    let mut out = Tensor::zeros(&[grid_rows * kr, grid_cols * kc]);
+    for (idx, b) in blocks.iter().enumerate() {
+        let v = b.value();
+        assert_eq!(v.shape(), &[kr, kc], "block {idx} has mismatched shape");
+        let (gr, gc) = (idx / grid_cols, idx % grid_cols);
+        out.set_block(gr * kr, gc * kc, &v);
+    }
+    graph.custom(
+        blocks,
+        out,
+        Box::new(move |g| {
+            (0..grid_rows * grid_cols)
+                .map(|idx| {
+                    let (gr, gc) = (idx / grid_cols, idx % grid_cols);
+                    Some(g.block(gr * kr, gc * kc, kr, kc))
+                })
+                .collect()
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    #[test]
+    fn matmul_gradients() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let b = g.leaf(Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]));
+        let loss = a.matmul(b).sum();
+        let grads = g.backward(loss);
+        // d(sum(AB))/dA = 1·Bᵀ  (ones matrix times B transpose)
+        assert_eq!(grads.grad(a).unwrap().as_slice(), &[11.0, 15.0, 11.0, 15.0]);
+        assert_eq!(grads.grad(b).unwrap().as_slice(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn transpose_and_reshape_gradients() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::linspace(0.0, 5.0, 6).reshape(&[2, 3]));
+        let loss = a.transpose().reshape(&[6]).mul(g.constant(Tensor::linspace(1.0, 6.0, 6))).sum();
+        let grads = g.backward(loss);
+        // Transposed flat order is [0,3],[1,4],[2,5] → weights map back accordingly.
+        assert_eq!(
+            grads.grad(a).unwrap().as_slice(),
+            &[1.0, 3.0, 5.0, 2.0, 4.0, 6.0]
+        );
+    }
+
+    #[test]
+    fn reductions_gradients() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::ones(&[2, 3]));
+        let grads = g.backward(a.mean());
+        assert!(grads
+            .grad(a)
+            .unwrap()
+            .allclose(&Tensor::full(&[2, 3], 1.0 / 6.0), 1e-12));
+
+        let g2 = Graph::new();
+        let b = g2.leaf(Tensor::linspace(0.0, 5.0, 6).reshape(&[2, 3]));
+        let loss = b
+            .sum_axis(0)
+            .mul(g2.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3])))
+            .sum();
+        let grads = g2.backward(loss);
+        assert_eq!(
+            grads.grad(b).unwrap().as_slice(),
+            &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]
+        );
+    }
+
+    #[test]
+    fn crop_pad_round_trip() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::ones(&[2, 2]));
+        let padded = a.pad2d(3, 4);
+        assert_eq!(padded.shape(), vec![3, 4]);
+        let back = padded.crop2d(2, 2);
+        let grads = g.backward(back.sum());
+        assert!(grads.grad(a).unwrap().allclose(&Tensor::ones(&[2, 2]), 1e-12));
+    }
+
+    #[test]
+    fn scatter_gather_adjoint() {
+        let g = Graph::new();
+        let v = g.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]));
+        let m = v.scatter(&[2, 2], &[0, 3, 1]);
+        assert_eq!(m.value().as_slice(), &[1.0, 3.0, 0.0, 2.0]);
+        let w = g.constant(Tensor::from_vec(vec![10.0, 20.0, 30.0, 40.0], &[2, 2]));
+        let grads = g.backward(m.mul(w).sum());
+        assert_eq!(grads.grad(v).unwrap().as_slice(), &[10.0, 40.0, 20.0]);
+
+        let g2 = Graph::new();
+        let v2 = g2.leaf(Tensor::from_vec(vec![5.0, 6.0], &[2]));
+        let picked = v2.gather(&[1, 1, 0]);
+        assert_eq!(picked.value().as_slice(), &[6.0, 6.0, 5.0]);
+        let grads = g2.backward(picked.sum());
+        assert_eq!(grads.grad(v2).unwrap().as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn block_assembly() {
+        let g = Graph::new();
+        let blocks: Vec<_> = (0..4)
+            .map(|i| g.leaf(Tensor::full(&[2, 2], i as f64)))
+            .collect();
+        let big = assemble_blocks(&blocks, 2, 2);
+        assert_eq!(big.shape(), vec![4, 4]);
+        assert_eq!(big.value().at(&[0, 0]), 0.0);
+        assert_eq!(big.value().at(&[0, 2]), 1.0);
+        assert_eq!(big.value().at(&[2, 0]), 2.0);
+        assert_eq!(big.value().at(&[3, 3]), 3.0);
+        let grads = g.backward(big.mul_scalar(2.0).sum());
+        for b in &blocks {
+            assert!(grads.grad(*b).unwrap().allclose(&Tensor::full(&[2, 2], 2.0), 1e-12));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate scatter position")]
+    fn scatter_rejects_duplicates() {
+        let g = Graph::new();
+        let v = g.leaf(Tensor::ones(&[2]));
+        let _ = v.scatter(&[4], &[1, 1]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Per-experiment step-cost benchmarks: one optimization step of every
+//! table's workload, the Fig. 4 noisy-evaluation path, and the Fig. 5 trace
+//! steps. These track the cost of regenerating each paper artifact.
+
+use adept::supermesh::{build_mesh_frame, ArchSample, SuperMeshHandles, SuperPtcWeight};
+use adept::traces::{alm_trace, footprint_trace, AlmTraceConfig, FpenTraceConfig};
+use adept_autodiff::Graph;
+use adept_bench::{retrain, ModelKind, RetrainSettings, Scale};
+use adept_datasets::DatasetKind;
+use adept_nn::models::Backend;
+use adept_nn::{ForwardCtx, ParamStore};
+use adept_photonics::Pdk;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One SuperMesh weight step (forward + backward over a K×K super weight)
+/// for each Table 1 PTC size.
+fn bench_supermesh_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_supermesh_step");
+    group.sample_size(10);
+    for &k in &[8usize, 16, 32] {
+        let mut store = ParamStore::new();
+        let handles = SuperMeshHandles::register(&mut store, k, 4, 1, 1);
+        let w = SuperPtcWeight::new(&mut store, "w", k, k, k, 4, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let arch = ArchSample::draw(&mut rng, 4, 1.0);
+                let graph = Graph::new();
+                let ctx = ForwardCtx::new(&graph, &store, true, 0);
+                let fu = build_mesh_frame(&ctx, &handles.u, k, &arch.gumbel_u, arch.tau);
+                let fv = build_mesh_frame(&ctx, &handles.v, k, &arch.gumbel_v, arch.tau);
+                let built = w.build(&ctx, &fu, &fv);
+                let grads = graph.backward(built.square().sum());
+                black_box(ctx.into_param_grads(&grads))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// One epoch of variation-aware retraining per backend (the accuracy path
+/// of Tables 1–3).
+fn bench_retrain_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("retrain_epoch_proxy");
+    group.sample_size(10);
+    let mut s = RetrainSettings::for_scale(Scale::Repro);
+    s.epochs = 1;
+    s.n_train = 64;
+    s.n_test = 32;
+    let backends = [
+        ("mzi16", Backend::Mzi { k: 16 }),
+        ("fft16", Backend::butterfly(16)),
+    ];
+    for (name, backend) in backends {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    retrain(ModelKind::Proxy, DatasetKind::MnistLike, &backend, &s, 1)
+                        .accuracy_pct,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The Fig. 4 noisy-evaluation path: decompose–perturb–reconstruct MZI
+/// evaluation vs phase-noised block-mesh evaluation.
+fn bench_noisy_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_noisy_eval");
+    group.sample_size(10);
+    let mut s = RetrainSettings::for_scale(Scale::Repro);
+    s.epochs = 1;
+    s.n_train = 64;
+    s.n_test = 32;
+    let mut mzi = retrain(ModelKind::Proxy, DatasetKind::MnistLike, &Backend::Mzi { k: 16 }, &s, 1);
+    group.bench_function("mzi16", |b| {
+        b.iter(|| black_box(mzi.model.noisy_accuracy(0.05, 1, 7)));
+    });
+    let mut fft = retrain(
+        ModelKind::Proxy,
+        DatasetKind::MnistLike,
+        &Backend::butterfly(16),
+        &s,
+        1,
+    );
+    group.bench_function("fft16", |b| {
+        b.iter(|| black_box(fft.model.noisy_accuracy(0.05, 1, 7)));
+    });
+    group.finish();
+}
+
+/// Fig. 5 trace steps (amortized per-step cost of the ablation sweeps).
+fn bench_trace_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_traces");
+    group.sample_size(10);
+    group.bench_function("alm_trace_20steps_k8", |b| {
+        b.iter(|| {
+            let cfg = AlmTraceConfig {
+                k: 8,
+                n_blocks: 2,
+                rho0: 1e-5,
+                steps: 20,
+                lr: 5e-3,
+                seed: 1,
+            };
+            black_box(alm_trace(&cfg))
+        });
+    });
+    group.bench_function("fpen_trace_20steps_k8", |b| {
+        b.iter(|| {
+            let cfg = FpenTraceConfig {
+                k: 8,
+                n_blocks: 3,
+                pinned: 1,
+                pdk: Pdk::amf(),
+                f_min_kum2: 150.0,
+                f_max_kum2: 200.0,
+                beta: 10.0,
+                steps: 20,
+                lr: 2e-2,
+                seed: 1,
+            };
+            black_box(footprint_trace(&cfg))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_supermesh_step,
+    bench_retrain_epoch,
+    bench_noisy_eval,
+    bench_trace_steps
+);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Microbenchmarks of the numeric substrate: GEMM, im2col, SVD,
+//! permutation algebra and the Clements decomposition.
+
+use adept_linalg::{polar_orthogonal, svd, Permutation};
+use adept_photonics::clements::decompose;
+use adept_photonics::devices::crossing_matrix;
+use adept_tensor::{im2col, Conv2dGeometry, Tensor};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    for &n in &[32usize, 64, 128] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Tensor::rand_uniform(&mut rng, &[n, n], -1.0, 1.0);
+        let b = Tensor::rand_uniform(&mut rng, &[n, n], -1.0, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_im2col(c: &mut Criterion) {
+    let geom = Conv2dGeometry {
+        in_channels: 8,
+        in_h: 12,
+        in_w: 12,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+    let mut rng = StdRng::seed_from_u64(2);
+    let x = Tensor::rand_uniform(&mut rng, &[16, 8, 12, 12], -1.0, 1.0);
+    c.bench_function("im2col_16x8x12x12_k3", |b| {
+        b.iter(|| black_box(im2col(&x, &geom)));
+    });
+}
+
+fn bench_svd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svd");
+    for &n in &[8usize, 16, 32] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Tensor::rand_uniform(&mut rng, &[n, n], -1.0, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(svd(&a)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_polar(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let a = Tensor::rand_uniform(&mut rng, &[16, 16], -1.0, 1.0);
+    c.bench_function("polar_orthogonal_16", |b| {
+        b.iter(|| black_box(polar_orthogonal(&a)));
+    });
+}
+
+fn bench_crossing_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossing_count");
+    for &n in &[16usize, 64, 256] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = Permutation::random(&mut rng, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(p.crossing_count()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_clements(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clements");
+    for &n in &[8usize, 16] {
+        let mut rng = StdRng::seed_from_u64(6);
+        let p = Permutation::random(&mut rng, n);
+        let u = crossing_matrix(&p);
+        group.bench_with_input(BenchmarkId::new("decompose", n), &n, |bench, _| {
+            bench.iter(|| black_box(decompose(&u)));
+        });
+        let d = decompose(&u);
+        group.bench_with_input(BenchmarkId::new("reconstruct", n), &n, |bench, _| {
+            bench.iter(|| black_box(d.reconstruct()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_im2col,
+    bench_svd,
+    bench_polar,
+    bench_crossing_count,
+    bench_clements
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Benchmarks of the photonic substrate: mesh transfer-matrix construction
+//! (complex reference and autodiff versions) and SPL legalization.
+
+use adept::spl;
+use adept_autodiff::Graph;
+use adept_nn::onn::{tile_unitary, PtcWeight};
+use adept_nn::{ForwardCtx, ParamStore};
+use adept_photonics::BlockMeshTopology;
+use adept_tensor::Tensor;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_butterfly_unitary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("butterfly_unitary");
+    for &k in &[8usize, 16, 32] {
+        let topo = BlockMeshTopology::butterfly(k);
+        let mut rng = StdRng::seed_from_u64(1);
+        let phases: Vec<Vec<f64>> = (0..topo.blocks().len())
+            .map(|_| (0..k).map(|_| rng.gen_range(-3.0..3.0)).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| black_box(topo.unitary(&phases)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_tile_unitary_autodiff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tile_unitary_autodiff");
+    for &k in &[8usize, 16, 32] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let topo = BlockMeshTopology::random(&mut rng, k, 6);
+        let phases = Tensor::rand_uniform(&mut rng, &[6, k], -3.0, 3.0);
+        let store = ParamStore::new();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let graph = Graph::new();
+                let ctx = ForwardCtx::new(&graph, &store, false, 0);
+                let pv = graph.constant(phases.clone());
+                black_box(tile_unitary(&ctx, &topo, pv).0.value())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ptc_weight_build_and_backward(c: &mut Criterion) {
+    let mut store = ParamStore::new();
+    let topo = BlockMeshTopology::butterfly(16);
+    let w = PtcWeight::new(&mut store, "w", 64, 16, topo.clone(), topo, 3);
+    c.bench_function("ptc_weight_build_bwd_16x64", |b| {
+        b.iter(|| {
+            let graph = Graph::new();
+            let ctx = ForwardCtx::new(&graph, &store, true, 0);
+            let built = w.build(&ctx);
+            let grads = graph.backward(built.square().sum());
+            black_box(ctx.into_param_grads(&grads))
+        });
+    });
+}
+
+fn bench_spl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spl_legalize");
+    for &k in &[8usize, 16, 32] {
+        // A saddle-ish relaxation: smoothed identity with tied rows.
+        let mut p = Tensor::full(&[k, k], 1.0 / k as f64);
+        for i in 0..k / 2 {
+            *p.at_mut(&[2 * i, i]) = 0.45;
+            *p.at_mut(&[2 * i + 1, i]) = 0.45;
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            let mut rng = StdRng::seed_from_u64(4);
+            b.iter(|| black_box(spl::legalize(&p, &mut rng, 16, 0.05)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_butterfly_unitary,
+    bench_tile_unitary_autodiff,
+    bench_ptc_weight_build_and_backward,
+    bench_spl
+);
+criterion_main!(benches);

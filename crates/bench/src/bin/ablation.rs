@@ -1,0 +1,84 @@
+//! Ablation study over ADEPT's design choices (extension beyond the
+//! paper's tables): the full method vs no-ALM, no-SPL and fixed-depth
+//! variants, all on the same 16×16 / AMF / a2-window task.
+//!
+//! Usage: `cargo run -p adept-bench --release --bin ablation [--scale full]`
+
+use adept::search::{search, AblationFlags, AdeptConfig};
+use adept_bench::{retrain, ModelKind, RetrainSettings, Scale};
+use adept_datasets::DatasetKind;
+use adept_nn::models::Backend;
+use adept_photonics::Pdk;
+
+fn main() {
+    let scale = Scale::from_args();
+    let settings = RetrainSettings::for_scale(scale);
+    let k = 16usize;
+    let window = (672.0, 840.0); // Table 1 a2 target
+    let variants: Vec<(&str, AblationFlags)> = vec![
+        ("full ADEPT", AblationFlags::default()),
+        (
+            "no ALM",
+            AblationFlags {
+                no_alm: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "no SPL",
+            AblationFlags {
+                no_spl: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "fixed depth",
+            AblationFlags {
+                fixed_depth: true,
+                ..Default::default()
+            },
+        ),
+    ];
+    println!("Ablation — 16×16 PTC, AMF, window [{}, {}] kµm²; scale {scale:?}\n", window.0, window.1);
+    println!(
+        "{:<12} | {:>4} | {:>4} | {:>4} | {:>9} | {:>8} | {:>7}",
+        "variant", "#CR", "#DC", "#Blk", "footprint", "Δ_end", "Acc(%)"
+    );
+    println!("{}", "-".repeat(66));
+    for (name, flags) in variants {
+        let mut cfg = match scale {
+            Scale::Repro => AdeptConfig::quick(k, Pdk::amf(), window.0, window.1),
+            Scale::Full => AdeptConfig::paper_like(k, Pdk::amf(), window.0, window.1),
+        };
+        cfg.seed = 77;
+        cfg.ablation = flags;
+        let out = search(&cfg);
+        let backend = Backend::Topology {
+            u: out.design.topo_u.clone(),
+            v: out.design.topo_v.clone(),
+        };
+        let acc = retrain(
+            ModelKind::Proxy,
+            DatasetKind::MnistLike,
+            &backend,
+            &settings,
+            77,
+        )
+        .accuracy_pct;
+        let d = &out.design;
+        println!(
+            "{:<12} | {:>4} | {:>4} | {:>4} | {:>9.0} | {:>8.4} | {:>7.2}",
+            name,
+            d.device_count.cr,
+            d.device_count.dc,
+            d.device_count.blocks,
+            d.footprint_kum2,
+            out.history.last().map(|h| h.mean_delta).unwrap_or(f64::NAN),
+            acc
+        );
+    }
+    println!("\nReading: the exported design is always legal (the final projection");
+    println!("legalizes even 'no SPL'), but skipping ALM/SPL leaves the relaxation");
+    println!("dense until the very end — a larger train/deploy gap — while fixed");
+    println!("depth removes the footprint-adaptive block count.");
+}

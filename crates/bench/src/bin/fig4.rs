@@ -1,0 +1,81 @@
+//! Regenerates **Figure 4**: accuracy vs phase-noise σ for MZI-ONN,
+//! FFT-ONN and the searched ADEPT-a2/a4 16×16 PTCs, with variation-aware
+//! training. (a) 2-layer proxy CNN on MNIST-like; (b) LeNet-5 on
+//! FashionMNIST-like. Mean ± std over repeated noise draws (the paper
+//! shades ±3σ over 20 runs; pass `--runs N` to change the default).
+//!
+//! Usage: `cargo run -p adept-bench --release --bin fig4 [--scale full] [--runs N]`
+
+use adept_bench::{amf_windows, retrain, run_search, ModelKind, RetrainSettings, Scale};
+use adept_datasets::DatasetKind;
+use adept_nn::models::Backend;
+use adept_photonics::Pdk;
+
+fn runs_from_args(default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == "--runs")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let runs = runs_from_args(if scale == Scale::Full { 20 } else { 5 });
+    let settings = RetrainSettings::for_scale(scale);
+    let k = 16usize;
+    let windows = amf_windows(k);
+    println!("Figure 4 — robustness of 16×16 PTCs under phase noise; scale {scale:?}, {runs} runs/point\n");
+
+    let a2 = run_search(k, Pdk::amf(), windows[1], scale, 402);
+    let a4 = run_search(k, Pdk::amf(), windows[3], scale, 404);
+    let backends: Vec<(&str, Backend)> = vec![
+        ("MZI", Backend::Mzi { k }),
+        ("FFT", Backend::butterfly(k)),
+        (
+            "ADEPT-a2",
+            Backend::Topology {
+                u: a2.design.topo_u.clone(),
+                v: a2.design.topo_v.clone(),
+            },
+        ),
+        (
+            "ADEPT-a4",
+            Backend::Topology {
+                u: a4.design.topo_u.clone(),
+                v: a4.design.topo_v.clone(),
+            },
+        ),
+    ];
+    let sigmas = [0.02, 0.04, 0.06, 0.08, 0.10];
+    let panels = [
+        ("(a) proxy CNN / MNIST-like", ModelKind::Proxy, DatasetKind::MnistLike),
+        (
+            "(b) LeNet-5 / FMNIST-like",
+            ModelKind::LeNet5,
+            DatasetKind::FashionMnistLike,
+        ),
+    ];
+    for (title, mk, ds) in panels {
+        println!("{title}");
+        print!("{:<10} | {:>7}", "design", "clean");
+        for s in sigmas {
+            print!(" | σ={s:>4.2}");
+        }
+        println!("\n{}", "-".repeat(10 + 10 + sigmas.len() * 9));
+        for (bi, (name, backend)) in backends.iter().enumerate() {
+            let mut outcome = retrain(mk, ds, backend, &settings, 50 + bi as u64);
+            print!("{:<10} | {:>7.2}", name, outcome.accuracy_pct);
+            for (si, &sigma) in sigmas.iter().enumerate() {
+                let (mean, std) = outcome
+                    .model
+                    .noisy_accuracy(sigma, runs, 1000 + (bi * 10 + si) as u64);
+                print!(" | {mean:>5.1}±{std:>3.1}");
+            }
+            println!();
+        }
+        println!();
+    }
+    println!("Shape target: the deep MZI mesh degrades fastest as σ grows; the");
+    println!("searched shallow ADEPT meshes track or beat the butterfly.");
+}

@@ -1,0 +1,56 @@
+//! Regenerates **Figure 5(a)**: permutation-ALM dynamics when scanning the
+//! initial penalty coefficient ρ₀ from 5e-8 to 5e-6 — mean λ (red in the
+//! paper) and the permutation error Δ (blue) per optimization step.
+//!
+//! Usage: `cargo run -p adept-bench --release --bin fig5a [--scale full]`
+
+use adept::traces::{alm_trace, AlmTraceConfig};
+use adept_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let (steps, k) = match scale {
+        Scale::Repro => (300usize, 8usize),
+        Scale::Full => (2000, 16),
+    };
+    println!("Figure 5(a) — ALM ρ₀ scan (k = {k}, {steps} steps); scale {scale:?}\n");
+    let rho0s = [1e-8, 5e-8, 1e-7, 5e-7, 1e-6, 5e-6];
+    let mut traces = Vec::new();
+    for &rho0 in &rho0s {
+        let cfg = AlmTraceConfig {
+            k,
+            n_blocks: 3,
+            rho0,
+            steps,
+            lr: 5e-3,
+            seed: 7,
+        };
+        traces.push(alm_trace(&cfg));
+    }
+    // Print a downsampled series table: step, then (λ, Δ) per ρ₀.
+    print!("{:>6}", "step");
+    for &rho0 in &rho0s {
+        print!(" | λ(ρ₀={rho0:1.0e}) Δ");
+    }
+    println!("\n{}", "-".repeat(6 + rho0s.len() * 22));
+    let stride = (steps / 15).max(1);
+    for i in (0..steps).step_by(stride) {
+        print!("{:>6}", i);
+        for t in &traces {
+            print!(" | {:>9.5} {:>8.4}", t[i].mean_lambda, t[i].mean_delta);
+        }
+        println!();
+    }
+    println!("\nFinal permutation errors:");
+    for (t, &rho0) in traces.iter().zip(&rho0s) {
+        let last = t.last().unwrap();
+        println!(
+            "  ρ₀ = {rho0:1.0e}: Δ_end = {:.5}, λ_end = {:.5}, ρ_end/ρ₀ = {:.0}",
+            last.mean_delta,
+            last.mean_lambda,
+            last.rho / rho0
+        );
+    }
+    println!("\nShape target: Δ converges toward 0 for every ρ₀ in the scanned range");
+    println!("(insensitivity to the hyper-parameter), while λ grows then saturates.");
+}

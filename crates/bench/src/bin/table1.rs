@@ -1,0 +1,77 @@
+//! Regenerates **Table 1**: searched PTCs of three sizes under five AMF
+//! footprint windows vs the MZI-ONN and FFT-ONN baselines, on the
+//! MNIST-like proxy task with the 2-layer CNN.
+//!
+//! Usage: `cargo run -p adept-bench --release --bin table1 [--scale full]`
+
+use adept_bench::{
+    amf_windows, fft_counts, format_row, header, mzi_counts, retrain, run_search, ModelKind,
+    RetrainSettings, Scale,
+};
+use adept_datasets::DatasetKind;
+use adept_nn::models::Backend;
+use adept_photonics::Pdk;
+
+fn main() {
+    let scale = Scale::from_args();
+    let settings = RetrainSettings::for_scale(scale);
+    let pdk = Pdk::amf();
+    println!("Table 1 — AMF PDK (PS 6800 µm², DC 1500 µm², CR 64 µm²); scale {scale:?}");
+    println!("accuracy task: MNIST-like proxy, 2-layer CNN (variation-aware retraining)\n");
+    for k in [8usize, 16, 32] {
+        println!("=== {k}×{k} PTC ===");
+        println!("{}", header());
+        let mzi = mzi_counts(k);
+        let acc = retrain(
+            ModelKind::Proxy,
+            DatasetKind::MnistLike,
+            &Backend::Mzi { k },
+            &settings,
+            1,
+        )
+        .accuracy_pct;
+        println!(
+            "{}",
+            format_row("MZI-ONN", mzi, None, mzi.footprint_kum2(&pdk), acc)
+        );
+        let fft = fft_counts(k);
+        let acc = retrain(
+            ModelKind::Proxy,
+            DatasetKind::MnistLike,
+            &Backend::butterfly(k),
+            &settings,
+            2,
+        )
+        .accuracy_pct;
+        println!(
+            "{}",
+            format_row("FFT-ONN", fft, None, fft.footprint_kum2(&pdk), acc)
+        );
+        for (i, window) in amf_windows(k).into_iter().enumerate() {
+            let out = run_search(k, pdk.clone(), window, scale, 100 + i as u64);
+            let backend = Backend::Topology {
+                u: out.design.topo_u.clone(),
+                v: out.design.topo_v.clone(),
+            };
+            let acc = retrain(
+                ModelKind::Proxy,
+                DatasetKind::MnistLike,
+                &backend,
+                &settings,
+                10 + i as u64,
+            )
+            .accuracy_pct;
+            println!(
+                "{}",
+                format_row(
+                    &format!("ADEPT-a{}", i + 1),
+                    out.design.device_count,
+                    Some(window),
+                    out.design.footprint_kum2,
+                    acc
+                )
+            );
+        }
+        println!();
+    }
+}

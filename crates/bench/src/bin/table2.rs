@@ -1,0 +1,76 @@
+//! Regenerates **Table 2**: 16×16 PTCs on the AIM photonics PDK, whose
+//! large crossings (4900 µm²) force the search toward crossing-light
+//! routings.
+//!
+//! Usage: `cargo run -p adept-bench --release --bin table2 [--scale full]`
+
+use adept_bench::{
+    aim_windows, fft_counts, format_row, header, mzi_counts, retrain, run_search, ModelKind,
+    RetrainSettings, Scale,
+};
+use adept_datasets::DatasetKind;
+use adept_nn::models::Backend;
+use adept_photonics::Pdk;
+
+fn main() {
+    let scale = Scale::from_args();
+    let settings = RetrainSettings::for_scale(scale);
+    let pdk = Pdk::aim();
+    let k = 16usize;
+    println!("Table 2 — AIM PDK (PS 2500 µm², DC 4000 µm², CR 4900 µm²); scale {scale:?}");
+    println!("accuracy task: MNIST-like proxy, 2-layer CNN (variation-aware retraining)\n");
+    println!("{}", header());
+    let mzi = mzi_counts(k);
+    let acc = retrain(
+        ModelKind::Proxy,
+        DatasetKind::MnistLike,
+        &Backend::Mzi { k },
+        &settings,
+        1,
+    )
+    .accuracy_pct;
+    println!(
+        "{}",
+        format_row("MZI-ONN", mzi, None, mzi.footprint_kum2(&pdk), acc)
+    );
+    let fft = fft_counts(k);
+    let acc = retrain(
+        ModelKind::Proxy,
+        DatasetKind::MnistLike,
+        &Backend::butterfly(k),
+        &settings,
+        2,
+    )
+    .accuracy_pct;
+    println!(
+        "{}",
+        format_row("FFT-ONN", fft, None, fft.footprint_kum2(&pdk), acc)
+    );
+    for (i, window) in aim_windows().into_iter().enumerate() {
+        let out = run_search(k, pdk.clone(), window, scale, 200 + i as u64);
+        let backend = Backend::Topology {
+            u: out.design.topo_u.clone(),
+            v: out.design.topo_v.clone(),
+        };
+        let acc = retrain(
+            ModelKind::Proxy,
+            DatasetKind::MnistLike,
+            &backend,
+            &settings,
+            20 + i as u64,
+        )
+        .accuracy_pct;
+        println!(
+            "{}",
+            format_row(
+                &format!("ADEPT-a{i}"),
+                out.design.device_count,
+                Some(window),
+                out.design.footprint_kum2,
+                acc
+            )
+        );
+    }
+    println!("\nNote: on AIM the searched designs should use far fewer crossings than");
+    println!("the butterfly (88) to stay within budget — compare the #CR column.");
+}

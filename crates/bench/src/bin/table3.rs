@@ -1,0 +1,81 @@
+//! Regenerates **Table 3**: transfer of 16×16 PTCs searched on the
+//! MNIST-like proxy to LeNet-5 and VGG-8 on harder datasets
+//! (FashionMNIST-, SVHN- and CIFAR-10-like).
+//!
+//! Usage: `cargo run -p adept-bench --release --bin table3 [--scale full]`
+
+use adept_bench::{amf_windows, retrain, run_search, ModelKind, RetrainSettings, Scale};
+use adept_datasets::DatasetKind;
+use adept_nn::models::Backend;
+use adept_photonics::Pdk;
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut settings = RetrainSettings::for_scale(scale);
+    // Transfer experiments use slightly larger images so LeNet/VGG have
+    // room to pool.
+    settings.image_size = settings.image_size.max(12);
+    let k = 16usize;
+    let windows = amf_windows(k);
+    println!("Table 3 — transfer of searched 16×16 PTCs (AMF) to other models/datasets; scale {scale:?}\n");
+
+    // Search a2 and a4 on the MNIST-like proxy (windows index 1 and 3).
+    let a2 = run_search(k, Pdk::amf(), windows[1], scale, 302);
+    let a4 = run_search(k, Pdk::amf(), windows[3], scale, 304);
+    let backends: Vec<(String, Backend, f64)> = vec![
+        (
+            "MZI".into(),
+            Backend::Mzi { k },
+            adept_bench::mzi_counts(k).footprint_kum2(&Pdk::amf()),
+        ),
+        (
+            "FFT".into(),
+            Backend::butterfly(k),
+            adept_bench::fft_counts(k).footprint_kum2(&Pdk::amf()),
+        ),
+        (
+            "ADEPT-a2".into(),
+            Backend::Topology {
+                u: a2.design.topo_u.clone(),
+                v: a2.design.topo_v.clone(),
+            },
+            a2.design.footprint_kum2,
+        ),
+        (
+            "ADEPT-a4".into(),
+            Backend::Topology {
+                u: a4.design.topo_u.clone(),
+                v: a4.design.topo_v.clone(),
+            },
+            a4.design.footprint_kum2,
+        ),
+    ];
+    print!("{:<8} {:<10}", "model", "dataset");
+    for (name, _, _) in &backends {
+        print!(" | {name:>9}");
+    }
+    println!();
+    print!("{:<8} {:<10}", "", "footprint");
+    for (_, _, f) in &backends {
+        print!(" | {f:>9.0}");
+    }
+    println!("\n{}", "-".repeat(20 + backends.len() * 12));
+
+    let datasets = [
+        DatasetKind::FashionMnistLike,
+        DatasetKind::SvhnLike,
+        DatasetKind::Cifar10Like,
+    ];
+    for (mk, mname) in [(ModelKind::LeNet5, "LeNet-5"), (ModelKind::Vgg8, "VGG-8")] {
+        for ds in datasets {
+            print!("{:<8} {:<10}", mname, ds.name());
+            for (bi, (_, backend, _)) in backends.iter().enumerate() {
+                let acc = retrain(mk, ds, backend, &settings, 40 + bi as u64).accuracy_pct;
+                print!(" | {acc:>9.2}");
+            }
+            println!();
+        }
+    }
+    println!("\nShape target: ADEPT-a4 ≈ MZI ≫ FFT on the harder datasets, at ~16% of");
+    println!("the MZI footprint (paper: 1206 vs 7683 kµm²).");
+}

@@ -1,0 +1,237 @@
+//! PDK-adaptive probabilistic footprint penalty (paper Eq. 15).
+//!
+//! The expected PTC footprint under the block-sampling distribution is
+//! `E[F] = Σ_b m_{b,2}·F_b`. Crossing counting is non-differentiable, so
+//! the penalty uses the proxy `β_CR·‖P̃_b − I‖²_F·F_CR` while the *branch
+//! decision* (over / under / inside the constraint window) is made on the
+//! true expectation with exact crossing counts.
+
+use crate::spl;
+use crate::supermesh::MeshFrame;
+use adept_autodiff::Var;
+use adept_photonics::Pdk;
+use adept_tensor::Tensor;
+
+/// Configuration of the penalty.
+#[derive(Debug, Clone)]
+pub struct FootprintPenalty {
+    /// Penalty weight β (paper uses 10).
+    pub beta: f64,
+    /// Crossing-proxy weight β_CR (paper uses 100).
+    pub beta_cr: f64,
+    /// Lower footprint bound in 1000 µm².
+    pub f_min_kum2: f64,
+    /// Upper footprint bound in 1000 µm².
+    pub f_max_kum2: f64,
+    /// Device footprints.
+    pub pdk: Pdk,
+}
+
+/// Result of evaluating the penalty for one step.
+pub struct FootprintEval<'g> {
+    /// True expected footprint `E[F]` (exact crossing counts), in 1000 µm².
+    pub expected_kum2: f64,
+    /// The differentiable penalty term (`None` inside the window).
+    pub penalty: Option<Var<'g>>,
+    /// Which branch fired: +1 over budget, −1 under budget, 0 inside.
+    pub branch: i8,
+}
+
+impl FootprintPenalty {
+    /// Creates the penalty with the paper's default weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty window.
+    pub fn new(pdk: Pdk, f_min_kum2: f64, f_max_kum2: f64) -> Self {
+        assert!(
+            f_max_kum2 > f_min_kum2 && f_min_kum2 > 0.0,
+            "invalid window [{f_min_kum2}, {f_max_kum2}]"
+        );
+        Self {
+            beta: 10.0,
+            beta_cr: 100.0,
+            f_min_kum2,
+            f_max_kum2,
+            pdk,
+        }
+    }
+
+    /// The differentiable expected-footprint proxy `E[F_prox]` over all
+    /// frames, in 1000 µm².
+    pub fn expected_proxy<'g>(&self, frames: &[&MeshFrame<'g>]) -> Var<'g> {
+        let mut total: Option<Var<'g>> = None;
+        for frame in frames {
+            let k = frame.k;
+            for block in &frame.blocks {
+                let graph = block.p_relaxed.graph();
+                // #DC as a differentiable function of the binarized t
+                // (Eq. 15): Σ 2Q(t)/(√2−2) + 2/(2−√2) — 1 per placed DC.
+                let s2 = std::f64::consts::SQRT_2;
+                let dc_count = block
+                    .t_binary
+                    .mul_scalar(2.0 / (s2 - 2.0))
+                    .add_scalar(2.0 / (2.0 - s2))
+                    .sum();
+                // Crossing proxy: β_CR·‖P̃ − I‖²_F.
+                let eye = graph.constant(Tensor::eye(k));
+                let cr_proxy = block.p_relaxed.sub(eye).square().sum().mul_scalar(self.beta_cr);
+                let f_b = dc_count
+                    .mul_scalar(self.pdk.dc_kum2())
+                    .add(cr_proxy.mul_scalar(self.pdk.cr_kum2()))
+                    .add_scalar(k as f64 * self.pdk.ps_kum2());
+                let weighted = block.exec_prob.reshape(&[]).mul(f_b);
+                total = Some(match total {
+                    Some(t) => t.add(weighted),
+                    None => weighted,
+                });
+            }
+        }
+        total.expect("at least one block")
+    }
+
+    /// The true expected footprint with exact crossing counts, in 1000 µm².
+    pub fn expected_exact(&self, frames: &[&MeshFrame<'_>]) -> f64 {
+        let mut total = 0.0;
+        for frame in frames {
+            let k = frame.k;
+            for block in &frame.blocks {
+                let p = block.exec_prob.value().item();
+                let dc = block
+                    .t_binary
+                    .value()
+                    .as_slice()
+                    .iter()
+                    .filter(|&&t| t < 0.9)
+                    .count();
+                let perm = spl::greedy_assign(&block.p_relaxed.value());
+                let cr = perm.crossing_count();
+                let f_b = k as f64 * self.pdk.ps_kum2()
+                    + dc as f64 * self.pdk.dc_kum2()
+                    + cr as f64 * self.pdk.cr_kum2();
+                total += p * f_b;
+            }
+        }
+        total
+    }
+
+    /// Evaluates the penalty (Eq. 15) for one step.
+    pub fn evaluate<'g>(&self, frames: &[&MeshFrame<'g>]) -> FootprintEval<'g> {
+        let expected = self.expected_exact(frames);
+        let f_max_hat = 0.95 * self.f_max_kum2;
+        let f_min_hat = 1.05 * self.f_min_kum2;
+        let (penalty, branch) = if expected > f_max_hat {
+            let prox = self.expected_proxy(frames);
+            (Some(prox.mul_scalar(self.beta / f_max_hat)), 1)
+        } else if expected < f_min_hat {
+            let prox = self.expected_proxy(frames);
+            (Some(prox.mul_scalar(-self.beta / f_min_hat)), -1)
+        } else {
+            (None, 0)
+        };
+        FootprintEval {
+            expected_kum2: expected,
+            penalty,
+            branch,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supermesh::{build_mesh_frame, SuperMeshHandles};
+    use adept_autodiff::Graph;
+    use adept_nn::{ForwardCtx, ParamStore};
+    use adept_photonics::DeviceCount;
+
+    fn setup(k: usize, n: usize, pinned: usize) -> (ParamStore, SuperMeshHandles) {
+        let mut store = ParamStore::new();
+        let h = SuperMeshHandles::register(&mut store, k, n, pinned, 1);
+        (store, h)
+    }
+
+    #[test]
+    fn exact_expectation_matches_manual_count() {
+        let (mut store, h) = setup(8, 2, 2); // all pinned → probabilities 1
+        // Set couplers: block 0 all present (t<0), block 1 none (t>0).
+        let slots0 = store.value(h.u.t[0]).len();
+        *store.value_mut(h.u.t[0]) = Tensor::full(&[slots0], -1.0);
+        let slots1 = store.value(h.u.t[1]).len();
+        *store.value_mut(h.u.t[1]) = Tensor::full(&[slots1], 1.0);
+        let pen = FootprintPenalty::new(Pdk::amf(), 100.0, 200.0);
+        let graph = Graph::new();
+        let ctx = ForwardCtx::new(&graph, &store, true, 0);
+        let frame = build_mesh_frame(&ctx, &h.u, 8, &[[0.0; 2]; 2], 1.0);
+        let got = pen.expected_exact(&[&frame]);
+        // Identity perms → 0 crossings. PS = 8 per block.
+        let want = DeviceCount::new(16, slots0, 0, 2).footprint_kum2(&Pdk::amf());
+        assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+    }
+
+    #[test]
+    fn branch_selection() {
+        let (store, h) = setup(8, 3, 3);
+        let graph = Graph::new();
+        let ctx = ForwardCtx::new(&graph, &store, true, 0);
+        let frame = build_mesh_frame(&ctx, &h.u, 8, &[[0.0; 2]; 3], 1.0);
+        // Expected F with 3 pinned blocks ≈ 3·(8·6.8 + ~2·1.5) ≈ 170 kµm².
+        let over = FootprintPenalty::new(Pdk::amf(), 10.0, 50.0).evaluate(&[&frame]);
+        assert_eq!(over.branch, 1);
+        assert!(over.penalty.unwrap().value().item() > 0.0);
+        let under = FootprintPenalty::new(Pdk::amf(), 900.0, 1000.0).evaluate(&[&frame]);
+        assert_eq!(under.branch, -1);
+        assert!(under.penalty.unwrap().value().item() < 0.0);
+        let inside = FootprintPenalty::new(Pdk::amf(), 100.0, 300.0).evaluate(&[&frame]);
+        assert_eq!(inside.branch, 0);
+        assert!(inside.penalty.is_none());
+    }
+
+    #[test]
+    fn over_budget_penalty_reduces_execute_probability() {
+        // Gradient of the over-budget penalty must push θ toward skipping.
+        let (mut store, h) = setup(8, 2, 0);
+        let pen = FootprintPenalty::new(Pdk::amf(), 10.0, 40.0); // tiny budget
+        for _ in 0..30 {
+            let graph = Graph::new();
+            let ctx = ForwardCtx::new(&graph, &store, true, 0);
+            let frame = build_mesh_frame(&ctx, &h.u, 8, &[[0.0; 2]; 2], 1.0);
+            let eval = pen.evaluate(&[&frame]);
+            let Some(p) = eval.penalty else { break };
+            let grads = graph.backward(p);
+            let updates = ctx.into_param_grads(&grads);
+            store.zero_grads();
+            store.accumulate_many(&updates);
+            for b in 0..2 {
+                let id = h.u.theta[b].unwrap();
+                let g = store.grad(id).clone();
+                store.apply_delta(id, &g.scale(-0.5));
+            }
+        }
+        // Execute probabilities must have dropped below the 0.5 start.
+        for b in 0..2 {
+            let th = store.value(h.u.theta[b].unwrap());
+            let p_exec = th.as_slice()[1].exp() / (th.as_slice()[0].exp() + th.as_slice()[1].exp());
+            assert!(p_exec < 0.4, "block {b} exec prob {p_exec}");
+        }
+    }
+
+    #[test]
+    fn proxy_tracks_dc_count_direction() {
+        // More couplers → larger differentiable proxy.
+        let (mut store, h) = setup(8, 1, 1);
+        let pen = FootprintPenalty::new(Pdk::amf(), 10.0, 20.0);
+        let slots = store.value(h.u.t[0]).len();
+        let eval_proxy = |store: &ParamStore| -> f64 {
+            let graph = Graph::new();
+            let ctx = ForwardCtx::new(&graph, store, true, 0);
+            let frame = build_mesh_frame(&ctx, &h.u, 8, &[[0.0; 2]], 1.0);
+            pen.expected_proxy(&[&frame]).value().item()
+        };
+        *store.value_mut(h.u.t[0]) = Tensor::full(&[slots], 1.0); // none
+        let none = eval_proxy(&store);
+        *store.value_mut(h.u.t[0]) = Tensor::full(&[slots], -1.0); // all
+        let all = eval_proxy(&store);
+        assert!(all > none + (slots as f64 - 0.5) * Pdk::amf().dc_kum2());
+    }
+}

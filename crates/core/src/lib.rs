@@ -1,0 +1,52 @@
+//! ADEPT: automatic differentiable design of photonic tensor cores.
+//!
+//! This crate is the reproduction of the paper's core contribution (Gu et
+//! al., DAC 2022): a fully differentiable search over photonic tensor core
+//! (PTC) circuit topologies under foundry footprint constraints.
+//!
+//! The search space is the PS→DC→CR block mesh of `adept-photonics`; the
+//! searched quantities are
+//!
+//! * the number of blocks `B_U`, `B_V` — relaxed with per-block
+//!   Gumbel-softmax *skip gates* over a probabilistic [`supermesh`]
+//!   (paper Eq. 5–7), bounded analytically from the footprint window
+//!   (Eq. 16);
+//! * the crossing permutations `P` — learned with a reparametrized
+//!   doubly-stochastic relaxation plus an augmented-Lagrangian penalty
+//!   ([`alm`], Eq. 8–12), legalized by stochastic permutation legalization
+//!   ([`spl`], Eq. 13);
+//! * the coupler placements `T` — binarization-aware training with a
+//!   clipped straight-through estimator (Eq. 14);
+//!
+//! under the probabilistic footprint penalty of [`fpen`] (Eq. 15) for a
+//! given PDK. [`search`] ties everything together in the two-stage
+//! warmup/search flow of the paper's Fig. 2 and exports the winning design
+//! as a [`adept_photonics::BlockMeshTopology`] ready for variation-aware
+//! retraining with `adept-nn`.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use adept::search::{AdeptConfig, search};
+//! use adept_photonics::Pdk;
+//!
+//! let cfg = AdeptConfig::quick(8, Pdk::amf(), 240.0, 300.0);
+//! let outcome = search(&cfg);
+//! println!(
+//!     "searched PTC: {} blocks, footprint {:.0} kµm²",
+//!     outcome.device_count().blocks,
+//!     outcome.footprint_kum2()
+//! );
+//! ```
+
+pub mod alm;
+pub mod fpen;
+pub mod sample;
+pub mod search;
+pub mod spl;
+pub mod supermesh;
+pub mod traces;
+
+pub use sample::{sample_topology, SampledDesign};
+pub use search::{search, AblationFlags, AdeptConfig, SearchOutcome};
+pub use supermesh::{ArchSample, MeshFrame, SuperMeshHandles, SuperPtcWeight};

@@ -1,0 +1,273 @@
+//! SubMesh sampling: extracting a concrete PTC design from the trained
+//! SuperMesh distribution (paper §4.1, "we sample a SubMesh from the
+//! learned distribution P_θ that satisfies the footprint constraints").
+
+use crate::spl;
+use crate::supermesh::SuperMeshHandles;
+use adept_nn::ParamStore;
+use adept_photonics::{BlockMeshTopology, DeviceCount, MeshBlock, Pdk};
+use rand::Rng;
+
+/// A concrete sampled design.
+#[derive(Debug, Clone)]
+pub struct SampledDesign {
+    /// Topology of the `U` mesh.
+    pub topo_u: BlockMeshTopology,
+    /// Topology of the `V` mesh.
+    pub topo_v: BlockMeshTopology,
+    /// Device count of the full PTC.
+    pub device_count: DeviceCount,
+    /// Footprint in 1000 µm².
+    pub footprint_kum2: f64,
+}
+
+struct BlockChoice {
+    exec_prob: f64,
+    pinned: bool,
+    block: MeshBlock,
+}
+
+fn side_choices(store: &ParamStore, handles: &SuperMeshHandles, is_u: bool) -> Vec<BlockChoice> {
+    let side = if is_u { &handles.u } else { &handles.v };
+    (0..handles.n_blocks)
+        .map(|b| {
+            let exec_prob = match side.theta[b] {
+                Some(id) => {
+                    let th = store.value(id);
+                    let (a, e) = (th.as_slice()[0], th.as_slice()[1]);
+                    let m = a.max(e);
+                    ((e - m).exp()) / ((a - m).exp() + (e - m).exp())
+                }
+                None => 1.0,
+            };
+            let perm = spl::greedy_assign(store.value(side.perm[b]));
+            let couplers: Vec<bool> = store
+                .value(side.t[b])
+                .as_slice()
+                .iter()
+                .map(|&t| t < 0.0)
+                .collect();
+            BlockChoice {
+                exec_prob,
+                pinned: side.theta[b].is_none(),
+                block: MeshBlock {
+                    dc_start: side.dc_start[b],
+                    couplers,
+                    perm,
+                },
+            }
+        })
+        .collect()
+}
+
+fn design_from_selection(
+    k: usize,
+    choices_u: &[BlockChoice],
+    choices_v: &[BlockChoice],
+    sel_u: &[bool],
+    sel_v: &[bool],
+    pdk: &Pdk,
+) -> SampledDesign {
+    let pick = |choices: &[BlockChoice], sel: &[bool]| -> Vec<MeshBlock> {
+        choices
+            .iter()
+            .zip(sel)
+            .filter(|(_, &s)| s)
+            .map(|(c, _)| c.block.clone())
+            .collect()
+    };
+    let topo_u = BlockMeshTopology::new(k, pick(choices_u, sel_u));
+    let topo_v = BlockMeshTopology::new(k, pick(choices_v, sel_v));
+    let device_count = topo_u.ptc_device_count(&topo_v);
+    let footprint_kum2 = device_count.footprint_kum2(pdk);
+    SampledDesign {
+        topo_u,
+        topo_v,
+        device_count,
+        footprint_kum2,
+    }
+}
+
+/// Samples a SubMesh from the learned block distribution that honors the
+/// footprint window; falls back to a greedy repair (drop the least likely
+/// block while over budget, add the most likely while under) if no random
+/// sample lands inside within `max_tries`.
+///
+/// # Panics
+///
+/// Panics if the window is invalid.
+pub fn sample_topology<R: Rng + ?Sized>(
+    store: &ParamStore,
+    handles: &SuperMeshHandles,
+    pdk: &Pdk,
+    f_min_kum2: f64,
+    f_max_kum2: f64,
+    rng: &mut R,
+    max_tries: usize,
+) -> SampledDesign {
+    assert!(f_max_kum2 > f_min_kum2, "invalid footprint window");
+    let choices_u = side_choices(store, handles, true);
+    let choices_v = side_choices(store, handles, false);
+    let k = handles.k;
+    // Random sampling phase.
+    for _ in 0..max_tries {
+        let draw = |choices: &[BlockChoice], rng: &mut R| -> Vec<bool> {
+            choices
+                .iter()
+                .map(|c| c.pinned || rng.gen_bool(c.exec_prob.clamp(0.0, 1.0)))
+                .collect()
+        };
+        let sel_u = draw(&choices_u, rng);
+        let sel_v = draw(&choices_v, rng);
+        if !sel_u.iter().any(|&s| s) || !sel_v.iter().any(|&s| s) {
+            continue;
+        }
+        let d = design_from_selection(k, &choices_u, &choices_v, &sel_u, &sel_v, pdk);
+        if d.footprint_kum2 >= f_min_kum2 && d.footprint_kum2 <= f_max_kum2 {
+            return d;
+        }
+    }
+    // Greedy repair from the maximum-likelihood selection.
+    let mut sel_u: Vec<bool> = choices_u
+        .iter()
+        .map(|c| c.pinned || c.exec_prob >= 0.5)
+        .collect();
+    let mut sel_v: Vec<bool> = choices_v
+        .iter()
+        .map(|c| c.pinned || c.exec_prob >= 0.5)
+        .collect();
+    if !sel_u.iter().any(|&s| s) {
+        sel_u[handles.n_blocks - 1] = true;
+    }
+    if !sel_v.iter().any(|&s| s) {
+        sel_v[handles.n_blocks - 1] = true;
+    }
+    for _ in 0..(4 * handles.n_blocks) {
+        let d = design_from_selection(k, &choices_u, &choices_v, &sel_u, &sel_v, pdk);
+        if d.footprint_kum2 > f_max_kum2 {
+            // Drop the least-probable removable block.
+            let worst = choices_u
+                .iter()
+                .zip(sel_u.iter())
+                .enumerate()
+                .filter(|(_, (c, &s))| s && !c.pinned)
+                .map(|(i, (c, _))| (false, i, c.exec_prob))
+                .chain(
+                    choices_v
+                        .iter()
+                        .zip(sel_v.iter())
+                        .enumerate()
+                        .filter(|(_, (c, &s))| s && !c.pinned)
+                        .map(|(i, (c, _))| (true, i, c.exec_prob)),
+                )
+                .min_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+            match worst {
+                Some((true, i, _)) => sel_v[i] = false,
+                Some((false, i, _)) => sel_u[i] = false,
+                None => break, // only pinned blocks left
+            }
+        } else if d.footprint_kum2 < f_min_kum2 {
+            // Add the most-probable excluded block.
+            let best = choices_u
+                .iter()
+                .zip(sel_u.iter())
+                .enumerate()
+                .filter(|(_, (_, &s))| !s)
+                .map(|(i, (c, _))| (false, i, c.exec_prob))
+                .chain(
+                    choices_v
+                        .iter()
+                        .zip(sel_v.iter())
+                        .enumerate()
+                        .filter(|(_, (_, &s))| !s)
+                        .map(|(i, (c, _))| (true, i, c.exec_prob)),
+                )
+                .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+            match best {
+                Some((true, i, _)) => sel_v[i] = true,
+                Some((false, i, _)) => sel_u[i] = true,
+                None => break, // everything already selected
+            }
+        } else {
+            return d;
+        }
+    }
+    design_from_selection(k, &choices_u, &choices_v, &sel_u, &sel_v, pdk)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adept_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(k: usize, n: usize, pinned: usize) -> (ParamStore, SuperMeshHandles) {
+        let mut store = ParamStore::new();
+        let h = SuperMeshHandles::register(&mut store, k, n, pinned, 1);
+        (store, h)
+    }
+
+    #[test]
+    fn pinned_blocks_always_selected() {
+        let (mut store, h) = setup(8, 4, 2);
+        // Push all searchable thetas to "skip".
+        for b in 0..2 {
+            for side in [&h.u, &h.v] {
+                *store.value_mut(side.theta[b].unwrap()) =
+                    Tensor::from_vec(vec![10.0, -10.0], &[2]);
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = sample_topology(&store, &h, &Pdk::amf(), 1.0, 1e9, &mut rng, 8);
+        // Only the 2 pinned blocks per unitary survive.
+        assert_eq!(d.topo_u.blocks().len(), 2);
+        assert_eq!(d.topo_v.blocks().len(), 2);
+        assert_eq!(d.device_count.blocks, 4);
+    }
+
+    #[test]
+    fn footprint_window_respected_with_repair() {
+        let (store, h) = setup(8, 6, 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        // A window of roughly 3–5 blocks' footprint per PTC.
+        let per_block = 8.0 * Pdk::amf().ps_kum2() + 2.0 * Pdk::amf().dc_kum2();
+        let d = sample_topology(
+            &store,
+            &h,
+            &Pdk::amf(),
+            3.0 * per_block,
+            5.0 * per_block,
+            &mut rng,
+            16,
+        );
+        assert!(
+            d.footprint_kum2 >= 2.0 * per_block && d.footprint_kum2 <= 6.0 * per_block,
+            "footprint {} not near window",
+            d.footprint_kum2
+        );
+        assert!(d.device_count.blocks >= 2);
+    }
+
+    #[test]
+    fn couplers_follow_raw_sign() {
+        let (mut store, h) = setup(8, 1, 1);
+        let slots = store.value(h.u.t[0]).len();
+        let mut t = Tensor::full(&[slots], 1.0);
+        t.as_mut_slice()[0] = -1.0;
+        *store.value_mut(h.u.t[0]) = t;
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = sample_topology(&store, &h, &Pdk::amf(), 1.0, 1e9, &mut rng, 4);
+        assert_eq!(d.topo_u.blocks()[0].dc_count(), 1);
+    }
+
+    #[test]
+    fn device_count_consistency() {
+        let (store, h) = setup(8, 3, 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = sample_topology(&store, &h, &Pdk::amf(), 1.0, 1e9, &mut rng, 4);
+        let manual = d.topo_u.ptc_device_count(&d.topo_v);
+        assert_eq!(d.device_count, manual);
+        assert!((d.footprint_kum2 - manual.footprint_kum2(&Pdk::amf())).abs() < 1e-9);
+    }
+}

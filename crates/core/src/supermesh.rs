@@ -1,0 +1,690 @@
+//! The probabilistic photonic SuperMesh (paper Fig. 1 and §3.3).
+//!
+//! A SuperMesh holds `B_max/2` super blocks per unitary. Every block owns a
+//! relaxed permutation (crossing layer), raw coupler transmissions (DC
+//! layer, binarized with a straight-through estimator) and — unless pinned —
+//! a two-way architecture logit deciding *skip vs execute* through a
+//! Gumbel-softmax gate. Phases and Σ are ordinary per-tile weights.
+
+use adept_autodiff::{assemble_blocks, Var};
+use adept_nn::{ForwardCtx, ParamId, ParamStore};
+use adept_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::{FRAC_1_SQRT_2, PI};
+
+/// STE scale of Eq. 14: `(2 − √2)/4`.
+pub const DC_STE_SCALE: f64 = (2.0 - std::f64::consts::SQRT_2) / 4.0;
+
+/// Soft-projection threshold ε of Eq. 11.
+pub const PROJECTION_EPS: f64 = 0.05;
+
+/// Handles of one unitary's super blocks.
+#[derive(Debug, Clone)]
+pub struct MeshSideHandles {
+    /// Relaxed `K×K` permutation parameter per block.
+    pub perm: Vec<ParamId>,
+    /// Raw coupler transmissions per block (`⌊(K − s_b)/2⌋` slots).
+    pub t: Vec<ParamId>,
+    /// Architecture logits `[skip, execute]`; `None` for pinned blocks.
+    pub theta: Vec<Option<ParamId>>,
+    /// Coupler column offset `s_b` per block (0 or 1, interleaved).
+    pub dc_start: Vec<usize>,
+}
+
+/// All shared (cross-tile, cross-layer) SuperMesh parameters.
+#[derive(Debug, Clone)]
+pub struct SuperMeshHandles {
+    /// PTC size.
+    pub k: usize,
+    /// Super blocks per unitary (`B_max/2`).
+    pub n_blocks: usize,
+    /// Number of trailing blocks pinned on (`B_min/2`).
+    pub pinned: usize,
+    /// The `U` mesh.
+    pub u: MeshSideHandles,
+    /// The `V` mesh.
+    pub v: MeshSideHandles,
+}
+
+impl SuperMeshHandles {
+    /// Registers all shared parameters.
+    ///
+    /// The permutations start from the smoothed identity
+    /// `P₀ = I(1/2 − 1/(2K−2)) + 1/(2K−2)` (paper §3.3.2), architecture
+    /// logits start at zero (50/50), raw couplers start uniformly in
+    /// `[-0.1, 0.1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pinned > n_blocks`, `n_blocks == 0`, or `k < 4`.
+    pub fn register(
+        store: &mut ParamStore,
+        k: usize,
+        n_blocks: usize,
+        pinned: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(k >= 4, "supermesh needs k ≥ 4");
+        assert!(n_blocks > 0, "need at least one super block");
+        assert!(pinned <= n_blocks, "cannot pin more blocks than exist");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut side = |name: &str, rng: &mut StdRng| -> MeshSideHandles {
+            let mut perm = Vec::new();
+            let mut t = Vec::new();
+            let mut theta = Vec::new();
+            let mut dc_start = Vec::new();
+            for b in 0..n_blocks {
+                // Paper convention: s_b = 0 for odd (1-indexed), 1 for even.
+                let s = if (b + 1) % 2 == 0 { 1 } else { 0 };
+                dc_start.push(s);
+                // P0 = I(1/2 − off) + off ⇒ diag = 1/2, off-diag = off
+                // (paper §3.3.2), plus a small symmetry-breaking jitter so
+                // short schedules can still discover non-identity routings.
+                let off = 1.0 / (2.0 * k as f64 - 2.0);
+                let mut p0 = Tensor::full(&[k, k], off);
+                for i in 0..k {
+                    p0.as_mut_slice()[i * k + i] = 0.5;
+                }
+                for v in p0.as_mut_slice() {
+                    *v += rng.gen_range(0.0..0.5 * off);
+                }
+                perm.push(store.register(format!("{name}.p{b}"), p0, 0.0));
+                let slots = (k - s) / 2;
+                t.push(store.register(
+                    format!("{name}.t{b}"),
+                    Tensor::rand_uniform(rng, &[slots], -0.1, 0.1),
+                    0.0,
+                ));
+                if b >= n_blocks - pinned {
+                    theta.push(None);
+                } else {
+                    theta.push(Some(store.register(
+                        format!("{name}.theta{b}"),
+                        Tensor::zeros(&[2]),
+                        5e-4,
+                    )));
+                }
+            }
+            MeshSideHandles {
+                perm,
+                t,
+                theta,
+                dc_start,
+            }
+        };
+        let u = side("supermesh.u", &mut rng);
+        let v = side("supermesh.v", &mut rng);
+        Self {
+            k,
+            n_blocks,
+            pinned,
+            u,
+            v,
+        }
+    }
+
+    /// Architecture parameters (θ of both meshes).
+    pub fn arch_params(&self) -> Vec<ParamId> {
+        self.u
+            .theta
+            .iter()
+            .chain(&self.v.theta)
+            .filter_map(|t| *t)
+            .collect()
+    }
+
+    /// Topology weights (permutations and couplers of both meshes).
+    pub fn topo_params(&self) -> Vec<ParamId> {
+        self.u
+            .perm
+            .iter()
+            .chain(&self.u.t)
+            .chain(&self.v.perm)
+            .chain(&self.v.t)
+            .copied()
+            .collect()
+    }
+}
+
+/// One step's architecture randomness: Gumbel noise per block and the
+/// current softmax temperature.
+#[derive(Debug, Clone)]
+pub struct ArchSample {
+    /// Gumbel noise pairs for `U` blocks (indexed like `theta`).
+    pub gumbel_u: Vec<[f64; 2]>,
+    /// Gumbel noise pairs for `V` blocks.
+    pub gumbel_v: Vec<[f64; 2]>,
+    /// Softmax temperature τ.
+    pub tau: f64,
+}
+
+impl ArchSample {
+    /// Samples fresh Gumbel noise for every block.
+    pub fn draw<R: Rng + ?Sized>(rng: &mut R, n_blocks: usize, tau: f64) -> Self {
+        let g = |rng: &mut R| -> Vec<[f64; 2]> {
+            (0..n_blocks)
+                .map(|_| {
+                    let mut pair = [0.0; 2];
+                    for p in &mut pair {
+                        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                        *p = -(-u.ln()).ln();
+                    }
+                    pair
+                })
+                .collect()
+        };
+        Self {
+            gumbel_u: g(rng),
+            gumbel_v: g(rng),
+            tau,
+        }
+    }
+
+    /// A deterministic sample (zero noise) — expectation-style forward.
+    pub fn deterministic(n_blocks: usize, tau: f64) -> Self {
+        Self {
+            gumbel_u: vec![[0.0; 2]; n_blocks],
+            gumbel_v: vec![[0.0; 2]; n_blocks],
+            tau,
+        }
+    }
+}
+
+/// Per-block tape variables of one step.
+pub struct BlockFrame<'g> {
+    /// Relaxed (reparametrized, soft-projected) permutation `P̃` (`K×K`).
+    pub p_relaxed: Var<'g>,
+    /// Binarized transmissions `t_q ∈ {√2/2, 1}` per slot.
+    pub t_binary: Var<'g>,
+    /// Coupler-presence kappa `κ ∈ {√2/2, 0}` per slot.
+    pub kappa: Var<'g>,
+    /// Gumbel-softmax gate `[skip, execute]` used in the forward pass.
+    pub gate: Var<'g>,
+    /// Noise-free execute probability (softmax(θ)[1]) for expectations.
+    pub exec_prob: Var<'g>,
+    /// DC column offset.
+    pub dc_start: usize,
+}
+
+/// One unitary's per-step variables.
+pub struct MeshFrame<'g> {
+    /// Per-block frames, leftmost factor first.
+    pub blocks: Vec<BlockFrame<'g>>,
+    /// PTC size.
+    pub k: usize,
+}
+
+/// The reparametrization chain of Eq. 11: `abs → column normalize → row
+/// normalize → ε-soft row projection (stop-gradient rounding)`.
+pub fn relaxed_permutation<'g>(ctx: &ForwardCtx<'g, '_>, raw: Var<'g>) -> Var<'g> {
+    let k = raw.shape()[0];
+    let abs = raw.abs();
+    let col_sums = abs.sum_axis(0); // [K] broadcasts over rows
+    let p1 = abs.div(col_sums);
+    let row_sums = p1.sum_axis(1).reshape(&[k, 1]);
+    let p2 = p1.div(row_sums);
+    // Soft projection: rows that are ε-close to one-hot are rounded with
+    // stopped gradients, preventing exploding ALM terms (paper §3.3.2).
+    let v = p2.value();
+    let mut mask = Tensor::zeros(&[k, 1]);
+    let mut rounded = Tensor::zeros(&[k, k]);
+    for i in 0..k {
+        let row = v.row(i);
+        let maxv = row.max();
+        if maxv >= 1.0 - PROJECTION_EPS {
+            mask.as_mut_slice()[i] = 1.0;
+            let j = row.argmax();
+            rounded.as_mut_slice()[i * k + j] = 1.0;
+        }
+    }
+    let rounded = ctx.constant(rounded);
+    rounded.select_const(&mask, p2)
+}
+
+/// Binarization-aware coupler transmission (Eq. 14): forward quantizes the
+/// raw value to `{√2/2, 1}`, backward is the clipped straight-through
+/// estimator `clip(g·(2−√2)/4, −1, 1)`.
+pub fn binarize_couplers<'g>(raw: Var<'g>) -> Var<'g> {
+    raw.map_custom(
+        |x| if x >= 0.0 { 1.0 } else { FRAC_1_SQRT_2 },
+        |_x, g| (g * DC_STE_SCALE).clamp(-1.0, 1.0),
+    )
+}
+
+/// Coupling coefficient `κ = √(1 − t_q²) ∈ {0, √2/2}`, also with a clipped
+/// straight-through gradient (the analytic `dκ/dt` is unbounded at the
+/// quantization points, so the surrogate mirrors Eq. 14 with opposite sign).
+pub fn binarize_kappa<'g>(raw: Var<'g>) -> Var<'g> {
+    raw.map_custom(
+        |x| if x >= 0.0 { 0.0 } else { FRAC_1_SQRT_2 },
+        |_x, g| (-g * DC_STE_SCALE).clamp(-1.0, 1.0),
+    )
+}
+
+/// Builds the per-step frame of one mesh side.
+pub fn build_mesh_frame<'g>(
+    ctx: &ForwardCtx<'g, '_>,
+    side: &MeshSideHandles,
+    k: usize,
+    gumbel: &[[f64; 2]],
+    tau: f64,
+) -> MeshFrame<'g> {
+    let n = side.perm.len();
+    assert_eq!(gumbel.len(), n, "one gumbel pair per block");
+    let mut blocks = Vec::with_capacity(n);
+    for b in 0..n {
+        let p_relaxed = relaxed_permutation(ctx, ctx.param(side.perm[b]));
+        let t_raw = ctx.param(side.t[b]);
+        let t_binary = binarize_couplers(t_raw);
+        let kappa = binarize_kappa(t_raw);
+        let (gate, exec_prob) = match side.theta[b] {
+            Some(theta) => {
+                let th = ctx.param(theta);
+                let noise = ctx.constant(Tensor::from_vec(gumbel[b].to_vec(), &[2]));
+                let gate = th.add(noise).mul_scalar(1.0 / tau).softmax();
+                let exec_prob = th.softmax().gather(&[1]);
+                (gate, exec_prob)
+            }
+            None => {
+                let gate = ctx.constant(Tensor::from_vec(vec![0.0, 1.0], &[2]));
+                let exec_prob = ctx.constant(Tensor::ones(&[1]));
+                (gate, exec_prob)
+            }
+        };
+        blocks.push(BlockFrame {
+            p_relaxed,
+            t_binary,
+            kappa,
+            gate,
+            exec_prob,
+            dc_start: side.dc_start[b],
+        });
+    }
+    MeshFrame { blocks, k }
+}
+
+/// Builds the coupler-column complex transfer matrix `(T_re, T_im)` from
+/// binarized slot variables.
+fn coupler_column_vars<'g>(
+    ctx: &ForwardCtx<'g, '_>,
+    frame: &BlockFrame<'g>,
+    k: usize,
+) -> (Var<'g>, Var<'g>) {
+    let s = frame.dc_start;
+    let slots = (k - s) / 2;
+    let mut diag_a = Vec::with_capacity(slots);
+    let mut diag_b = Vec::with_capacity(slots);
+    let mut off_ab = Vec::with_capacity(slots);
+    let mut off_ba = Vec::with_capacity(slots);
+    let mut covered = vec![false; k];
+    for i in 0..slots {
+        let a = s + 2 * i;
+        let b = a + 1;
+        covered[a] = true;
+        covered[b] = true;
+        diag_a.push(a * k + a);
+        diag_b.push(b * k + b);
+        off_ab.push(a * k + b);
+        off_ba.push(b * k + a);
+    }
+    let mut rest = Tensor::zeros(&[k, k]);
+    for (i, &cov) in covered.iter().enumerate() {
+        if !cov {
+            rest.as_mut_slice()[i * k + i] = 1.0;
+        }
+    }
+    let t_re = frame
+        .t_binary
+        .scatter(&[k, k], &diag_a)
+        .add(frame.t_binary.scatter(&[k, k], &diag_b))
+        .add(ctx.constant(rest));
+    let t_im = frame
+        .kappa
+        .scatter(&[k, k], &off_ab)
+        .add(frame.kappa.scatter(&[k, k], &off_ba));
+    (t_re, t_im)
+}
+
+/// Builds a super-mesh unitary from a frame and a `[n_blocks, K]` phase
+/// variable: `U = Π_b (m_{b,1}·I + m_{b,2}·P̃_b·T_b·R(Φ_b))`, followed by
+/// stabilizing ℓ2 normalization (`rows` selects row- vs column-wise, used
+/// for `U` and `V` respectively).
+pub fn super_unitary<'g>(
+    ctx: &ForwardCtx<'g, '_>,
+    frame: &MeshFrame<'g>,
+    phases: Var<'g>,
+    normalize_rows: bool,
+) -> (Var<'g>, Var<'g>) {
+    let k = frame.k;
+    let n = frame.blocks.len();
+    assert_eq!(phases.shape(), vec![n, k], "phases must be [n_blocks, K]");
+    let mut m_re = ctx.constant(Tensor::eye(k));
+    let mut m_im = ctx.constant(Tensor::zeros(&[k, k]));
+    for (bi, block) in frame.blocks.iter().enumerate().rev() {
+        // R(Φ_b).
+        let positions: Vec<usize> = (0..k).map(|j| bi * k + j).collect();
+        let phi = phases.reshape(&[n * k]).gather(&positions).reshape(&[k, 1]);
+        let c = phi.cos();
+        let s = phi.sin();
+        let r_re = c.mul(m_re).add(s.mul(m_im));
+        let r_im = c.mul(m_im).sub(s.mul(m_re));
+        // T_b.
+        let (t_re, t_im) = coupler_column_vars(ctx, block, k);
+        let tr_re = t_re.matmul(r_re).sub(t_im.matmul(r_im));
+        let tr_im = t_re.matmul(r_im).add(t_im.matmul(r_re));
+        // P̃_b (real).
+        let e_re = block.p_relaxed.matmul(tr_re);
+        let e_im = block.p_relaxed.matmul(tr_im);
+        // Gate: M ← m1·M + m2·(P̃TR·M).
+        let m1 = block.gate.gather(&[0]);
+        let m2 = block.gate.gather(&[1]);
+        m_re = m1.mul(m_re).add(m2.mul(e_re));
+        m_im = m1.mul(m_im).add(m2.mul(e_im));
+    }
+    // Stabilizing ℓ2 normalization (paper §3.3.2).
+    let sq = m_re.square().add(m_im.square());
+    if normalize_rows {
+        let norms = sq.sum_axis(1).sqrt().add_scalar(1e-12).reshape(&[k, 1]);
+        (m_re.div(norms), m_im.div(norms))
+    } else {
+        let norms = sq.sum_axis(0).sqrt().add_scalar(1e-12); // [K] over columns
+        (m_re.div(norms), m_im.div(norms))
+    }
+}
+
+/// A search-time PTC-tiled weight: like `adept_nn::onn::PtcWeight` but the
+/// topology factors come from the shared SuperMesh frame.
+pub struct SuperPtcWeight {
+    k: usize,
+    in_features: usize,
+    out_features: usize,
+    grid_rows: usize,
+    grid_cols: usize,
+    phases_u: Vec<ParamId>,
+    phases_v: Vec<ParamId>,
+    sigma: Vec<ParamId>,
+}
+
+impl SuperPtcWeight {
+    /// Registers per-tile phases/Σ for an `out × in` weight searched over a
+    /// SuperMesh with `n_blocks` blocks per unitary.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_features: usize,
+        out_features: usize,
+        k: usize,
+        n_blocks: usize,
+        seed: u64,
+    ) -> Self {
+        let grid_rows = out_features.div_ceil(k);
+        let grid_cols = in_features.div_ceil(k);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut phases_u = Vec::new();
+        let mut phases_v = Vec::new();
+        let mut sigma = Vec::new();
+        let sig_bound = (6.0 * k as f64 / in_features.max(1) as f64).sqrt().min(2.0);
+        for tile in 0..grid_rows * grid_cols {
+            phases_u.push(store.register(
+                format!("{name}.u{tile}"),
+                Tensor::rand_uniform(&mut rng, &[n_blocks, k], -PI, PI),
+                1e-4,
+            ));
+            phases_v.push(store.register(
+                format!("{name}.v{tile}"),
+                Tensor::rand_uniform(&mut rng, &[n_blocks, k], -PI, PI),
+                1e-4,
+            ));
+            sigma.push(store.register(
+                format!("{name}.s{tile}"),
+                Tensor::rand_uniform(&mut rng, &[k], -sig_bound, sig_bound),
+                1e-4,
+            ));
+        }
+        Self {
+            k,
+            in_features,
+            out_features,
+            grid_rows,
+            grid_cols,
+            phases_u,
+            phases_v,
+            sigma,
+        }
+    }
+
+    /// All parameter handles (phases and Σ).
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        self.phases_u
+            .iter()
+            .chain(&self.phases_v)
+            .chain(&self.sigma)
+            .copied()
+            .collect()
+    }
+
+    /// Materializes the `[out, in]` weight under the given frames.
+    pub fn build<'g>(
+        &self,
+        ctx: &ForwardCtx<'g, '_>,
+        frame_u: &MeshFrame<'g>,
+        frame_v: &MeshFrame<'g>,
+    ) -> Var<'g> {
+        let k = self.k;
+        let mut tiles = Vec::with_capacity(self.grid_rows * self.grid_cols);
+        for tile in 0..self.grid_rows * self.grid_cols {
+            let (u_re, u_im) = super_unitary(ctx, frame_u, ctx.param(self.phases_u[tile]), true);
+            let (v_re, v_im) = super_unitary(ctx, frame_v, ctx.param(self.phases_v[tile]), false);
+            let sig = ctx.param(self.sigma[tile]);
+            let us_re = u_re.mul(sig);
+            let us_im = u_im.mul(sig);
+            let w_tile = us_re.matmul(v_re).sub(us_im.matmul(v_im));
+            tiles.push(w_tile);
+        }
+        let full = assemble_blocks(&tiles, self.grid_rows, self.grid_cols);
+        if self.grid_rows * k == self.out_features && self.grid_cols * k == self.in_features {
+            full
+        } else {
+            full.crop2d(self.out_features, self.in_features)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adept_autodiff::Graph;
+    use adept_linalg::Permutation;
+
+    fn setup(k: usize, n: usize, pinned: usize) -> (ParamStore, SuperMeshHandles) {
+        let mut store = ParamStore::new();
+        let h = SuperMeshHandles::register(&mut store, k, n, pinned, 1);
+        (store, h)
+    }
+
+    #[test]
+    fn registration_counts() {
+        let (store, h) = setup(8, 5, 2);
+        assert_eq!(h.arch_params().len(), 2 * (5 - 2));
+        assert_eq!(h.topo_params().len(), 2 * (5 + 5));
+        assert!(store.len() >= 20);
+        // Interleaved offsets.
+        assert_eq!(h.u.dc_start, vec![0, 1, 0, 1, 0]);
+        // Pinned blocks have no theta.
+        assert!(h.u.theta[3].is_none() && h.u.theta[4].is_none());
+        assert!(h.u.theta[0].is_some());
+    }
+
+    #[test]
+    fn smoothed_identity_initialization() {
+        let (store, h) = setup(8, 2, 1);
+        let p0 = store.value(h.u.perm[0]);
+        let off = 1.0 / 14.0;
+        // Smoothed identity plus a jitter within [0, off/2).
+        assert!(p0.at(&[0, 0]) >= 0.5 && p0.at(&[0, 0]) < 0.5 + 0.5 * off);
+        assert!(p0.at(&[0, 1]) >= off && p0.at(&[0, 1]) < 1.5 * off);
+        // Rows and columns sum approximately to one (doubly stochastic up
+        // to the jitter).
+        for i in 0..8 {
+            assert!((p0.row(i).sum() - 1.0).abs() < 8.0 * 0.5 * off);
+            assert!((p0.col(i).sum() - 1.0).abs() < 8.0 * 0.5 * off);
+        }
+    }
+
+    #[test]
+    fn relaxed_permutation_is_doubly_stochastic_ish() {
+        let (store, h) = setup(6, 1, 0);
+        let graph = Graph::new();
+        let ctx = ForwardCtx::new(&graph, &store, true, 0);
+        let p = relaxed_permutation(&ctx, ctx.param(h.u.perm[0]));
+        let v = p.value();
+        for i in 0..6 {
+            assert!((v.row(i).sum() - 1.0).abs() < 1e-9, "row {i}");
+        }
+        assert!(v.min() >= 0.0);
+    }
+
+    #[test]
+    fn relaxed_permutation_rounds_near_permutations() {
+        let mut store = ParamStore::new();
+        let perm = Permutation::from_vec(vec![1, 0, 2]).unwrap();
+        let mut near = perm.to_matrix();
+        near.as_mut_slice()[0] = 0.02; // small off-one-hot perturbation
+        let id = store.register("p", near, 0.0);
+        let graph = Graph::new();
+        let ctx = ForwardCtx::new(&graph, &store, true, 0);
+        let p = relaxed_permutation(&ctx, ctx.param(id));
+        // Rounded to the exact permutation with stopped gradients.
+        assert!(p.value().allclose(&perm.to_matrix(), 1e-12));
+        let loss = p.square().sum();
+        let grads = graph.backward(loss);
+        let g = grads.grad(ctx.param(id));
+        assert!(g.is_none() || g.unwrap().norm() < 1e-12, "gradient must stop");
+    }
+
+    #[test]
+    fn coupler_binarization_values_and_gradient_clip() {
+        let mut store = ParamStore::new();
+        let id = store.register("t", Tensor::from_vec(vec![-0.5, 0.5, -0.01], &[3]), 0.0);
+        let graph = Graph::new();
+        let ctx = ForwardCtx::new(&graph, &store, true, 0);
+        let tq = binarize_couplers(ctx.param(id));
+        assert!(tq.value().allclose(
+            &Tensor::from_vec(vec![FRAC_1_SQRT_2, 1.0, FRAC_1_SQRT_2], &[3]),
+            1e-12
+        ));
+        let kappa = binarize_kappa(ctx.param(id));
+        assert!(kappa.value().allclose(
+            &Tensor::from_vec(vec![FRAC_1_SQRT_2, 0.0, FRAC_1_SQRT_2], &[3]),
+            1e-12
+        ));
+        // Gradient is scaled and clipped.
+        let loss = tq.mul_scalar(100.0).sum();
+        let grads = graph.backward(loss);
+        let g = grads.grad(ctx.param(id)).unwrap();
+        assert!(g.as_slice().iter().all(|&x| x.abs() <= 1.0 + 1e-12));
+    }
+
+    #[test]
+    fn super_unitary_with_pinned_identity_gates_is_unitary() {
+        // All blocks pinned (deterministic execute), relaxed perms start
+        // near identity → result must be (approximately) unitary thanks to
+        // the soft projection + normalization.
+        let (mut store, h) = setup(6, 3, 3);
+        let phases = store.register(
+            "phi",
+            Tensor::rand_uniform(&mut StdRng::seed_from_u64(3), &[3, 6], -1.0, 1.0),
+            0.0,
+        );
+        let graph = Graph::new();
+        let ctx = ForwardCtx::new(&graph, &store, true, 0);
+        let frame = build_mesh_frame(&ctx, &h.u, 6, &[[0.0; 2]; 3], 1.0);
+        let (re, im) = super_unitary(&ctx, &frame, ctx.param(phases), true);
+        // Row norms must be exactly 1 after normalization.
+        let sq = re.square().add(im.square()).value();
+        for i in 0..6 {
+            assert!((sq.row(i).sum() - 1.0).abs() < 1e-9, "row {i}");
+        }
+    }
+
+    #[test]
+    fn super_unitary_exact_when_perms_legal() {
+        // Force raw perms to exact permutations and couplers to decided
+        // signs: then the super unitary (pinned gates) must be exactly
+        // unitary and match the BlockMeshTopology reference.
+        let k = 6;
+        let (mut store, h) = setup(k, 2, 2);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut perms = Vec::new();
+        for b in 0..2 {
+            let p = Permutation::random(&mut rng, k);
+            *store.value_mut(h.u.perm[b]) = p.to_matrix();
+            perms.push(p);
+            let slots = (k - h.u.dc_start[b]) / 2;
+            *store.value_mut(h.u.t[b]) =
+                Tensor::from_vec((0..slots).map(|i| if i % 2 == 0 { -1.0 } else { 1.0 }).collect(), &[slots]);
+        }
+        let phases_t = Tensor::rand_uniform(&mut rng, &[2, k], -2.0, 2.0);
+        let phases = store.register("phi", phases_t.clone(), 0.0);
+        let graph = Graph::new();
+        let ctx = ForwardCtx::new(&graph, &store, true, 0);
+        let frame = build_mesh_frame(&ctx, &h.u, k, &[[0.0; 2]; 2], 1.0);
+        let (re, im) = super_unitary(&ctx, &frame, ctx.param(phases), true);
+        let got = adept_linalg::CMatrix::from_re_im(&re.value(), &im.value());
+        assert!(got.is_unitary(1e-9), "error {}", got.unitarity_error());
+        // Reference through the photonics crate.
+        let blocks: Vec<adept_photonics::MeshBlock> = (0..2)
+            .map(|b| adept_photonics::MeshBlock {
+                dc_start: h.u.dc_start[b],
+                couplers: {
+                    let slots = (k - h.u.dc_start[b]) / 2;
+                    (0..slots).map(|i| i % 2 == 0).collect()
+                },
+                perm: perms[b].clone(),
+            })
+            .collect();
+        let topo = adept_photonics::BlockMeshTopology::new(k, blocks);
+        let cols: Vec<Vec<f64>> = (0..2)
+            .map(|b| (0..k).map(|j| phases_t.at(&[b, j])).collect())
+            .collect();
+        let want = topo.unitary(&cols);
+        assert!(got.fro_dist(&want) < 1e-9);
+    }
+
+    #[test]
+    fn gate_mixes_identity_and_block() {
+        // With theta strongly favouring skip, the unitary ≈ identity.
+        let (mut store, h) = setup(6, 1, 0);
+        *store.value_mut(h.u.theta[0].unwrap()) = Tensor::from_vec(vec![20.0, -20.0], &[2]);
+        let phases = store.register("phi", Tensor::ones(&[1, 6]), 0.0);
+        let graph = Graph::new();
+        let ctx = ForwardCtx::new(&graph, &store, true, 0);
+        let frame = build_mesh_frame(&ctx, &h.u, 6, &[[0.0; 2]], 0.5);
+        let (re, im) = super_unitary(&ctx, &frame, ctx.param(phases), true);
+        assert!(re.value().allclose(&Tensor::eye(6), 1e-6));
+        assert!(im.value().norm() < 1e-6);
+        // Execute probability reflects theta.
+        assert!(frame.blocks[0].exec_prob.value().item() < 1e-8);
+    }
+
+    #[test]
+    fn super_ptc_weight_builds_and_backprops() {
+        let (mut store, h) = setup(4, 2, 1);
+        let w = SuperPtcWeight::new(&mut store, "w", 6, 5, 4, 2, 7);
+        let graph = Graph::new();
+        let ctx = ForwardCtx::new(&graph, &store, true, 0);
+        let fu = build_mesh_frame(&ctx, &h.u, 4, &[[0.1, -0.2], [0.0, 0.0]], 1.0);
+        let fv = build_mesh_frame(&ctx, &h.v, 4, &[[0.3, 0.1], [0.0, 0.0]], 1.0);
+        let built = w.build(&ctx, &fu, &fv);
+        assert_eq!(built.shape(), vec![5, 6]);
+        let grads = graph.backward(built.square().sum());
+        let updates = ctx.into_param_grads(&grads);
+        store.accumulate_many(&updates);
+        // Phases, sigma, perms, couplers and theta all receive gradient.
+        let any_grad = |ids: &[ParamId]| ids.iter().any(|&id| store.grad(id).norm() > 1e-12);
+        assert!(any_grad(&w.param_ids()), "tile weights");
+        assert!(any_grad(&h.topo_params()), "topology params");
+        assert!(any_grad(&h.arch_params()), "arch params");
+    }
+}

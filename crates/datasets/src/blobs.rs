@@ -1,0 +1,93 @@
+//! Low-dimensional Gaussian-blob classification data for fast unit tests of
+//! optimizers and training loops.
+
+use adept_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates an `n`-sample, `classes`-way Gaussian blob problem in `dim`
+/// dimensions: class `c` is centred at a random point with isotropic spread
+/// `std`. Returns `(features [n, dim], labels)`.
+///
+/// # Panics
+///
+/// Panics if `classes < 2` or `dim == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use adept_datasets::gaussian_blobs;
+///
+/// let (x, y) = gaussian_blobs(60, 4, 3, 0.2, 7);
+/// assert_eq!(x.shape(), &[60, 4]);
+/// assert_eq!(y.len(), 60);
+/// ```
+pub fn gaussian_blobs(
+    n: usize,
+    dim: usize,
+    classes: usize,
+    std: f64,
+    seed: u64,
+) -> (Tensor, Vec<usize>) {
+    assert!(classes >= 2, "need at least two classes");
+    assert!(dim > 0, "dimension must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f64>> = (0..classes)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-2.0..2.0)).collect())
+        .collect();
+    let mut data = Vec::with_capacity(n * dim);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i % classes;
+        labels.push(c);
+        for d in 0..dim {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let g = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            data.push(centers[c][d] + std * g);
+        }
+    }
+    (Tensor::from_vec(data, &[n, dim]), labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_balanced() {
+        let (x1, y1) = gaussian_blobs(30, 3, 3, 0.1, 1);
+        let (x2, _) = gaussian_blobs(30, 3, 3, 0.1, 1);
+        assert_eq!(x1, x2);
+        for c in 0..3 {
+            assert_eq!(y1.iter().filter(|&&l| l == c).count(), 10);
+        }
+    }
+
+    #[test]
+    fn tight_blobs_are_separable() {
+        let (x, y) = gaussian_blobs(90, 2, 3, 0.05, 2);
+        // Nearest-centroid should be near perfect on tight blobs.
+        let mut centers = vec![vec![0.0; 2]; 3];
+        for i in 0..90 {
+            centers[y[i]][0] += x.at(&[i, 0]) / 30.0;
+            centers[y[i]][1] += x.at(&[i, 1]) / 30.0;
+        }
+        let mut correct = 0;
+        for i in 0..90 {
+            let best = (0..3)
+                .min_by(|&a, &b| {
+                    let da = (x.at(&[i, 0]) - centers[a][0]).powi(2)
+                        + (x.at(&[i, 1]) - centers[a][1]).powi(2);
+                    let db = (x.at(&[i, 0]) - centers[b][0]).powi(2)
+                        + (x.at(&[i, 1]) - centers[b][1]).powi(2);
+                    da.partial_cmp(&db).unwrap()
+                })
+                .unwrap();
+            if best == y[i] {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 85, "only {correct}/90 correct");
+    }
+}

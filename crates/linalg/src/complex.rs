@@ -1,0 +1,456 @@
+//! Complex scalars and dense complex matrices.
+//!
+//! The offline dependency set has no complex-number crate, so this module
+//! provides the small amount of complex arithmetic the photonic substrate
+//! needs: a `Copy` scalar type with the usual field operations, and a dense
+//! row-major matrix with products, adjoints and unitarity diagnostics.
+
+use adept_tensor::Tensor;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub};
+
+/// A complex number with `f64` components.
+///
+/// # Examples
+///
+/// ```
+/// use adept_linalg::C64;
+///
+/// let i = C64::I;
+/// assert_eq!(i * i, C64::new(-1.0, 0.0));
+/// assert!((C64::from_polar(2.0, std::f64::consts::FRAC_PI_2) - 2.0 * i).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// Zero.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Creates `re + im·j`.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates `r·e^{jθ}`.
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// `e^{jθ}` — the phase factor applied by a phase shifter is
+    /// `C64::cis(-φ)`.
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument in `(-π, π]`.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for C64 {
+    fn add_assign(&mut self, rhs: C64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for C64 {
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<C64> for f64 {
+    type Output = C64;
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(self * rhs.re, self * rhs.im)
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    fn mul(self, rhs: f64) -> C64 {
+        C64::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    fn div(self, rhs: C64) -> C64 {
+        let d = rhs.norm_sqr();
+        C64::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl From<f64> for C64 {
+    fn from(re: f64) -> Self {
+        C64::new(re, 0.0)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}j", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}j", self.re, -self.im)
+        }
+    }
+}
+
+/// A dense row-major complex matrix.
+///
+/// # Examples
+///
+/// ```
+/// use adept_linalg::CMatrix;
+///
+/// let id = CMatrix::identity(4);
+/// assert!(id.is_unitary(1e-12));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<C64>,
+}
+
+impl CMatrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![C64::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = C64::ONE;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major element vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(data: Vec<C64>, rows: usize, cols: usize) -> Self {
+        assert_eq!(data.len(), rows * cols, "element count mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Creates a diagonal matrix from complex diagonal entries.
+    pub fn from_diag(diag: &[C64]) -> Self {
+        let n = diag.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Builds a complex matrix from separate real/imaginary tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both tensors are matrices of identical shape.
+    pub fn from_re_im(re: &Tensor, im: &Tensor) -> Self {
+        assert_eq!(re.rank(), 2, "re must be a matrix");
+        assert_eq!(re.shape(), im.shape(), "re/im shape mismatch");
+        let (rows, cols) = (re.shape()[0], re.shape()[1]);
+        let data = re
+            .as_slice()
+            .iter()
+            .zip(im.as_slice())
+            .map(|(&r, &i)| C64::new(r, i))
+            .collect();
+        Self { rows, cols, data }
+    }
+
+    /// Real parts as a tensor.
+    pub fn re(&self) -> Tensor {
+        Tensor::from_vec(self.data.iter().map(|c| c.re).collect(), &[self.rows, self.cols])
+    }
+
+    /// Imaginary parts as a tensor.
+    pub fn im(&self) -> Tensor {
+        Tensor::from_vec(self.data.iter().map(|c| c.im).collect(), &[self.rows, self.cols])
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
+        let mut out = CMatrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for p in 0..self.cols {
+                let a = self[(i, p)];
+                if a == C64::ZERO {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(p, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matvec(&self, v: &[C64]) -> Vec<C64> {
+        assert_eq!(self.cols, v.len(), "dimension mismatch");
+        (0..self.rows)
+            .map(|i| {
+                let mut s = C64::ZERO;
+                for j in 0..self.cols {
+                    s += self[(i, j)] * v[j];
+                }
+                s
+            })
+            .collect()
+    }
+
+    /// Conjugate transpose.
+    pub fn adjoint(&self) -> CMatrix {
+        let mut out = CMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)].conj();
+            }
+        }
+        out
+    }
+
+    /// Frobenius distance to another matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn fro_dist(&self, other: &CMatrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (*a - *b).norm_sqr())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Deviation from unitarity: `‖AᴴA − I‖_F`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn unitarity_error(&self) -> f64 {
+        assert_eq!(self.rows, self.cols, "unitarity needs a square matrix");
+        self.adjoint()
+            .matmul(self)
+            .fro_dist(&CMatrix::identity(self.rows))
+    }
+
+    /// Whether the matrix is unitary within Frobenius tolerance `tol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        self.unitarity_error() <= tol
+    }
+
+    /// Multiplies every element by a complex scalar in place.
+    pub fn scale_inplace(&mut self, s: C64) {
+        for x in &mut self.data {
+            *x = *x * s;
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for CMatrix {
+    type Output = C64;
+    fn index(&self, (i, j): (usize, usize)) -> &C64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for CMatrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut C64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_field_ops() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(-3.0, 0.5);
+        assert_eq!(a + b, C64::new(-2.0, 2.5));
+        assert_eq!(a - b, C64::new(4.0, 1.5));
+        assert_eq!(a * C64::ONE, a);
+        let prod = a * b;
+        assert!((prod.re - (1.0 * -3.0 - 2.0 * 0.5)).abs() < 1e-15);
+        assert!((prod.im - (1.0 * 0.5 + 2.0 * -3.0)).abs() < 1e-15);
+        let q = a / b;
+        assert!(((q * b) - a).abs() < 1e-12);
+        assert_eq!(-a, C64::new(-1.0, -2.0));
+        assert_eq!(C64::from(2.0), C64::new(2.0, 0.0));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = C64::from_polar(3.0, 0.7);
+        assert!((z.abs() - 3.0).abs() < 1e-12);
+        assert!((z.arg() - 0.7).abs() < 1e-12);
+        assert!((C64::cis(1.2).abs() - 1.0).abs() < 1e-12);
+        assert!((z.conj().arg() + 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_product_and_adjoint() {
+        // A 2x2 phase/coupler-like matrix: check (AB)ᴴ = Bᴴ Aᴴ.
+        let t = std::f64::consts::FRAC_1_SQRT_2;
+        let dc = CMatrix::from_vec(
+            vec![
+                C64::new(t, 0.0),
+                C64::new(0.0, t),
+                C64::new(0.0, t),
+                C64::new(t, 0.0),
+            ],
+            2,
+            2,
+        );
+        let ps = CMatrix::from_diag(&[C64::cis(-0.3), C64::ONE]);
+        let ab = dc.matmul(&ps);
+        let lhs = ab.adjoint();
+        let rhs = ps.adjoint().matmul(&dc.adjoint());
+        assert!(lhs.fro_dist(&rhs) < 1e-12);
+    }
+
+    #[test]
+    fn unitarity_diagnostics() {
+        let t = std::f64::consts::FRAC_1_SQRT_2;
+        let dc = CMatrix::from_vec(
+            vec![
+                C64::new(t, 0.0),
+                C64::new(0.0, t),
+                C64::new(0.0, t),
+                C64::new(t, 0.0),
+            ],
+            2,
+            2,
+        );
+        assert!(dc.is_unitary(1e-12));
+        let mut not_unitary = dc.clone();
+        not_unitary[(0, 0)] = C64::new(0.9, 0.0);
+        assert!(!not_unitary.is_unitary(1e-6));
+    }
+
+    #[test]
+    fn re_im_round_trip() {
+        let m = CMatrix::from_vec(
+            vec![C64::new(1.0, -1.0), C64::new(0.0, 2.0), C64::I, C64::ONE],
+            2,
+            2,
+        );
+        let back = CMatrix::from_re_im(&m.re(), &m.im());
+        assert!(m.fro_dist(&back) < 1e-15);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let m = CMatrix::from_vec(
+            vec![C64::new(1.0, 0.0), C64::I, C64::new(0.0, -1.0), C64::new(2.0, 1.0)],
+            2,
+            2,
+        );
+        let v = vec![C64::new(1.0, 1.0), C64::new(-2.0, 0.5)];
+        let got = m.matvec(&v);
+        let as_mat = CMatrix::from_vec(v.clone(), 2, 1);
+        let want = m.matmul(&as_mat);
+        assert!((got[0] - want[(0, 0)]).abs() < 1e-14);
+        assert!((got[1] - want[(1, 0)]).abs() < 1e-14);
+    }
+}

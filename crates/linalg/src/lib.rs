@@ -1,0 +1,31 @@
+//! Numerical linear algebra for the ADEPT reproduction.
+//!
+//! Built from scratch (no external linear-algebra crates):
+//!
+//! * [`C64`] / [`CMatrix`] — complex scalars and dense complex matrices used
+//!   by the photonic transfer-matrix substrate;
+//! * [`svd`] — one-sided Jacobi singular value decomposition of real
+//!   matrices, plus the orthogonal polar factor used by ADEPT's stochastic
+//!   permutation legalization (SPL);
+//! * [`Permutation`] — permutation algebra including the
+//!   adjacent-transposition (= waveguide crossing) count that drives the
+//!   footprint model.
+//!
+//! # Examples
+//!
+//! ```
+//! use adept_linalg::Permutation;
+//!
+//! let p = Permutation::from_vec(vec![2, 0, 1]).unwrap();
+//! assert_eq!(p.crossing_count(), 2);
+//! ```
+
+mod assignment;
+mod complex;
+mod permutation;
+mod svd;
+
+pub use assignment::{max_weight_permutation, min_cost_assignment};
+pub use complex::{C64, CMatrix};
+pub use permutation::{ParsePermutationError, Permutation};
+pub use svd::{polar_orthogonal, svd, Svd};

@@ -1,0 +1,712 @@
+//! Electronic (non-photonic) layers lowered onto the autodiff tape.
+
+use crate::param::{ForwardCtx, ParamId, ParamStore};
+use adept_autodiff::Var;
+use adept_photonics::DeviceCount;
+use adept_tensor::{col2im, im2col, Conv2dGeometry, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A trainable or stateless network layer.
+///
+/// Layers take `&mut self` so stateful layers (batch-norm running statistics)
+/// can update during training-mode forwards.
+pub trait Layer {
+    /// Runs the layer on the tape.
+    fn forward<'g>(&mut self, ctx: &ForwardCtx<'g, '_>, x: Var<'g>) -> Var<'g>;
+
+    /// Parameters owned by this layer.
+    fn param_ids(&self) -> Vec<ParamId> {
+        Vec::new()
+    }
+
+    /// Sets the Gaussian phase-drift std on photonic layers (no-op for
+    /// electronic ones). Used by variation-aware training and the Fig. 4
+    /// robustness sweeps.
+    fn set_phase_noise(&mut self, _std: f64) {}
+
+    /// Device count of the layer's photonic tensor core, if it has one.
+    fn device_count(&self) -> Option<DeviceCount> {
+        None
+    }
+}
+
+/// A sequence of layers applied in order.
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty pipeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the pipeline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward<'g>(&mut self, ctx: &ForwardCtx<'g, '_>, x: Var<'g>) -> Var<'g> {
+        let mut h = x;
+        for layer in &mut self.layers {
+            h = layer.forward(ctx, h);
+        }
+        h
+    }
+
+    fn param_ids(&self) -> Vec<ParamId> {
+        self.layers.iter().flat_map(|l| l.param_ids()).collect()
+    }
+
+    fn set_phase_noise(&mut self, std: f64) {
+        for layer in &mut self.layers {
+            layer.set_phase_noise(std);
+        }
+    }
+
+    fn device_count(&self) -> Option<DeviceCount> {
+        self.layers.iter().find_map(|l| l.device_count())
+    }
+}
+
+/// Rectified linear unit.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Relu;
+
+impl Layer for Relu {
+    fn forward<'g>(&mut self, _ctx: &ForwardCtx<'g, '_>, x: Var<'g>) -> Var<'g> {
+        x.relu()
+    }
+}
+
+/// Flattens `[N, …]` to `[N, features]`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Flatten;
+
+impl Layer for Flatten {
+    fn forward<'g>(&mut self, _ctx: &ForwardCtx<'g, '_>, x: Var<'g>) -> Var<'g> {
+        let shape = x.shape();
+        let n = shape[0];
+        let rest: usize = shape[1..].iter().product();
+        x.reshape(&[n, rest])
+    }
+}
+
+/// Dense affine layer `y = x·Wᵀ + b`.
+pub struct Linear {
+    w: ParamId,
+    b: ParamId,
+}
+
+impl Linear {
+    /// Registers a Kaiming-initialized linear layer.
+    pub fn new(store: &mut ParamStore, name: &str, in_features: usize, out_features: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = Tensor::kaiming_uniform(&mut rng, &[out_features, in_features], in_features);
+        Self {
+            w: store.register(format!("{name}.w"), w, 1e-4),
+            b: store.register(format!("{name}.b"), Tensor::zeros(&[out_features]), 0.0),
+        }
+    }
+}
+
+impl Layer for Linear {
+    fn forward<'g>(&mut self, ctx: &ForwardCtx<'g, '_>, x: Var<'g>) -> Var<'g> {
+        let w = ctx.param(self.w);
+        let b = ctx.param(self.b);
+        x.matmul(w.transpose()).add(b)
+    }
+
+    fn param_ids(&self) -> Vec<ParamId> {
+        vec![self.w, self.b]
+    }
+}
+
+/// 2-D convolution via `im2col` lowering (dense electronic weights).
+pub struct Conv2d {
+    w: ParamId,
+    b: ParamId,
+    geom: Conv2dGeometry,
+    out_channels: usize,
+}
+
+impl Conv2d {
+    /// Registers a convolution with square kernels.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        geom: Conv2dGeometry,
+        out_channels: usize,
+        seed: u64,
+    ) -> Self {
+        let fan_in = geom.col_rows();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = Tensor::kaiming_uniform(&mut rng, &[out_channels, fan_in], fan_in);
+        Self {
+            w: store.register(format!("{name}.w"), w, 1e-4),
+            b: store.register(format!("{name}.b"), Tensor::zeros(&[out_channels]), 0.0),
+            geom,
+            out_channels,
+        }
+    }
+
+    /// Convolution geometry.
+    pub fn geometry(&self) -> Conv2dGeometry {
+        self.geom
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward<'g>(&mut self, ctx: &ForwardCtx<'g, '_>, x: Var<'g>) -> Var<'g> {
+        let w = ctx.param(self.w);
+        let b = ctx.param(self.b);
+        let cols = im2col_var(x, self.geom);
+        let y = w.matmul(cols); // [OC, N·OH·OW]
+        let n = x.shape()[0];
+        let y = cols_to_nchw(y, n, self.out_channels, self.geom.out_h(), self.geom.out_w());
+        let b3 = b.reshape(&[self.out_channels, 1, 1]);
+        y.add(b3)
+    }
+
+    fn param_ids(&self) -> Vec<ParamId> {
+        vec![self.w, self.b]
+    }
+}
+
+/// Differentiable `im2col` node (backward is `col2im`).
+pub fn im2col_var<'g>(x: Var<'g>, geom: Conv2dGeometry) -> Var<'g> {
+    let input = x.value();
+    let n = input.shape()[0];
+    let cols = im2col(&input, &geom);
+    x.graph().custom(
+        &[x],
+        cols,
+        Box::new(move |g| vec![Some(col2im(g, &geom, n))]),
+    )
+}
+
+/// Reorders a `[OC, N·P]` column matrix into NCHW `[N, OC, OH, OW]`.
+pub fn cols_to_nchw<'g>(y: Var<'g>, n: usize, oc: usize, oh: usize, ow: usize) -> Var<'g> {
+    let p = oh * ow;
+    let mut positions = Vec::with_capacity(n * oc * p);
+    for ni in 0..n {
+        for c in 0..oc {
+            for pix in 0..p {
+                positions.push(c * (n * p) + ni * p + pix);
+            }
+        }
+    }
+    y.reshape(&[oc * n * p]).gather(&positions).reshape(&[n, oc, oh, ow])
+}
+
+/// Differentiable batch normalization primitive over NCHW input.
+///
+/// When `training` is true, batch statistics are computed from `x`; in eval
+/// mode the supplied `running` statistics are used. Returns the normalized
+/// output plus the `(mean, var)` actually used, so stateful layers can
+/// update their running averages.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or eval mode is requested without statistics.
+pub fn batch_norm2d_op<'g>(
+    x: Var<'g>,
+    gamma: Var<'g>,
+    beta: Var<'g>,
+    training: bool,
+    running: Option<(&[f64], &[f64])>,
+    eps: f64,
+) -> (Var<'g>, Vec<f64>, Vec<f64>) {
+    let v = x.value();
+    assert_eq!(v.rank(), 4, "batch_norm2d_op expects NCHW");
+    let (n, c, h, w) = (v.shape()[0], v.shape()[1], v.shape()[2], v.shape()[3]);
+    let per = (n * h * w) as f64;
+    let (mean, var) = if training {
+        let mut mean = vec![0.0f64; c];
+        let mut var = vec![0.0f64; c];
+        for ci in 0..c {
+            let mut s = 0.0;
+            for ni in 0..n {
+                let off = ((ni * c + ci) * h) * w;
+                s += v.as_slice()[off..off + h * w].iter().sum::<f64>();
+            }
+            mean[ci] = s / per;
+            let mut s2 = 0.0;
+            for ni in 0..n {
+                let off = ((ni * c + ci) * h) * w;
+                s2 += v.as_slice()[off..off + h * w]
+                    .iter()
+                    .map(|&x| (x - mean[ci]) * (x - mean[ci]))
+                    .sum::<f64>();
+            }
+            var[ci] = s2 / per;
+        }
+        (mean, var)
+    } else {
+        let (m, vv) = running.expect("eval mode requires running statistics");
+        (m.to_vec(), vv.to_vec())
+    };
+    let inv_std: Vec<f64> = var.iter().map(|&x| 1.0 / (x + eps).sqrt()).collect();
+    let mut xhat = v.clone();
+    for ni in 0..n {
+        for ci in 0..c {
+            let off = ((ni * c + ci) * h) * w;
+            for p in 0..h * w {
+                xhat.as_mut_slice()[off + p] = (v.as_slice()[off + p] - mean[ci]) * inv_std[ci];
+            }
+        }
+    }
+    let gval = gamma.value();
+    let bval = beta.value();
+    let mut out = xhat.clone();
+    for ni in 0..n {
+        for ci in 0..c {
+            let off = ((ni * c + ci) * h) * w;
+            for p in 0..h * w {
+                out.as_mut_slice()[off + p] =
+                    out.as_slice()[off + p] * gval.as_slice()[ci] + bval.as_slice()[ci];
+            }
+        }
+    }
+    let xhat_saved = xhat;
+    let inv_std_saved = inv_std;
+    let mean_out = mean.clone();
+    let var_out = var.clone();
+    let node = x.graph().custom(
+        &[x, gamma, beta],
+        out,
+        Box::new(move |g| {
+            let mut dgamma = Tensor::zeros(&[c]);
+            let mut dbeta = Tensor::zeros(&[c]);
+            let mut dx = Tensor::zeros(&[n, c, h, w]);
+            for ci in 0..c {
+                let mut sum_g = 0.0;
+                let mut sum_gx = 0.0;
+                for ni in 0..n {
+                    let off = ((ni * c + ci) * h) * w;
+                    for p in 0..h * w {
+                        let gi = g.as_slice()[off + p];
+                        sum_g += gi;
+                        sum_gx += gi * xhat_saved.as_slice()[off + p];
+                    }
+                }
+                dbeta.as_mut_slice()[ci] = sum_g;
+                dgamma.as_mut_slice()[ci] = sum_gx;
+                let gam = gval.as_slice()[ci];
+                for ni in 0..n {
+                    let off = ((ni * c + ci) * h) * w;
+                    for p in 0..h * w {
+                        let gi = g.as_slice()[off + p];
+                        let xh = xhat_saved.as_slice()[off + p];
+                        dx.as_mut_slice()[off + p] = if training {
+                            gam * inv_std_saved[ci] * (gi - sum_g / per - xh * sum_gx / per)
+                        } else {
+                            gam * inv_std_saved[ci] * gi
+                        };
+                    }
+                }
+            }
+            vec![Some(dx), Some(dgamma), Some(dbeta)]
+        }),
+    );
+    (node, mean_out, var_out)
+}
+
+/// Batch normalization over NCHW batches (per-channel statistics).
+pub struct BatchNorm2d {
+    gamma: ParamId,
+    beta: ParamId,
+    running_mean: Vec<f64>,
+    running_var: Vec<f64>,
+    momentum: f64,
+    eps: f64,
+    channels: usize,
+}
+
+impl BatchNorm2d {
+    /// Registers a batch-norm layer for `channels` feature maps.
+    pub fn new(store: &mut ParamStore, name: &str, channels: usize) -> Self {
+        Self {
+            gamma: store.register(format!("{name}.gamma"), Tensor::ones(&[channels]), 0.0),
+            beta: store.register(format!("{name}.beta"), Tensor::zeros(&[channels]), 0.0),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+            channels,
+        }
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward<'g>(&mut self, ctx: &ForwardCtx<'g, '_>, x: Var<'g>) -> Var<'g> {
+        assert_eq!(x.shape()[1], self.channels, "channel mismatch");
+        let gamma = ctx.param(self.gamma);
+        let beta = ctx.param(self.beta);
+        let (y, mean, var) = batch_norm2d_op(
+            x,
+            gamma,
+            beta,
+            ctx.training,
+            Some((&self.running_mean, &self.running_var)),
+            self.eps,
+        );
+        if ctx.training {
+            for ci in 0..self.channels {
+                self.running_mean[ci] =
+                    (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean[ci];
+                self.running_var[ci] =
+                    (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var[ci];
+            }
+        }
+        y
+    }
+
+    fn param_ids(&self) -> Vec<ParamId> {
+        vec![self.gamma, self.beta]
+    }
+}
+
+/// Average pooling with square window and equal stride.
+#[derive(Debug, Clone, Copy)]
+pub struct AvgPool2d {
+    kernel: usize,
+}
+
+impl AvgPool2d {
+    /// Creates a pool with window `kernel` (stride = kernel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel == 0`.
+    pub fn new(kernel: usize) -> Self {
+        assert!(kernel > 0, "kernel must be positive");
+        Self { kernel }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward<'g>(&mut self, ctx: &ForwardCtx<'g, '_>, x: Var<'g>) -> Var<'g> {
+        let v = x.value();
+        assert_eq!(v.rank(), 4, "AvgPool2d expects NCHW");
+        let (n, c, h, w) = (v.shape()[0], v.shape()[1], v.shape()[2], v.shape()[3]);
+        let k = self.kernel;
+        assert!(h >= k && w >= k, "pool window {k} larger than input {h}x{w}");
+        let (oh, ow) = (h / k, w / k);
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        for ni in 0..n {
+            for ci in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut s = 0.0;
+                        for dy in 0..k {
+                            for dx in 0..k {
+                                s += v.at(&[ni, ci, oy * k + dy, ox * k + dx]);
+                            }
+                        }
+                        *out.at_mut(&[ni, ci, oy, ox]) = s / (k * k) as f64;
+                    }
+                }
+            }
+        }
+        ctx.graph.custom(
+            &[x],
+            out,
+            Box::new(move |g| {
+                let mut dx = Tensor::zeros(&[n, c, h, w]);
+                let scale = 1.0 / (k * k) as f64;
+                for ni in 0..n {
+                    for ci in 0..c {
+                        for oy in 0..(h / k) {
+                            for ox in 0..(w / k) {
+                                let gi = g.at(&[ni, ci, oy, ox]) * scale;
+                                for dy in 0..k {
+                                    for dx2 in 0..k {
+                                        *dx.at_mut(&[ni, ci, oy * k + dy, ox * k + dx2]) += gi;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                vec![Some(dx)]
+            }),
+        )
+    }
+}
+
+/// Max pooling with square window and equal stride.
+#[derive(Debug, Clone, Copy)]
+pub struct MaxPool2d {
+    kernel: usize,
+}
+
+impl MaxPool2d {
+    /// Creates a pool with window `kernel` (stride = kernel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel == 0`.
+    pub fn new(kernel: usize) -> Self {
+        assert!(kernel > 0, "kernel must be positive");
+        Self { kernel }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward<'g>(&mut self, ctx: &ForwardCtx<'g, '_>, x: Var<'g>) -> Var<'g> {
+        let v = x.value();
+        assert_eq!(v.rank(), 4, "MaxPool2d expects NCHW");
+        let (n, c, h, w) = (v.shape()[0], v.shape()[1], v.shape()[2], v.shape()[3]);
+        let k = self.kernel;
+        assert!(h >= k && w >= k, "pool window {k} larger than input {h}x{w}");
+        let (oh, ow) = (h / k, w / k);
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let mut argmax = vec![0usize; n * c * oh * ow];
+        for ni in 0..n {
+            for ci in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f64::NEG_INFINITY;
+                        let mut best_off = 0;
+                        for dy in 0..k {
+                            for dx in 0..k {
+                                let off = ((ni * c + ci) * h + oy * k + dy) * w + ox * k + dx;
+                                if v.as_slice()[off] > best {
+                                    best = v.as_slice()[off];
+                                    best_off = off;
+                                }
+                            }
+                        }
+                        *out.at_mut(&[ni, ci, oy, ox]) = best;
+                        argmax[((ni * c + ci) * oh + oy) * ow + ox] = best_off;
+                    }
+                }
+            }
+        }
+        ctx.graph.custom(
+            &[x],
+            out,
+            Box::new(move |g| {
+                let mut dx = Tensor::zeros(&[n, c, h, w]);
+                for (i, &off) in argmax.iter().enumerate() {
+                    dx.as_mut_slice()[off] += g.as_slice()[i];
+                }
+                vec![Some(dx)]
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adept_autodiff::{check_gradients, Graph};
+
+    #[test]
+    fn linear_forward_shape_and_grad() {
+        let mut store = ParamStore::new();
+        let mut lin = Linear::new(&mut store, "fc", 4, 3, 0);
+        let graph = Graph::new();
+        let ctx = ForwardCtx::new(&graph, &store, true, 0);
+        let x = graph.constant(Tensor::ones(&[2, 4]));
+        let y = lin.forward(&ctx, x);
+        assert_eq!(y.shape(), vec![2, 3]);
+        let grads = graph.backward(y.sum());
+        let updates = ctx.into_param_grads(&grads);
+        store.accumulate_many(&updates);
+        assert!(store.grad(lin.param_ids()[0]).norm() > 0.0);
+        assert_eq!(store.grad(lin.param_ids()[1]).as_slice(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn conv_matches_im2col_reference() {
+        let geom = Conv2dGeometry {
+            in_channels: 2,
+            in_h: 5,
+            in_w: 5,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let mut store = ParamStore::new();
+        let mut conv = Conv2d::new(&mut store, "c", geom, 4, 1);
+        let graph = Graph::new();
+        let ctx = ForwardCtx::new(&graph, &store, true, 0);
+        let xval = Tensor::linspace(-1.0, 1.0, 50).reshape(&[1, 2, 5, 5]);
+        let x = graph.constant(xval.clone());
+        let y = conv.forward(&ctx, x);
+        assert_eq!(y.shape(), vec![1, 4, 5, 5]);
+        // Reference: weight · im2col + bias.
+        let wv = store.value(conv.param_ids()[0]).clone();
+        let cols = im2col(&xval, &geom);
+        let want = wv.matmul(&cols);
+        for oc in 0..4 {
+            for p in 0..25 {
+                let got = y.value().at(&[0, oc, p / 5, p % 5]);
+                assert!((got - want.at(&[oc, p])).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn conv_gradcheck() {
+        let geom = Conv2dGeometry {
+            in_channels: 1,
+            in_h: 4,
+            in_w: 4,
+            kernel: 3,
+            stride: 1,
+            padding: 0,
+        };
+        let x = Tensor::linspace(-1.0, 1.0, 16).reshape(&[1, 1, 4, 4]);
+        let w = Tensor::linspace(0.5, -0.5, 9).reshape(&[1, 9]);
+        check_gradients(
+            |g, vars| {
+                let cols = im2col_var(vars[0], geom);
+                let y = Var::matmul(vars[1], cols);
+                let _ = g;
+                y.square().sum()
+            },
+            &[x, w],
+            1e-6,
+            1e-6,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn batchnorm_normalizes_and_gradchecks() {
+        let mut store = ParamStore::new();
+        let mut bn = BatchNorm2d::new(&mut store, "bn", 2);
+        let graph = Graph::new();
+        let ctx = ForwardCtx::new(&graph, &store, true, 0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let xv = Tensor::rand_normal(&mut rng, &[4, 2, 3, 3], 3.0, 2.0);
+        let x = graph.constant(xv);
+        let y = bn.forward(&ctx, x).value();
+        // Per-channel output stats ≈ (0, 1).
+        for c in 0..2 {
+            let mut vals = Vec::new();
+            for n in 0..4 {
+                for i in 0..3 {
+                    for j in 0..3 {
+                        vals.push(y.at(&[n, c, i, j]));
+                    }
+                }
+            }
+            let m: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
+            let v: f64 = vals.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / vals.len() as f64;
+            assert!(m.abs() < 1e-9, "mean {m}");
+            assert!((v - 1.0).abs() < 1e-3, "var {v}");
+        }
+        // Gradient check of the primitive in both training and eval modes.
+        let xv = Tensor::rand_normal(&mut rng, &[2, 2, 2, 2], 0.0, 1.0);
+        let gamma = Tensor::from_vec(vec![1.2, 0.8], &[2]);
+        let beta = Tensor::from_vec(vec![0.1, -0.2], &[2]);
+        check_gradients(
+            |_, vars| {
+                let (y, _, _) = batch_norm2d_op(vars[0], vars[1], vars[2], true, None, 1e-5);
+                y.square().sum()
+            },
+            &[xv.clone(), gamma.clone(), beta.clone()],
+            1e-5,
+            1e-4,
+        )
+        .unwrap();
+        let rm = [0.3, -0.1];
+        let rv = [1.5, 0.7];
+        check_gradients(
+            |_, vars| {
+                let (y, _, _) =
+                    batch_norm2d_op(vars[0], vars[1], vars[2], false, Some((&rm, &rv)), 1e-5);
+                y.square().sum()
+            },
+            &[xv, gamma, beta],
+            1e-5,
+            1e-5,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn avg_and_max_pool() {
+        let mut store = ParamStore::new();
+        let graph = Graph::new();
+        let ctx = ForwardCtx::new(&graph, &store, true, 0);
+        let x = graph.leaf(Tensor::linspace(1.0, 16.0, 16).reshape(&[1, 1, 4, 4]));
+        let mut avg = AvgPool2d::new(2);
+        let y = avg.forward(&ctx, x);
+        assert_eq!(y.shape(), vec![1, 1, 2, 2]);
+        assert!((y.value().at(&[0, 0, 0, 0]) - 3.5).abs() < 1e-12);
+        let mut maxp = MaxPool2d::new(2);
+        let ym = maxp.forward(&ctx, x);
+        assert_eq!(ym.value().at(&[0, 0, 0, 0]), 6.0);
+        assert_eq!(ym.value().at(&[0, 0, 1, 1]), 16.0);
+        // Max-pool gradient lands on the argmax only.
+        let grads = graph.backward(ym.sum());
+        let gx = grads.grad(x).unwrap();
+        assert_eq!(gx.at(&[0, 0, 1, 1]), 1.0);
+        assert_eq!(gx.at(&[0, 0, 0, 0]), 0.0);
+        let _ = store.ids();
+        store.zero_grads();
+    }
+
+    #[test]
+    fn pooling_gradchecks() {
+        let x = Tensor::linspace(-2.0, 2.0, 16).reshape(&[1, 1, 4, 4]);
+        check_gradients(
+            |g, vars| {
+                let st = ParamStore::new();
+                let ctx = ForwardCtx::new(g, &st, true, 0);
+                AvgPool2d::new(2).forward(&ctx, vars[0]).square().sum()
+            },
+            &[x.clone()],
+            1e-6,
+            1e-6,
+        )
+        .unwrap();
+        check_gradients(
+            |g, vars| {
+                let st = ParamStore::new();
+                let ctx = ForwardCtx::new(g, &st, true, 0);
+                MaxPool2d::new(2).forward(&ctx, vars[0]).square().sum()
+            },
+            &[x],
+            1e-6,
+            1e-6,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn sequential_composes() {
+        let mut store = ParamStore::new();
+        let mut seq = Sequential::new();
+        seq.push(Box::new(Flatten));
+        seq.push(Box::new(Linear::new(&mut store, "fc", 8, 4, 1)));
+        seq.push(Box::new(Relu));
+        assert_eq!(seq.len(), 3);
+        assert_eq!(seq.param_ids().len(), 2);
+        let graph = Graph::new();
+        let ctx = ForwardCtx::new(&graph, &store, false, 0);
+        let x = graph.constant(Tensor::ones(&[3, 2, 2, 2]));
+        let y = seq.forward(&ctx, x);
+        assert_eq!(y.shape(), vec![3, 4]);
+        assert!(y.value().min() >= 0.0, "relu output must be non-negative");
+    }
+}

@@ -1,0 +1,27 @@
+//! Neural-network stack for the ADEPT reproduction.
+//!
+//! Provides everything the paper's experiments train:
+//!
+//! * [`ParamStore`]/[`ForwardCtx`] — parameter registry bridging persistent
+//!   weights to the per-step autodiff tape;
+//! * [`layers`] — electronic layers (Conv2d, BatchNorm2d, ReLU, pooling,
+//!   Linear, Flatten) lowered onto the tape;
+//! * [`onn`] — photonic layers: [`onn::PtcWeight`] materializes a weight
+//!   matrix from `K×K` tiles `Re(U·Σ·V)` with block-mesh unitaries
+//!   (paper Eq. 1–2), [`onn::OnnLinear`]/[`onn::OnnConv2d`] use it, and
+//!   [`onn::MziLinear`] is the universal MZI-ONN baseline with
+//!   decompose–perturb–reconstruct phase-noise simulation;
+//! * [`models`] — the paper's proxy 2-layer CNN, LeNet-5 and VGG-8, all
+//!   parametrized by a photonic backend;
+//! * [`optim`] — Adam/SGD with cosine learning-rate schedule;
+//! * [`train`] — training/eval loops including variation-aware training
+//!   (Gaussian phase noise injected during training, paper §4.1).
+
+pub mod layers;
+pub mod models;
+pub mod onn;
+pub mod optim;
+mod param;
+pub mod train;
+
+pub use param::{ForwardCtx, ParamId, ParamStore};

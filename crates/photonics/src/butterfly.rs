@@ -1,0 +1,185 @@
+//! The FFT-ONN butterfly topology (Gu et al., ASPDAC'20 / TCAD'20).
+//!
+//! A `k`-port butterfly mesh has `log2(k)` stages. Stage `s` (blocks of size
+//! `m = 2^{s+1}`) must interfere waveguide `i` with waveguide `i + m/2`; the
+//! crossing network that brings those pairs adjacent is the *riffle*
+//! permutation within each block, costing `(m/2)·(m/2−1)/2` crossings per
+//! block. Summed over stages this reproduces the #CR cells of the paper's
+//! tables exactly (8×8 → 16, 16×16 → 88, 32×32 → 416 for the full PTC).
+
+use crate::topology::{BlockMeshTopology, MeshBlock};
+use adept_linalg::Permutation;
+
+/// The riffle permutation on `m` elements as an image vector: output `2t`
+/// reads input `t`, output `2t+1` reads input `m/2 + t`.
+///
+/// # Panics
+///
+/// Panics unless `m` is even.
+pub fn riffle_image(m: usize) -> Vec<usize> {
+    assert!(m % 2 == 0, "riffle needs an even size");
+    let half = m / 2;
+    let mut image = Vec::with_capacity(m);
+    for t in 0..half {
+        image.push(t);
+        image.push(half + t);
+    }
+    image
+}
+
+/// The stage-`s` butterfly permutation on `k` waveguides: a riffle within
+/// every block of size `2^{s+1}`.
+///
+/// Stage 0 pairs adjacent waveguides (identity routing); higher stages route
+/// strided pairs together.
+///
+/// # Panics
+///
+/// Panics unless `k` is a power of two and the stage fits (`2^{s+1} ≤ k`).
+pub fn butterfly_stage_permutation(k: usize, stage: usize) -> Permutation {
+    assert!(k.is_power_of_two() && k >= 2, "k must be a power of two ≥ 2");
+    let m = 1usize << (stage + 1);
+    assert!(m <= k, "stage {stage} too large for k = {k}");
+    let mut image = Vec::with_capacity(k);
+    for block in 0..(k / m) {
+        for v in riffle_image(m) {
+            image.push(block * m + v);
+        }
+    }
+    Permutation::from_vec(image).expect("riffle construction is a bijection")
+}
+
+/// Number of crossings in the stage-`s` butterfly permutation:
+/// `(k/m)·(m/2)(m/2−1)/2` with `m = 2^{s+1}`.
+pub fn butterfly_stage_crossings(k: usize, stage: usize) -> usize {
+    let m = 1usize << (stage + 1);
+    let half = m / 2;
+    (k / m) * half * (half - 1) / 2
+}
+
+/// Builds the full butterfly topology for one unitary: `log2(k)` blocks,
+/// each with a full coupler column and the stage's riffle crossings.
+///
+/// # Panics
+///
+/// Panics unless `k` is a power of two of at least 2.
+pub fn butterfly_topology(k: usize) -> BlockMeshTopology {
+    assert!(k.is_power_of_two() && k >= 2, "k must be a power of two ≥ 2");
+    let stages = k.trailing_zeros() as usize;
+    // In a PS→DC→CR block the crossing network follows the couplers, so each
+    // block's riffle prepares the *next* block's coupler pairs. Input-side
+    // block couples adjacent pairs then riffles stride-2 pairs together,
+    // and so on; the output-side block needs no routing. Blocks are stored
+    // leftmost (output-side) factor first.
+    let mut blocks = Vec::with_capacity(stages);
+    blocks.push(MeshBlock {
+        dc_start: 0,
+        couplers: vec![true; k / 2],
+        perm: Permutation::identity(k),
+    });
+    for s in (1..stages).rev() {
+        blocks.push(MeshBlock {
+            dc_start: 0,
+            couplers: vec![true; k / 2],
+            perm: butterfly_stage_permutation(k, s),
+        });
+    }
+    BlockMeshTopology::new(k, blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::DeviceCount;
+    use crate::pdk::Pdk;
+
+    #[test]
+    fn riffle_small_cases() {
+        assert_eq!(riffle_image(2), vec![0, 1]);
+        assert_eq!(riffle_image(4), vec![0, 2, 1, 3]);
+        assert_eq!(riffle_image(8), vec![0, 4, 1, 5, 2, 6, 3, 7]);
+    }
+
+    #[test]
+    fn stage_zero_is_identity() {
+        assert!(butterfly_stage_permutation(8, 0).is_identity());
+    }
+
+    #[test]
+    fn stage_crossings_match_inversion_count() {
+        for k in [4usize, 8, 16, 32] {
+            let stages = k.trailing_zeros() as usize;
+            for s in 0..stages {
+                let p = butterfly_stage_permutation(k, s);
+                assert_eq!(
+                    p.crossing_count(),
+                    butterfly_stage_crossings(k, s),
+                    "k={k} stage={s}"
+                );
+            }
+        }
+    }
+
+    /// The FFT-ONN #CR/#DC/#Blk cells of paper Tables 1–2, per PTC
+    /// (two unitaries).
+    #[test]
+    fn ptc_counts_match_paper_tables() {
+        for (k, cr, dc, blk) in [(8usize, 16usize, 24usize, 6usize), (16, 88, 64, 8), (32, 416, 160, 10)] {
+            let topo = butterfly_topology(k);
+            let ptc = topo.ptc_device_count(&topo);
+            assert_eq!(ptc.cr, cr, "k={k} crossings");
+            assert_eq!(ptc.dc, dc, "k={k} couplers");
+            assert_eq!(ptc.blocks, blk, "k={k} blocks");
+            assert_eq!(ptc.ps, k * blk, "k={k} phase shifters");
+        }
+    }
+
+    /// The FFT-ONN footprint cells of paper Tables 1–2.
+    #[test]
+    fn ptc_footprints_match_paper_tables() {
+        let footprint = |k: usize, pdk: &Pdk| -> f64 {
+            let topo = butterfly_topology(k);
+            let c: DeviceCount = topo.ptc_device_count(&topo);
+            c.footprint_kum2(pdk)
+        };
+        let amf = Pdk::amf();
+        assert_eq!(footprint(8, &amf).round(), 363.0);
+        assert_eq!(footprint(16, &amf).round(), 972.0);
+        assert_eq!(footprint(32, &amf).round(), 2443.0);
+        assert_eq!(footprint(16, &Pdk::aim()).round(), 1007.0);
+    }
+
+    #[test]
+    fn butterfly_unitary_is_unitary() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(21);
+        let topo = butterfly_topology(16);
+        let phases: Vec<Vec<f64>> = (0..topo.blocks().len())
+            .map(|_| (0..16).map(|_| rng.gen_range(-3.0..3.0)).collect())
+            .collect();
+        let u = topo.unitary(&phases);
+        assert!(u.is_unitary(1e-10));
+    }
+
+    #[test]
+    fn butterfly_mixes_all_inputs() {
+        // With zero phases, the butterfly spreads a single input across all
+        // outputs (full connectivity in log2(k) stages).
+        let topo = butterfly_topology(8);
+        let phases = vec![vec![0.0; 8]; 3];
+        let u = topo.unitary(&phases);
+        for j in 0..8 {
+            let col_energy: f64 = (0..8).map(|i| u[(i, j)].norm_sqr()).sum();
+            assert!((col_energy - 1.0).abs() < 1e-10);
+            let nonzero = (0..8).filter(|&i| u[(i, j)].abs() > 1e-9).count();
+            assert!(nonzero == 8, "column {j} touches {nonzero} outputs");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = butterfly_topology(12);
+    }
+}

@@ -1,0 +1,287 @@
+//! MZI-mesh (Clements/Reck) substrate: universal unitary decomposition into
+//! adjacent 2×2 rotations.
+//!
+//! The MZI-ONN baseline [Shen et al., Nature Photonics'17] parametrizes each
+//! weight tile as `U·Σ·V` with `U`, `V` realized by triangular/rectangular
+//! MZI meshes. Universality rests on the fact that any unitary factors into
+//! adjacent-waveguide 2×2 rotations; this module implements that
+//! decomposition (Reck-style, via complex Givens elimination) and its exact
+//! reconstruction. The robustness experiments (Fig. 4) perturb the rotation
+//! phases to model per-MZI phase drift.
+
+use adept_linalg::{C64, CMatrix};
+
+/// One adjacent 2×2 rotation acting on waveguides `(wire, wire+1)`,
+/// parametrized by a mixing angle `θ` and a relative phase `φ` — the two
+/// programmable phase shifts of an MZI.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdjacentRotation {
+    /// Upper waveguide index.
+    pub wire: usize,
+    /// Mixing angle.
+    pub theta: f64,
+    /// Relative phase.
+    pub phi: f64,
+}
+
+impl AdjacentRotation {
+    /// The 2×2 unitary `[[cosθ, -e^{-jφ}·sinθ], [e^{jφ}·sinθ, cosθ]]`.
+    pub fn matrix2(&self) -> [[C64; 2]; 2] {
+        let (s, c) = self.theta.sin_cos();
+        [
+            [C64::new(c, 0.0), -C64::cis(-self.phi) * s],
+            [C64::cis(self.phi) * s, C64::new(c, 0.0)],
+        ]
+    }
+
+    /// Embeds the rotation into an `n×n` identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wire + 1 >= n`.
+    pub fn embed(&self, n: usize) -> CMatrix {
+        assert!(self.wire + 1 < n, "rotation exceeds mesh size");
+        let mut m = CMatrix::identity(n);
+        let r = self.matrix2();
+        let (a, b) = (self.wire, self.wire + 1);
+        m[(a, a)] = r[0][0];
+        m[(a, b)] = r[0][1];
+        m[(b, a)] = r[1][0];
+        m[(b, b)] = r[1][1];
+        m
+    }
+}
+
+/// A unitary decomposed into adjacent rotations and a final phase screen:
+/// `U = R_1 · R_2 · … · R_m · diag(e^{jδ})`.
+#[derive(Debug, Clone)]
+pub struct MeshDecomposition {
+    /// Mesh size.
+    pub n: usize,
+    /// Rotations, leftmost factor first.
+    pub rotations: Vec<AdjacentRotation>,
+    /// Output phase screen (unit-modulus diagonal).
+    pub phases: Vec<C64>,
+}
+
+impl MeshDecomposition {
+    /// Multiplies the factors back into a unitary.
+    ///
+    /// Each adjacent rotation only touches two rows, so reconstruction runs
+    /// in `O(#rotations · n)` rather than via full matrix products — this
+    /// is the hot path of the noise-robustness sweeps.
+    pub fn reconstruct(&self) -> CMatrix {
+        let n = self.n;
+        let mut m = CMatrix::from_diag(&self.phases);
+        for r in self.rotations.iter().rev() {
+            let g = r.matrix2();
+            let (a, b) = (r.wire, r.wire + 1);
+            for j in 0..n {
+                let top = m[(a, j)];
+                let bot = m[(b, j)];
+                m[(a, j)] = g[0][0] * top + g[0][1] * bot;
+                m[(b, j)] = g[1][0] * top + g[1][1] * bot;
+            }
+        }
+        m
+    }
+
+    /// Returns a copy with every rotation's `θ` and `φ` perturbed by the
+    /// supplied noise sampler (models per-MZI phase drift).
+    pub fn perturbed(&self, mut noise: impl FnMut() -> f64) -> MeshDecomposition {
+        let rotations = self
+            .rotations
+            .iter()
+            .map(|r| AdjacentRotation {
+                wire: r.wire,
+                theta: r.theta + noise(),
+                phi: r.phi + noise(),
+            })
+            .collect();
+        MeshDecomposition {
+            n: self.n,
+            rotations,
+            phases: self.phases.clone(),
+        }
+    }
+}
+
+/// Decomposes a unitary into adjacent rotations (Reck-style Givens
+/// elimination) plus an output phase screen.
+///
+/// Works column by column, eliminating sub-diagonal entries bottom-up with
+/// rotations on adjacent rows; the residue of a unitary with zeroed
+/// sub-diagonal is a unit-modulus diagonal.
+///
+/// The number of rotations is exactly `n(n-1)/2` — the MZI count of a
+/// triangular mesh.
+///
+/// # Panics
+///
+/// Panics if `u` is not square or not unitary within `1e-8`.
+///
+/// # Examples
+///
+/// ```
+/// use adept_photonics::clements::decompose;
+/// use adept_linalg::CMatrix;
+///
+/// let u = CMatrix::identity(4);
+/// let d = decompose(&u);
+/// assert_eq!(d.rotations.len(), 6); // n(n-1)/2
+/// assert!(d.reconstruct().fro_dist(&u) < 1e-10);
+/// ```
+pub fn decompose(u: &CMatrix) -> MeshDecomposition {
+    assert_eq!(u.rows(), u.cols(), "decompose expects a square matrix");
+    let n = u.rows();
+    assert!(
+        u.is_unitary(1e-8),
+        "decompose expects a unitary matrix (error {})",
+        u.unitarity_error()
+    );
+    let mut w = u.clone();
+    // Givens factors applied on the left, in application order.
+    let mut applied: Vec<AdjacentRotation> = Vec::with_capacity(n * (n - 1) / 2);
+    for col in 0..n.saturating_sub(1) {
+        for row in ((col + 1)..n).rev() {
+            let x = w[(row - 1, col)];
+            let y = w[(row, col)];
+            if y.abs() < 1e-300 {
+                // Record an identity rotation to keep the mesh shape fixed.
+                applied.push(AdjacentRotation {
+                    wire: row - 1,
+                    theta: 0.0,
+                    phi: 0.0,
+                });
+                continue;
+            }
+            // Choose θ, φ so that G = [[c, e^{-jφ}s], [-e^{jφ}s, c]]
+            // applied to rows (row-1, row) zeroes w[row][col].
+            // Write x = |x|e^{jα}, y = |y|e^{jβ}. Rotated bottom entry:
+            //   -e^{jφ}s·x + c·y = 0  ⇒  tanθ = |y|/|x|, φ = β - α.
+            let theta = y.abs().atan2(x.abs());
+            let phi = y.arg() - x.arg();
+            let (s, c) = theta.sin_cos();
+            let g_top = [C64::new(c, 0.0), C64::cis(-phi) * s];
+            let g_bot = [-C64::cis(phi) * s, C64::new(c, 0.0)];
+            for j in 0..n {
+                let top = w[(row - 1, j)];
+                let bot = w[(row, j)];
+                w[(row - 1, j)] = g_top[0] * top + g_top[1] * bot;
+                w[(row, j)] = g_bot[0] * top + g_bot[1] * bot;
+            }
+            applied.push(AdjacentRotation {
+                wire: row - 1,
+                theta,
+                phi,
+            });
+        }
+    }
+    // w is now diagonal (unit modulus). U = G₁ᴴ·G₂ᴴ·…·G_mᴴ·D.
+    let phases: Vec<C64> = (0..n).map(|i| w[(i, i)]).collect();
+    // Gᴴ for G(θ, φ) is the rotation [[c, -e^{-jφ}s], [e^{jφ}s, c]] — our
+    // AdjacentRotation::matrix2 with the same (θ, φ).
+    let rotations = applied
+        .into_iter()
+        .map(|g| AdjacentRotation {
+            wire: g.wire,
+            theta: g.theta,
+            phi: g.phi,
+        })
+        .collect();
+    MeshDecomposition {
+        n,
+        rotations,
+        phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adept_linalg::Permutation;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A Haar-ish random unitary built by composing random adjacent
+    /// rotations and phases (sufficient for reconstruction tests).
+    fn random_unitary(rng: &mut StdRng, n: usize) -> CMatrix {
+        let mut m = CMatrix::from_diag(
+            &(0..n).map(|_| C64::cis(rng.gen_range(-3.0..3.0))).collect::<Vec<_>>(),
+        );
+        for _ in 0..(3 * n * n) {
+            let r = AdjacentRotation {
+                wire: rng.gen_range(0..n - 1),
+                theta: rng.gen_range(-3.0..3.0),
+                phi: rng.gen_range(-3.0..3.0),
+            };
+            m = r.embed(n).matmul(&m);
+        }
+        m
+    }
+
+    #[test]
+    fn rotation_embed_is_unitary() {
+        let r = AdjacentRotation {
+            wire: 1,
+            theta: 0.7,
+            phi: -1.3,
+        };
+        assert!(r.embed(4).is_unitary(1e-12));
+    }
+
+    #[test]
+    fn decompose_identity() {
+        let d = decompose(&CMatrix::identity(5));
+        assert_eq!(d.rotations.len(), 10);
+        assert!(d.rotations.iter().all(|r| r.theta.abs() < 1e-12));
+        assert!(d.reconstruct().fro_dist(&CMatrix::identity(5)) < 1e-10);
+    }
+
+    #[test]
+    fn decompose_reconstructs_random_unitaries() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for n in [2usize, 3, 5, 8, 16] {
+            let u = random_unitary(&mut rng, n);
+            let d = decompose(&u);
+            assert_eq!(d.rotations.len(), n * (n - 1) / 2, "n={n}");
+            let err = d.reconstruct().fro_dist(&u);
+            assert!(err < 1e-9, "n={n} err={err}");
+        }
+    }
+
+    #[test]
+    fn decompose_permutation_matrix() {
+        // Permutations are unitary; the mesh must reproduce them exactly.
+        let mut rng = StdRng::seed_from_u64(23);
+        let p = Permutation::random(&mut rng, 6);
+        let mut u = CMatrix::zeros(6, 6);
+        for (i, &j) in p.as_slice().iter().enumerate() {
+            u[(i, j)] = C64::ONE;
+        }
+        let d = decompose(&u);
+        assert!(d.reconstruct().fro_dist(&u) < 1e-9);
+    }
+
+    #[test]
+    fn perturbation_grows_with_noise() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let u = random_unitary(&mut rng, 8);
+        let d = decompose(&u);
+        let mut err_small = 0.0;
+        let mut err_large = 0.0;
+        for seed in 0..5 {
+            let mut r1 = StdRng::seed_from_u64(100 + seed);
+            let mut r2 = StdRng::seed_from_u64(100 + seed);
+            let small = d.perturbed(|| r1.gen_range(-0.02..0.02));
+            let large = d.perturbed(|| r2.gen_range(-0.2..0.2));
+            err_small += small.reconstruct().fro_dist(&u);
+            err_large += large.reconstruct().fro_dist(&u);
+        }
+        assert!(err_small < err_large, "{err_small} vs {err_large}");
+        // Perturbed meshes stay unitary — phase noise never breaks passivity.
+        let mut r = StdRng::seed_from_u64(7);
+        let noisy = d.perturbed(|| r.gen_range(-0.1..0.1));
+        assert!(noisy.reconstruct().is_unitary(1e-9));
+    }
+}

@@ -1,0 +1,173 @@
+//! Device accounting and the footprint model (paper Eq. 15–16).
+
+use crate::pdk::Pdk;
+use std::ops::Add;
+
+/// Device counts of a photonic tensor core or mesh: the `#PS/#DC/#CR/#Blk`
+/// columns of the paper's Tables 1–2.
+///
+/// # Examples
+///
+/// ```
+/// use adept_photonics::{DeviceCount, Pdk};
+///
+/// // The 8×8 MZI-ONN row of Table 1: footprint 1909 (in 1000 µm²).
+/// let mzi = DeviceCount::mzi_ptc(8);
+/// assert_eq!((mzi.cr, mzi.dc, mzi.blocks), (0, 112, 32));
+/// assert_eq!(mzi.footprint_kum2(&Pdk::amf()).round(), 1909.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeviceCount {
+    /// Phase shifters.
+    pub ps: usize,
+    /// Directional couplers.
+    pub dc: usize,
+    /// Waveguide crossings.
+    pub cr: usize,
+    /// PS→DC→CR blocks (the paper's `#Blk`).
+    pub blocks: usize,
+}
+
+impl DeviceCount {
+    /// Creates a count.
+    pub fn new(ps: usize, dc: usize, cr: usize, blocks: usize) -> Self {
+        Self { ps, dc, cr, blocks }
+    }
+
+    /// Device count of a `k×k` MZI-ONN photonic tensor core (both unitaries
+    /// of the SVD parametrization), in the paper's accounting convention:
+    /// `#Blk = 4k` (each MZI column contributes two PS/DC block columns per
+    /// unitary), `#PS = k·#Blk` and `#DC = 2k(k−1)`.
+    pub fn mzi_ptc(k: usize) -> Self {
+        let blocks = 4 * k;
+        Self {
+            ps: k * blocks,
+            dc: 2 * k * (k - 1),
+            cr: 0,
+            blocks,
+        }
+    }
+
+    /// Footprint in µm² under `pdk`.
+    pub fn footprint_um2(&self, pdk: &Pdk) -> f64 {
+        self.ps as f64 * pdk.ps_um2 + self.dc as f64 * pdk.dc_um2 + self.cr as f64 * pdk.cr_um2
+    }
+
+    /// Footprint in the paper's reporting unit (1000 µm²).
+    pub fn footprint_kum2(&self, pdk: &Pdk) -> f64 {
+        self.footprint_um2(pdk) / 1000.0
+    }
+}
+
+impl Add for DeviceCount {
+    type Output = DeviceCount;
+    fn add(self, rhs: DeviceCount) -> DeviceCount {
+        DeviceCount {
+            ps: self.ps + rhs.ps,
+            dc: self.dc + rhs.dc,
+            cr: self.cr + rhs.cr,
+            blocks: self.blocks + rhs.blocks,
+        }
+    }
+}
+
+/// Analytical SuperMesh block-count bounds (paper Eq. 16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockBounds {
+    /// Minimum total block count `B_min` (over `U` and `V` together).
+    pub b_min: usize,
+    /// Maximum total block count `B_max`.
+    pub b_max: usize,
+}
+
+/// Computes `B_min`/`B_max` for PTC size `k` under a footprint window
+/// `[f_min_kum2, f_max_kum2]` (in 1000 µm²), per Eq. 16:
+///
+/// ```text
+/// F_b,min = K·F_PS + F_DC
+/// F_b,max = F_b,min + K·F_DC/2 + K(K−1)·F_CR/2
+/// B_max = ⌈F_max / F_b,min⌉,   B_min = ⌊F_min / F_b,max⌋
+/// ```
+///
+/// # Panics
+///
+/// Panics if the window is empty or non-positive.
+pub fn block_count_bounds(k: usize, pdk: &Pdk, f_min_kum2: f64, f_max_kum2: f64) -> BlockBounds {
+    assert!(
+        f_max_kum2 >= f_min_kum2 && f_min_kum2 > 0.0,
+        "invalid footprint window [{f_min_kum2}, {f_max_kum2}]"
+    );
+    let kf = k as f64;
+    let fb_min = kf * pdk.ps_kum2() + pdk.dc_kum2();
+    let fb_max = fb_min + kf * pdk.dc_kum2() / 2.0 + kf * (kf - 1.0) * pdk.cr_kum2() / 2.0;
+    let b_max = (f_max_kum2 / fb_min).ceil() as usize;
+    let b_min = (f_min_kum2 / fb_max).floor() as usize;
+    BlockBounds {
+        b_min: b_min.max(2).min(b_max), // need at least one block per unitary
+        b_max: b_max.max(2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Footprint cells for MZI-ONN in paper Table 1 (AMF) and Table 2 (AIM).
+    #[test]
+    fn mzi_footprints_match_paper_tables() {
+        let amf = Pdk::amf();
+        assert_eq!(DeviceCount::mzi_ptc(8).footprint_kum2(&amf).round(), 1909.0);
+        assert_eq!(DeviceCount::mzi_ptc(16).footprint_kum2(&amf).round(), 7683.0);
+        assert_eq!(DeviceCount::mzi_ptc(32).footprint_kum2(&amf).round(), 30829.0);
+        let aim = Pdk::aim();
+        assert_eq!(DeviceCount::mzi_ptc(16).footprint_kum2(&aim).round(), 4480.0);
+    }
+
+    #[test]
+    fn mzi_device_counts_match_paper_tables() {
+        for (k, dc, blk) in [(8usize, 112usize, 32usize), (16, 480, 64), (32, 1984, 128)] {
+            let c = DeviceCount::mzi_ptc(k);
+            assert_eq!(c.dc, dc, "k={k}");
+            assert_eq!(c.blocks, blk, "k={k}");
+            assert_eq!(c.cr, 0, "k={k}");
+            assert_eq!(c.ps, k * blk, "k={k}");
+        }
+    }
+
+    #[test]
+    fn counts_add() {
+        let a = DeviceCount::new(1, 2, 3, 4);
+        let b = DeviceCount::new(10, 20, 30, 40);
+        assert_eq!(a + b, DeviceCount::new(11, 22, 33, 44));
+    }
+
+    #[test]
+    fn block_bounds_bracket_published_designs() {
+        let amf = Pdk::amf();
+        // Table 1, 8×8 ADEPT-a1 used [240, 300] and found 5 blocks.
+        let b = block_count_bounds(8, &amf, 240.0, 300.0);
+        assert!(b.b_min <= 5 && 5 <= b.b_max, "{b:?}");
+        // Table 1, 16×16 ADEPT-a5 used [1248, 1560] and found 12 blocks.
+        let b = block_count_bounds(16, &amf, 1248.0, 1560.0);
+        assert!(b.b_min <= 12 && 12 <= b.b_max, "{b:?}");
+        // Table 1, 32×32 ADEPT-a3 used [1728, 2160] and found 8 blocks.
+        let b = block_count_bounds(32, &amf, 1728.0, 2160.0);
+        assert!(b.b_min <= 8 && 8 <= b.b_max, "{b:?}");
+        // Table 2, 16×16 ADEPT-a0 on AIM used [384, 480] and found 5 blocks.
+        let b = block_count_bounds(16, &Pdk::aim(), 384.0, 480.0);
+        assert!(b.b_min <= 5 && 5 <= b.b_max, "{b:?}");
+    }
+
+    #[test]
+    fn bounds_are_ordered() {
+        let b = block_count_bounds(16, &Pdk::amf(), 480.0, 600.0);
+        assert!(b.b_min <= b.b_max);
+        assert!(b.b_min >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid footprint window")]
+    fn rejects_empty_window() {
+        block_count_bounds(8, &Pdk::amf(), 300.0, 240.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Transfer matrices of the basic optical components.
+//!
+//! Conventions follow the paper's Section 2.1:
+//!
+//! * a phase shifter multiplies its waveguide by `e^{-jφ}`;
+//! * a 2×2 directional coupler has transfer matrix
+//!   `[[t, j√(1-t²)], [j√(1-t²), t]]` with transmission `t ∈ [0, 1]`
+//!   (50:50 coupling means `t = √2/2`);
+//! * a crossing network of `n` waveguides is a permutation matrix;
+//! * an MZI is two 50:50 couplers with two phase shifters and realizes an
+//!   arbitrary 2-D unitary rotation (up to external phases).
+
+use adept_linalg::{C64, CMatrix, Permutation};
+
+/// Transmission coefficient of a 50:50 directional coupler, `√2/2`.
+pub const DC_50_50_T: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+/// Diagonal transfer matrix of a column of `phases.len()` phase shifters:
+/// `diag(e^{-jφ₁}, …, e^{-jφ_K})` (paper Eq. 3).
+///
+/// # Examples
+///
+/// ```
+/// use adept_photonics::phase_column;
+///
+/// let r = phase_column(&[0.0, std::f64::consts::PI]);
+/// assert!((r[(0, 0)].re - 1.0).abs() < 1e-12);
+/// assert!((r[(1, 1)].re + 1.0).abs() < 1e-12);
+/// ```
+pub fn phase_column(phases: &[f64]) -> CMatrix {
+    let diag: Vec<C64> = phases.iter().map(|&p| C64::cis(-p)).collect();
+    CMatrix::from_diag(&diag)
+}
+
+/// 2×2 transfer matrix of a directional coupler with transmission `t`.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ t ≤ 1`.
+pub fn coupler_matrix(t: f64) -> CMatrix {
+    assert!((0.0..=1.0).contains(&t), "transmission must be in [0,1]");
+    let kappa = (1.0 - t * t).sqrt();
+    CMatrix::from_vec(
+        vec![
+            C64::new(t, 0.0),
+            C64::new(0.0, kappa),
+            C64::new(0.0, kappa),
+            C64::new(t, 0.0),
+        ],
+        2,
+        2,
+    )
+}
+
+/// Complex permutation matrix of a crossing network.
+pub fn crossing_matrix(perm: &Permutation) -> CMatrix {
+    let n = perm.len();
+    let mut m = CMatrix::zeros(n, n);
+    for (i, &j) in perm.as_slice().iter().enumerate() {
+        m[(i, j)] = C64::ONE;
+    }
+    m
+}
+
+/// 2×2 transfer matrix of a Mach–Zehnder interferometer: two 50:50 couplers
+/// around an internal phase `θ`, followed by an external phase `φ` on the
+/// top arm.
+///
+/// This is the standard `DC · PS(θ) · DC · PS(φ)` construction; sweeping
+/// `θ, φ` reaches any 2-D unitary rotation up to output phases.
+pub fn mzi_matrix(theta: f64, phi: f64) -> CMatrix {
+    let dc = coupler_matrix(DC_50_50_T);
+    let inner = CMatrix::from_diag(&[C64::cis(-theta), C64::ONE]);
+    let outer = CMatrix::from_diag(&[C64::cis(-phi), C64::ONE]);
+    dc.matmul(&inner).matmul(&dc).matmul(&outer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_column_is_unitary() {
+        let r = phase_column(&[0.1, -0.7, 2.4, 0.0]);
+        assert!(r.is_unitary(1e-12));
+        // Magnitude of each diagonal entry is 1, off-diagonals are 0.
+        assert!((r[(2, 2)].abs() - 1.0).abs() < 1e-12);
+        assert_eq!(r[(0, 1)], C64::ZERO);
+    }
+
+    #[test]
+    fn phase_column_applies_negative_phase() {
+        let r = phase_column(&[0.5]);
+        assert!((r[(0, 0)].arg() + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coupler_unitarity_across_transmissions() {
+        for &t in &[0.0, 0.3, DC_50_50_T, 0.9, 1.0] {
+            assert!(coupler_matrix(t).is_unitary(1e-12), "t = {t}");
+        }
+    }
+
+    #[test]
+    fn coupler_at_t1_is_identity() {
+        let m = coupler_matrix(1.0);
+        assert!(m.fro_dist(&CMatrix::identity(2)) < 1e-12);
+    }
+
+    #[test]
+    fn fifty_fifty_splits_power_evenly() {
+        let m = coupler_matrix(DC_50_50_T);
+        let out = m.matvec(&[C64::ONE, C64::ZERO]);
+        assert!((out[0].norm_sqr() - 0.5).abs() < 1e-12);
+        assert!((out[1].norm_sqr() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossing_matrix_routes() {
+        let p = Permutation::from_vec(vec![2, 0, 1]).unwrap();
+        let m = crossing_matrix(&p);
+        assert!(m.is_unitary(1e-12));
+        let out = m.matvec(&[C64::ONE, 2.0 * C64::ONE, 3.0 * C64::ONE]);
+        assert!((out[0].re - 3.0).abs() < 1e-12);
+        assert!((out[1].re - 1.0).abs() < 1e-12);
+        assert!((out[2].re - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mzi_is_unitary_and_tunable() {
+        for &(theta, phi) in &[(0.0, 0.0), (0.4, 1.2), (std::f64::consts::PI, 0.0)] {
+            let m = mzi_matrix(theta, phi);
+            assert!(m.is_unitary(1e-12), "θ={theta} φ={phi}");
+        }
+        // θ = π routes all power through (bar state, up to phase).
+        let bar = mzi_matrix(std::f64::consts::PI, 0.0);
+        let out = bar.matvec(&[C64::ONE, C64::ZERO]);
+        assert!(out[0].norm_sqr() > 1.0 - 1e-9);
+        // θ = 0 is the cross state.
+        let cross = mzi_matrix(0.0, 0.0);
+        let out = cross.matvec(&[C64::ONE, C64::ZERO]);
+        assert!(out[1].norm_sqr() > 1.0 - 1e-9);
+    }
+}

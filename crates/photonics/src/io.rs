@@ -1,0 +1,231 @@
+//! Plain-text persistence for searched topologies.
+//!
+//! A searched PTC design is the artifact a fab would consume, so it needs a
+//! stable, human-readable on-disk form. The format is line-based:
+//!
+//! ```text
+//! adept-topology v1
+//! k 8
+//! blocks 2
+//! block dc_start=0 couplers=1011 perm=0,2,1,3,4,5,6,7
+//! block dc_start=1 couplers=110 perm=1,0,3,2,5,4,7,6
+//! ```
+//!
+//! No external serialization crates are needed for this, and diffs of two
+//! designs stay reviewable.
+
+use crate::topology::{BlockMeshTopology, MeshBlock};
+use adept_linalg::Permutation;
+use std::fmt;
+
+/// Error produced when parsing a topology file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTopologyError {
+    /// 1-based line number of the offending line (0 for structural errors).
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseTopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "topology parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTopologyError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseTopologyError {
+    ParseTopologyError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Serializes a topology to the `adept-topology v1` text format.
+///
+/// # Examples
+///
+/// ```
+/// use adept_photonics::{BlockMeshTopology, io};
+///
+/// let topo = BlockMeshTopology::butterfly(8);
+/// let text = io::to_text(&topo);
+/// let back = io::from_text(&text)?;
+/// assert_eq!(topo, back);
+/// # Ok::<(), adept_photonics::io::ParseTopologyError>(())
+/// ```
+pub fn to_text(topo: &BlockMeshTopology) -> String {
+    let mut out = String::new();
+    out.push_str("adept-topology v1\n");
+    out.push_str(&format!("k {}\n", topo.k()));
+    out.push_str(&format!("blocks {}\n", topo.blocks().len()));
+    for b in topo.blocks() {
+        let couplers: String = b.couplers.iter().map(|&c| if c { '1' } else { '0' }).collect();
+        let perm: Vec<String> = b.perm.as_slice().iter().map(|v| v.to_string()).collect();
+        out.push_str(&format!(
+            "block dc_start={} couplers={} perm={}\n",
+            b.dc_start,
+            couplers,
+            perm.join(",")
+        ));
+    }
+    out
+}
+
+/// Parses the `adept-topology v1` text format.
+///
+/// # Errors
+///
+/// Returns [`ParseTopologyError`] on malformed input, size mismatches or
+/// illegal permutations.
+pub fn from_text(text: &str) -> Result<BlockMeshTopology, ParseTopologyError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or_else(|| err(0, "empty input"))?;
+    if header.trim() != "adept-topology v1" {
+        return Err(err(1, format!("unexpected header {header:?}")));
+    }
+    let (_, kline) = lines.next().ok_or_else(|| err(0, "missing k line"))?;
+    let k: usize = kline
+        .trim()
+        .strip_prefix("k ")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| err(2, format!("malformed k line {kline:?}")))?;
+    let (_, bline) = lines.next().ok_or_else(|| err(0, "missing blocks line"))?;
+    let n_blocks: usize = bline
+        .trim()
+        .strip_prefix("blocks ")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| err(3, format!("malformed blocks line {bline:?}")))?;
+    let mut blocks = Vec::with_capacity(n_blocks);
+    for (ln, line) in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let rest = line
+            .strip_prefix("block ")
+            .ok_or_else(|| err(ln + 1, format!("expected block line, got {line:?}")))?;
+        let mut dc_start = None;
+        let mut couplers = None;
+        let mut perm = None;
+        for field in rest.split_whitespace() {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| err(ln + 1, format!("malformed field {field:?}")))?;
+            match key {
+                "dc_start" => {
+                    dc_start = Some(
+                        value
+                            .parse::<usize>()
+                            .map_err(|e| err(ln + 1, format!("bad dc_start: {e}")))?,
+                    );
+                }
+                "couplers" => {
+                    let flags: Result<Vec<bool>, _> = value
+                        .chars()
+                        .map(|c| match c {
+                            '0' => Ok(false),
+                            '1' => Ok(true),
+                            other => Err(err(ln + 1, format!("bad coupler flag {other:?}"))),
+                        })
+                        .collect();
+                    couplers = Some(flags?);
+                }
+                "perm" => {
+                    let image: Result<Vec<usize>, _> = value
+                        .split(',')
+                        .map(|v| {
+                            v.parse::<usize>()
+                                .map_err(|e| err(ln + 1, format!("bad perm entry: {e}")))
+                        })
+                        .collect();
+                    let p = Permutation::from_vec(image?)
+                        .map_err(|e| err(ln + 1, format!("illegal permutation: {e}")))?;
+                    perm = Some(p);
+                }
+                other => return Err(err(ln + 1, format!("unknown field {other:?}"))),
+            }
+        }
+        blocks.push(MeshBlock {
+            dc_start: dc_start.ok_or_else(|| err(ln + 1, "missing dc_start"))?,
+            couplers: couplers.ok_or_else(|| err(ln + 1, "missing couplers"))?,
+            perm: perm.ok_or_else(|| err(ln + 1, "missing perm"))?,
+        });
+    }
+    if blocks.len() != n_blocks {
+        return Err(err(
+            0,
+            format!("expected {n_blocks} blocks, found {}", blocks.len()),
+        ));
+    }
+    // BlockMeshTopology::new validates sizes but panics; pre-validate here.
+    for (i, b) in blocks.iter().enumerate() {
+        if b.perm.len() != k {
+            return Err(err(0, format!("block {i}: permutation size != k")));
+        }
+        if b.dc_start > 1 {
+            return Err(err(0, format!("block {i}: dc_start must be 0 or 1")));
+        }
+        if b.couplers.len() != MeshBlock::coupler_slots(k, b.dc_start) {
+            return Err(err(0, format!("block {i}: coupler flag count mismatch")));
+        }
+    }
+    Ok(BlockMeshTopology::new(k, blocks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip_butterfly() {
+        let topo = BlockMeshTopology::butterfly(16);
+        let text = to_text(&topo);
+        let back = from_text(&text).unwrap();
+        assert_eq!(topo, back);
+    }
+
+    #[test]
+    fn round_trip_random_topologies() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for k in [4usize, 8, 10] {
+            for b in 1..4 {
+                let topo = BlockMeshTopology::random(&mut rng, k, b);
+                let back = from_text(&to_text(&topo)).unwrap();
+                assert_eq!(topo, back, "k={k} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn header_is_versioned() {
+        let text = to_text(&BlockMeshTopology::butterfly(4));
+        assert!(text.starts_with("adept-topology v1\n"));
+        let bad = text.replace("v1", "v9");
+        assert!(from_text(&bad).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(from_text("").is_err());
+        assert!(from_text("adept-topology v1\nk x\nblocks 0\n").is_err());
+        assert!(from_text("adept-topology v1\nk 4\nblocks 1\n").is_err());
+        let bad_perm = "adept-topology v1\nk 4\nblocks 1\nblock dc_start=0 couplers=11 perm=0,0,1,2\n";
+        let e = from_text(bad_perm).unwrap_err();
+        assert!(e.to_string().contains("illegal permutation"));
+        let bad_flags = "adept-topology v1\nk 4\nblocks 1\nblock dc_start=0 couplers=1 perm=0,1,2,3\n";
+        assert!(from_text(bad_flags).is_err());
+        let wrong_count = "adept-topology v1\nk 4\nblocks 2\nblock dc_start=0 couplers=11 perm=0,1,2,3\n";
+        assert!(from_text(wrong_count).is_err());
+    }
+
+    #[test]
+    fn unknown_field_rejected() {
+        let text = "adept-topology v1\nk 4\nblocks 1\nblock dc_start=0 couplers=11 perm=0,1,2,3 foo=1\n";
+        let e = from_text(text).unwrap_err();
+        assert!(e.to_string().contains("unknown field"));
+    }
+}

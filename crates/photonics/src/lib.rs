@@ -1,0 +1,35 @@
+//! Photonic-circuit substrate for the ADEPT reproduction.
+//!
+//! Models the hardware the paper designs:
+//!
+//! * [`devices`] — transfer matrices of the basic optical components (phase
+//!   shifter, directional coupler, waveguide crossing, Mach–Zehnder
+//!   interferometer);
+//! * [`Pdk`] — foundry process design kits (AMF, AIM photonics and custom)
+//!   with per-device footprints;
+//! * [`DeviceCount`] — the #PS/#DC/#CR/#Blk accounting and footprint model
+//!   used in the paper's Tables 1–2 (our numbers for the MZI and FFT
+//!   baselines match the published cells exactly; see tests);
+//! * [`BlockMeshTopology`] — the PS→DC→CR block-structured programmable mesh
+//!   that both the FFT-ONN baseline and ADEPT's searched designs instantiate;
+//! * [`butterfly`] — the FFT-ONN butterfly topology;
+//! * [`clements`] — MZI-mesh accounting plus a full unitary→adjacent-rotation
+//!   decomposition (Reck-style), used to inject phase noise into the MZI
+//!   baseline;
+//! * [`PhaseNoise`] — the Gaussian phase-drift model of the robustness
+//!   experiments (Fig. 4).
+
+pub mod butterfly;
+pub mod clements;
+pub mod io;
+mod cost;
+pub mod devices;
+mod noise;
+mod pdk;
+mod topology;
+
+pub use cost::{block_count_bounds, BlockBounds, DeviceCount};
+pub use devices::{coupler_matrix, crossing_matrix, mzi_matrix, phase_column, DC_50_50_T};
+pub use noise::{DeadShifterFault, PhaseNoise};
+pub use pdk::Pdk;
+pub use topology::{BlockMeshTopology, MeshBlock};

@@ -1,0 +1,158 @@
+//! Hardware non-ideality models: Gaussian phase drift (the paper's Fig. 4
+//! robustness study) and dead-phase-shifter fault injection (extension).
+
+use rand::Rng;
+
+/// Gaussian phase-drift model: every programmed phase `φ` is realized as
+/// `φ + Δφ` with `Δφ ~ N(0, σ²)`.
+///
+/// # Examples
+///
+/// ```
+/// use adept_photonics::PhaseNoise;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let noise = PhaseNoise::new(0.02);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let phases = noise.perturb(&[0.0, 1.0], &mut rng);
+/// assert_eq!(phases.len(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseNoise {
+    std: f64,
+}
+
+impl PhaseNoise {
+    /// Creates a model with standard deviation `std` (radians).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std` is negative or not finite.
+    pub fn new(std: f64) -> Self {
+        assert!(std.is_finite() && std >= 0.0, "std must be finite and ≥ 0");
+        Self { std }
+    }
+
+    /// The noise standard deviation.
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+
+    /// Samples one drift value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.std == 0.0 {
+            return 0.0;
+        }
+        // Box–Muller.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        self.std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Returns a perturbed copy of a phase column.
+    pub fn perturb<R: Rng + ?Sized>(&self, phases: &[f64], rng: &mut R) -> Vec<f64> {
+        phases.iter().map(|&p| p + self.sample(rng)).collect()
+    }
+
+    /// Perturbs a whole mesh configuration (one column per block).
+    pub fn perturb_columns<R: Rng + ?Sized>(
+        &self,
+        columns: &[Vec<f64>],
+        rng: &mut R,
+    ) -> Vec<Vec<f64>> {
+        columns.iter().map(|c| self.perturb(c, rng)).collect()
+    }
+}
+
+/// Fault model for failure-injection tests: each phase shifter
+/// independently dies (gets stuck at phase 0) with probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeadShifterFault {
+    p: f64,
+}
+
+impl DeadShifterFault {
+    /// Creates a fault model with per-device death probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        Self { p }
+    }
+
+    /// Death probability.
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+
+    /// Applies the fault: dead shifters are forced to phase 0.
+    pub fn inject<R: Rng + ?Sized>(&self, phases: &[f64], rng: &mut R) -> Vec<f64> {
+        phases
+            .iter()
+            .map(|&p| if rng.gen_bool(self.p) { 0.0 } else { p })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let noise = PhaseNoise::new(0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let phases = vec![0.3, -1.2, 2.0];
+        assert_eq!(noise.perturb(&phases, &mut rng), phases);
+    }
+
+    #[test]
+    fn noise_statistics() {
+        let noise = PhaseNoise::new(0.05);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20000;
+        let samples: Vec<f64> = (0..n).map(|_| noise.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 2e-3, "mean {mean}");
+        assert!((var.sqrt() - 0.05).abs() < 5e-3, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn perturb_columns_shapes() {
+        let noise = PhaseNoise::new(0.02);
+        let mut rng = StdRng::seed_from_u64(3);
+        let cols = vec![vec![0.0; 4], vec![1.0; 4]];
+        let out = noise.perturb_columns(&cols, &mut rng);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|c| c.len() == 4));
+        assert!(out[0].iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn dead_shifter_rates() {
+        let fault = DeadShifterFault::new(0.5);
+        let mut rng = StdRng::seed_from_u64(4);
+        let phases = vec![1.0; 10000];
+        let out = fault.inject(&phases, &mut rng);
+        let dead = out.iter().filter(|&&x| x == 0.0).count();
+        assert!((dead as f64 / 10000.0 - 0.5).abs() < 0.03);
+        // p = 0 never kills; p = 1 kills all.
+        assert_eq!(DeadShifterFault::new(0.0).inject(&phases, &mut rng), phases);
+        assert!(DeadShifterFault::new(1.0)
+            .inject(&phases, &mut rng)
+            .iter()
+            .all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn rejects_negative_std() {
+        let _ = PhaseNoise::new(-0.1);
+    }
+}

@@ -1,0 +1,135 @@
+//! Foundry process design kits (PDKs) with per-device footprints.
+
+use std::fmt;
+
+/// A foundry PDK: the footprint of each basic device in µm².
+///
+/// The two built-in kits are the ones the paper evaluates on:
+///
+/// | PDK | PS (µm²) | DC (µm²) | CR (µm²) |
+/// |-----|----------|----------|----------|
+/// | AMF | 6800     | 1500     | 64       |
+/// | AIM | 2500     | 4000     | 4900     |
+///
+/// AIM's crossings are ~77× larger than AMF's, which is exactly what makes
+/// crossing-heavy topologies (like large butterflies) expensive there and
+/// drives ADEPT's PDK adaptivity.
+///
+/// # Examples
+///
+/// ```
+/// use adept_photonics::Pdk;
+///
+/// let amf = Pdk::amf();
+/// assert_eq!(amf.ps_um2, 6800.0);
+/// assert!(Pdk::aim().cr_um2 > amf.cr_um2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pdk {
+    /// Human-readable kit name.
+    pub name: String,
+    /// Phase-shifter footprint in µm².
+    pub ps_um2: f64,
+    /// Directional-coupler footprint in µm².
+    pub dc_um2: f64,
+    /// Waveguide-crossing footprint in µm².
+    pub cr_um2: f64,
+}
+
+impl Pdk {
+    /// Advanced Micro Foundry PDK (paper Table 1).
+    pub fn amf() -> Self {
+        Self {
+            name: "AMF".to_owned(),
+            ps_um2: 6800.0,
+            dc_um2: 1500.0,
+            cr_um2: 64.0,
+        }
+    }
+
+    /// AIM Photonics PDK (paper Table 2).
+    pub fn aim() -> Self {
+        Self {
+            name: "AIM".to_owned(),
+            ps_um2: 2500.0,
+            dc_um2: 4000.0,
+            cr_um2: 4900.0,
+        }
+    }
+
+    /// A user-defined PDK.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any footprint is non-positive.
+    pub fn custom(name: impl Into<String>, ps_um2: f64, dc_um2: f64, cr_um2: f64) -> Self {
+        assert!(
+            ps_um2 > 0.0 && dc_um2 > 0.0 && cr_um2 > 0.0,
+            "device footprints must be positive"
+        );
+        Self {
+            name: name.into(),
+            ps_um2,
+            dc_um2,
+            cr_um2,
+        }
+    }
+
+    /// Phase-shifter footprint in the paper's reporting unit (1000 µm²).
+    pub fn ps_kum2(&self) -> f64 {
+        self.ps_um2 / 1000.0
+    }
+
+    /// Directional-coupler footprint in 1000 µm².
+    pub fn dc_kum2(&self) -> f64 {
+        self.dc_um2 / 1000.0
+    }
+
+    /// Crossing footprint in 1000 µm².
+    pub fn cr_kum2(&self) -> f64 {
+        self.cr_um2 / 1000.0
+    }
+}
+
+impl fmt::Display for Pdk {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (PS {} µm², DC {} µm², CR {} µm²)",
+            self.name, self.ps_um2, self.dc_um2, self.cr_um2
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_kits_match_paper() {
+        let amf = Pdk::amf();
+        assert_eq!((amf.ps_um2, amf.dc_um2, amf.cr_um2), (6800.0, 1500.0, 64.0));
+        let aim = Pdk::aim();
+        assert_eq!((aim.ps_um2, aim.dc_um2, aim.cr_um2), (2500.0, 4000.0, 4900.0));
+    }
+
+    #[test]
+    fn reporting_units() {
+        assert!((Pdk::amf().ps_kum2() - 6.8).abs() < 1e-12);
+        assert!((Pdk::aim().cr_kum2() - 4.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_kit() {
+        let p = Pdk::custom("lab", 100.0, 200.0, 50.0);
+        assert_eq!(p.name, "lab");
+        assert_eq!(p.dc_um2, 200.0);
+        assert!(p.to_string().contains("lab"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn custom_rejects_nonpositive() {
+        let _ = Pdk::custom("bad", 0.0, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Convolution lowering: `im2col` / `col2im` for NCHW tensors.
+//!
+//! Convolutions in the ADEPT stack are lowered to GEMM so that the photonic
+//! tensor cores (which physically implement matrix–vector products) can run
+//! them. `im2col` unrolls input patches into a matrix; `col2im` is its
+//! adjoint, used by the convolution backward pass.
+
+use crate::tensor::Tensor;
+
+/// Static geometry of a 2-D convolution (NCHW, square stride/padding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dGeometry {
+    /// Input channel count.
+    pub in_channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding in both dimensions.
+    pub padding: usize,
+}
+
+impl Conv2dGeometry {
+    /// Output height after convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit into the padded input.
+    pub fn out_h(&self) -> usize {
+        let padded = self.in_h + 2 * self.padding;
+        assert!(padded >= self.kernel, "kernel taller than padded input");
+        (padded - self.kernel) / self.stride + 1
+    }
+
+    /// Output width after convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit into the padded input.
+    pub fn out_w(&self) -> usize {
+        let padded = self.in_w + 2 * self.padding;
+        assert!(padded >= self.kernel, "kernel wider than padded input");
+        (padded - self.kernel) / self.stride + 1
+    }
+
+    /// Rows of the `im2col` matrix: `in_channels * kernel * kernel`.
+    pub fn col_rows(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+
+    /// Columns of the `im2col` matrix for a batch of `n`:
+    /// `n * out_h * out_w`.
+    pub fn col_cols(&self, batch: usize) -> usize {
+        batch * self.out_h() * self.out_w()
+    }
+}
+
+/// Unrolls an NCHW batch into a `(C·k·k) × (N·out_h·out_w)` patch matrix.
+///
+/// Column `n·(out_h·out_w) + oy·out_w + ox` holds the receptive field of
+/// output pixel `(oy, ox)` of sample `n`, flattened channel-major.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank 4 or its dimensions disagree with `geom`.
+pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Tensor {
+    assert_eq!(input.rank(), 4, "im2col expects NCHW input");
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    assert_eq!(c, geom.in_channels, "channel mismatch");
+    assert_eq!(h, geom.in_h, "height mismatch");
+    assert_eq!(w, geom.in_w, "width mismatch");
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let rows = geom.col_rows();
+    let cols = geom.col_cols(n);
+    let mut out = Tensor::zeros(&[rows, cols]);
+    let src = input.as_slice();
+    let dst = out.as_mut_slice();
+    let k = geom.kernel;
+    for ni in 0..n {
+        for ci in 0..c {
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row = ci * k * k + ky * k + kx;
+                    for oy in 0..oh {
+                        let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for ox in 0..ow {
+                            let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let col = ni * oh * ow + oy * ow + ox;
+                            dst[row * cols + col] =
+                                src[((ni * c + ci) * h + iy as usize) * w + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Adjoint of [`im2col`]: scatters a patch matrix back into an NCHW tensor,
+/// accumulating where patches overlap.
+///
+/// # Panics
+///
+/// Panics if `cols` has the wrong shape for `geom` and `batch`.
+pub fn col2im(cols: &Tensor, geom: &Conv2dGeometry, batch: usize) -> Tensor {
+    assert_eq!(cols.rank(), 2, "col2im expects a matrix");
+    assert_eq!(cols.shape()[0], geom.col_rows(), "row count mismatch");
+    assert_eq!(cols.shape()[1], geom.col_cols(batch), "col count mismatch");
+    let (c, h, w) = (geom.in_channels, geom.in_h, geom.in_w);
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let mut out = Tensor::zeros(&[batch, c, h, w]);
+    let dst = out.as_mut_slice();
+    let src = cols.as_slice();
+    let k = geom.kernel;
+    let ncols = geom.col_cols(batch);
+    for ni in 0..batch {
+        for ci in 0..c {
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row = ci * k * k + ky * k + kx;
+                    for oy in 0..oh {
+                        let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for ox in 0..ow {
+                            let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let col = ni * oh * ow + oy * ow + ox;
+                            dst[((ni * c + ci) * h + iy as usize) * w + ix as usize] +=
+                                src[row * ncols + col];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom(c: usize, h: usize, w: usize, k: usize, s: usize, p: usize) -> Conv2dGeometry {
+        Conv2dGeometry {
+            in_channels: c,
+            in_h: h,
+            in_w: w,
+            kernel: k,
+            stride: s,
+            padding: p,
+        }
+    }
+
+    #[test]
+    fn output_dims() {
+        let g = geom(3, 28, 28, 5, 1, 0);
+        assert_eq!((g.out_h(), g.out_w()), (24, 24));
+        let g = geom(1, 28, 28, 5, 1, 2);
+        assert_eq!((g.out_h(), g.out_w()), (28, 28));
+        let g = geom(1, 8, 8, 2, 2, 0);
+        assert_eq!((g.out_h(), g.out_w()), (4, 4));
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // A 1x1 kernel with stride 1 just flattens the image.
+        let g = geom(2, 3, 3, 1, 1, 0);
+        let x = Tensor::linspace(0.0, 17.0, 18).reshape(&[1, 2, 3, 3]);
+        let cols = im2col(&x, &g);
+        assert_eq!(cols.shape(), &[2, 9]);
+        assert_eq!(cols.row(0).as_slice(), &x.as_slice()[..9]);
+        assert_eq!(cols.row(1).as_slice(), &x.as_slice()[9..]);
+    }
+
+    #[test]
+    fn im2col_matches_direct_convolution() {
+        // Direct sliding-window conv must equal weight-matrix times im2col.
+        let g = geom(2, 5, 5, 3, 1, 1);
+        let x = Tensor::from_vec(
+            (0..50).map(|i| ((i * 17 % 23) as f64 - 11.0) / 7.0).collect(),
+            &[1, 2, 5, 5],
+        );
+        let wt = Tensor::from_vec(
+            (0..2 * 2 * 9).map(|i| ((i * 13 % 19) as f64 - 9.0) / 5.0).collect(),
+            &[2, 18],
+        );
+        let cols = im2col(&x, &g);
+        let y = wt.matmul(&cols); // [2, 25]
+        // Direct computation for a few output pixels.
+        let direct = |oc: usize, oy: usize, ox: usize| -> f64 {
+            let mut s = 0.0;
+            for ci in 0..2 {
+                for ky in 0..3 {
+                    for kx in 0..3 {
+                        let iy = oy as isize + ky as isize - 1;
+                        let ix = ox as isize + kx as isize - 1;
+                        if iy < 0 || iy >= 5 || ix < 0 || ix >= 5 {
+                            continue;
+                        }
+                        s += wt.at(&[oc, ci * 9 + ky * 3 + kx])
+                            * x.at(&[0, ci, iy as usize, ix as usize]);
+                    }
+                }
+            }
+            s
+        };
+        for &(oc, oy, ox) in &[(0, 0, 0), (0, 2, 3), (1, 4, 4), (1, 1, 0)] {
+            assert!(
+                (y.at(&[oc, oy * 5 + ox]) - direct(oc, oy, ox)).abs() < 1e-10,
+                "mismatch at ({oc},{oy},{ox})"
+            );
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property the conv backward pass relies on.
+        let g = geom(2, 6, 6, 3, 2, 1);
+        let x = Tensor::from_vec(
+            (0..72).map(|i| ((i * 29 % 31) as f64 - 15.0) / 9.0).collect(),
+            &[1, 2, 6, 6],
+        );
+        let cols = im2col(&x, &g);
+        let y = Tensor::from_vec(
+            (0..cols.len())
+                .map(|i| ((i * 41 % 37) as f64 - 18.0) / 11.0)
+                .collect(),
+            cols.shape(),
+        );
+        let lhs = cols.dot(&y);
+        let back = col2im(&y, &g, 1);
+        let rhs = x.dot(&back);
+        assert!((lhs - rhs).abs() < 1e-9, "adjoint identity violated: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn batch_handling() {
+        let g = geom(1, 4, 4, 2, 2, 0);
+        let x = Tensor::linspace(0.0, 31.0, 32).reshape(&[2, 1, 4, 4]);
+        let cols = im2col(&x, &g);
+        assert_eq!(cols.shape(), &[4, 8]);
+        // First column = top-left patch of sample 0: pixels (0,0),(0,1),(1,0),(1,1).
+        assert_eq!(cols.col(0).as_slice(), &[0.0, 1.0, 4.0, 5.0]);
+        // Fifth column = top-left patch of sample 1.
+        assert_eq!(cols.col(4).as_slice(), &[16.0, 17.0, 20.0, 21.0]);
+    }
+}

@@ -1,0 +1,41 @@
+//! Dense `f64` tensor kernel for the ADEPT reproduction.
+//!
+//! This crate is the numeric substrate everything else builds on: an owned,
+//! row-major, dynamically shaped tensor with the operations the ADEPT stack
+//! needs — elementwise maps, axis reductions, a threaded GEMM, transposes and
+//! `im2col`/`col2im` for convolution lowering.
+//!
+//! # Examples
+//!
+//! ```
+//! use adept_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert!(c.allclose(&a, 1e-12));
+//! ```
+
+mod conv;
+mod matmul;
+mod ops;
+mod random;
+mod shape;
+mod tensor;
+
+pub use conv::{col2im, im2col, Conv2dGeometry};
+pub use matmul::{matmul_into, set_gemm_threads};
+pub use shape::{broadcast_shapes, Shape};
+pub use tensor::Tensor;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_example_compiles() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::eye(2);
+        assert!(a.matmul(&b).allclose(&a, 1e-12));
+    }
+}

@@ -1,0 +1,217 @@
+//! Matrix multiplication: cache-friendly serial kernel plus a scoped-thread
+//! parallel path for large problems.
+
+use crate::tensor::Tensor;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static GEMM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the number of threads used by large GEMMs.
+///
+/// `0` (the default) means "auto": use [`std::thread::available_parallelism`]
+/// capped at 8. Small multiplications always stay on the calling thread.
+pub fn set_gemm_threads(n: usize) {
+    GEMM_THREADS.store(n, Ordering::Relaxed);
+}
+
+fn gemm_threads() -> usize {
+    let n = GEMM_THREADS.load(Ordering::Relaxed);
+    if n != 0 {
+        return n;
+    }
+    // `available_parallelism` can be a slow syscall on some kernels;
+    // query it once and cache.
+    static AUTO: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *AUTO.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get().min(8))
+            .unwrap_or(1)
+    })
+}
+
+/// `C = A · B` for row-major slices: `a` is `m×k`, `b` is `k×n`, `c` is `m×n`.
+///
+/// `c` is fully overwritten. The kernel uses the i-k-j loop order so the
+/// inner loop streams both `b` and `c` rows; above a work threshold the rows
+/// of `c` are partitioned across scoped threads.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the given dimensions.
+pub fn matmul_into(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "lhs buffer length mismatch");
+    assert_eq!(b.len(), k * n, "rhs buffer length mismatch");
+    assert_eq!(c.len(), m * n, "out buffer length mismatch");
+    let flops = 2.0 * m as f64 * n as f64 * k as f64;
+    let threads = gemm_threads();
+    if threads <= 1 || flops < 2.0e6 || m < 2 {
+        serial_block(a, b, c, k, n, 0, m);
+        return;
+    }
+    let threads = threads.min(m);
+    let rows_per = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut rest = c;
+        let mut row0 = 0;
+        while row0 < m {
+            let take = rows_per.min(m - row0);
+            let (chunk, tail) = rest.split_at_mut(take * n);
+            rest = tail;
+            let r0 = row0;
+            scope.spawn(move || {
+                serial_block(a, b, chunk, k, n, r0, take);
+            });
+            row0 += take;
+        }
+    });
+}
+
+/// Multiplies `rows` rows of A (starting at `row0`) into `c_chunk`.
+fn serial_block(a: &[f64], b: &[f64], c_chunk: &mut [f64], k: usize, n: usize, row0: usize, rows: usize) {
+    c_chunk.fill(0.0);
+    for i in 0..rows {
+        let a_row = &a[(row0 + i) * k..(row0 + i + 1) * k];
+        let c_row = &mut c_chunk[i * n..(i + 1) * n];
+        for (p, &aip) in a_row.iter().enumerate() {
+            if aip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (cj, &bj) in c_row.iter_mut().zip(b_row.iter()) {
+                *cj += aip * bj;
+            }
+        }
+    }
+}
+
+impl Tensor {
+    /// Matrix product `self · rhs`.
+    ///
+    /// Both operands must be rank 2 with an agreeing inner dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or dimension mismatch.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adept_tensor::Tensor;
+    ///
+    /// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+    /// let b = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[2, 2]);
+    /// assert_eq!(a.matmul(&b).as_slice(), &[2.0, 1.0, 4.0, 3.0]);
+    /// ```
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul lhs must be a matrix");
+        assert_eq!(rhs.rank(), 2, "matmul rhs must be a matrix");
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (rhs.shape()[0], rhs.shape()[1]);
+        assert_eq!(
+            k, k2,
+            "matmul inner dimension mismatch: {m}x{k} vs {k2}x{n}"
+        );
+        let mut out = Tensor::zeros(&[m, n]);
+        matmul_into(self.as_slice(), rhs.as_slice(), out.as_mut_slice(), m, k, n);
+        out
+    }
+
+    /// Matrix–vector product `self · v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not a matrix or dimensions disagree.
+    pub fn matvec(&self, v: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matvec lhs must be a matrix");
+        assert_eq!(v.rank(), 1, "matvec rhs must be a vector");
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        assert_eq!(k, v.len(), "matvec dimension mismatch");
+        let mut out = Tensor::zeros(&[m]);
+        for i in 0..m {
+            out.as_mut_slice()[i] = self.as_slice()[i * k..(i + 1) * k]
+                .iter()
+                .zip(v.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        let mut c = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for p in 0..k {
+                    s += a.as_slice()[i * k + p] * b.as_slice()[p * n + j];
+                }
+                c.as_mut_slice()[i * n + j] = s;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Tensor::linspace(1.0, 12.0, 12).reshape(&[3, 4]);
+        assert!(a.matmul(&Tensor::eye(4)).allclose(&a, 1e-12));
+        assert!(Tensor::eye(3).matmul(&a).allclose(&a, 1e-12));
+    }
+
+    #[test]
+    fn matches_naive_small() {
+        let a = Tensor::linspace(-2.0, 2.0, 6).reshape(&[2, 3]);
+        let b = Tensor::linspace(0.5, 4.0, 12).reshape(&[3, 4]);
+        assert!(a.matmul(&b).allclose(&naive(&a, &b), 1e-12));
+    }
+
+    #[test]
+    fn matches_naive_threaded() {
+        // Large enough to cross the threading threshold.
+        let m = 96;
+        let k = 64;
+        let n = 80;
+        let a = Tensor::from_vec(
+            (0..m * k).map(|i| ((i * 37 % 101) as f64 - 50.0) / 25.0).collect(),
+            &[m, k],
+        );
+        let b = Tensor::from_vec(
+            (0..k * n).map(|i| ((i * 53 % 97) as f64 - 48.0) / 24.0).collect(),
+            &[k, n],
+        );
+        assert!(a.matmul(&b).allclose(&naive(&a, &b), 1e-9));
+    }
+
+    #[test]
+    fn matvec_agrees_with_matmul() {
+        let a = Tensor::linspace(0.0, 5.0, 6).reshape(&[2, 3]);
+        let v = Tensor::from_vec(vec![1.0, -1.0, 2.0], &[3]);
+        let via_mm = a.matmul(&v.reshape(&[3, 1])).reshape(&[2]);
+        assert!(a.matvec(&v).allclose(&via_mm, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn mismatched_inner_dims_panic() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn thread_override_roundtrip() {
+        set_gemm_threads(2);
+        let a = Tensor::ones(&[64, 64]);
+        let b = Tensor::ones(&[64, 64]);
+        let c = a.matmul(&b);
+        assert!((c.at(&[0, 0]) - 64.0).abs() < 1e-12);
+        set_gemm_threads(0);
+    }
+}

@@ -1,0 +1,353 @@
+//! Elementwise operations, axis reductions and operator overloads.
+
+use crate::shape::{broadcast_shapes, Shape};
+use crate::tensor::Tensor;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+impl Tensor {
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two tensors elementwise with NumPy-style broadcasting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are not broadcast-compatible.
+    pub fn zip_broadcast(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64) -> Tensor {
+        if self.shape == other.shape {
+            let data = self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect();
+            return Tensor {
+                data,
+                shape: self.shape.clone(),
+            };
+        }
+        let out_dims = broadcast_shapes(self.shape(), other.shape()).unwrap_or_else(|| {
+            panic!(
+                "cannot broadcast {} with {}",
+                self.shape_obj(),
+                other.shape_obj()
+            )
+        });
+        let out_shape = Shape::new(&out_dims);
+        let mut out = Tensor::zeros(&out_dims);
+        let rank = out_dims.len();
+        let strides = out_shape.strides();
+        let a_dims = pad_dims(self.shape(), rank);
+        let b_dims = pad_dims(other.shape(), rank);
+        let a_strides = padded_strides(self.shape(), rank);
+        let b_strides = padded_strides(other.shape(), rank);
+        for flat in 0..out.len() {
+            let mut a_off = 0;
+            let mut b_off = 0;
+            for d in 0..rank {
+                let i = (flat / strides[d]) % out_dims[d];
+                if a_dims[d] != 1 {
+                    a_off += i * a_strides[d];
+                }
+                if b_dims[d] != 1 {
+                    b_off += i * b_strides[d];
+                }
+            }
+            out.data[flat] = f(self.data[a_off], other.data[b_off]);
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tensor.
+    pub fn mean(&self) -> f64 {
+        assert!(!self.is_empty(), "mean of empty tensor");
+        self.sum() / self.len() as f64
+    }
+
+    /// Maximum element.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tensor.
+    pub fn max(&self) -> f64 {
+        assert!(!self.is_empty(), "max of empty tensor");
+        self.data.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum element.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tensor.
+    pub fn min(&self) -> f64 {
+        assert!(!self.is_empty(), "min of empty tensor");
+        self.data.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Index of the maximum element (ties resolve to the first).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tensor.
+    pub fn argmax(&self) -> usize {
+        assert!(!self.is_empty(), "argmax of empty tensor");
+        let mut best = 0;
+        for i in 1..self.data.len() {
+            if self.data[i] > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Sums a matrix along an axis: `axis == 0` collapses rows (output length
+    /// = #cols), `axis == 1` collapses columns (output length = #rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or `axis > 1`.
+    pub fn sum_axis(&self, axis: usize) -> Tensor {
+        assert_eq!(self.rank(), 2, "sum_axis expects a matrix");
+        assert!(axis < 2, "axis must be 0 or 1");
+        let (r, c) = (self.shape()[0], self.shape()[1]);
+        if axis == 0 {
+            let mut out = vec![0.0; c];
+            for i in 0..r {
+                for j in 0..c {
+                    out[j] += self.data[i * c + j];
+                }
+            }
+            Tensor::from_vec(out, &[c])
+        } else {
+            let mut out = vec![0.0; r];
+            for i in 0..r {
+                out[i] = self.data[i * c..(i + 1) * c].iter().sum();
+            }
+            Tensor::from_vec(out, &[r])
+        }
+    }
+
+    /// Transposes a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "transpose expects a matrix");
+        let (r, c) = (self.shape()[0], self.shape()[1]);
+        let mut out = Tensor::zeros(&[c, r]);
+        for i in 0..r {
+            for j in 0..c {
+                out.data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        out
+    }
+
+    /// Adds `scale * other` into `self` in place (same shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn axpy(&mut self, scale: f64, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += scale * b;
+        }
+    }
+
+    /// Multiplies every element by `s` in place.
+    pub fn scale_inplace(&mut self, s: f64) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// Returns `self * s`.
+    pub fn scale(&self, s: f64) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&self) -> Tensor {
+        self.map(f64::abs)
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> Tensor {
+        self.map(f64::exp)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Tensor {
+        self.map(f64::sqrt)
+    }
+
+    /// Elementwise clamp into `[lo, hi]`.
+    pub fn clamp(&self, lo: f64, hi: f64) -> Tensor {
+        self.map(|x| x.clamp(lo, hi))
+    }
+
+    /// Squared Frobenius norm (sum of squares).
+    pub fn sq_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+
+    /// Frobenius / Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.sq_norm().sqrt()
+    }
+
+    /// Dot product of two tensors viewed as flat vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn dot(&self, other: &Tensor) -> f64 {
+        assert_eq!(self.len(), other.len(), "dot length mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+}
+
+fn pad_dims(dims: &[usize], rank: usize) -> Vec<usize> {
+    let mut out = vec![1usize; rank];
+    out[rank - dims.len()..].copy_from_slice(dims);
+    out
+}
+
+fn padded_strides(dims: &[usize], rank: usize) -> Vec<usize> {
+    let padded = pad_dims(dims, rank);
+    Shape::new(&padded).strides()
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait for &Tensor {
+            type Output = Tensor;
+            fn $method(self, rhs: &Tensor) -> Tensor {
+                self.zip_broadcast(rhs, |a, b| a $op b)
+            }
+        }
+        impl $trait<f64> for &Tensor {
+            type Output = Tensor;
+            fn $method(self, rhs: f64) -> Tensor {
+                self.map(|a| a $op rhs)
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, +);
+impl_binop!(Sub, sub, -);
+impl_binop!(Mul, mul, *);
+impl_binop!(Div, div, /);
+
+impl Neg for &Tensor {
+    type Output = Tensor;
+    fn neg(self) -> Tensor {
+        self.map(|x| -x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f64], s: &[usize]) -> Tensor {
+        Tensor::from_vec(v.to_vec(), s)
+    }
+
+    #[test]
+    fn elementwise_arithmetic() {
+        let a = t(&[1.0, 2.0], &[2]);
+        let b = t(&[3.0, 5.0], &[2]);
+        assert_eq!((&a + &b).as_slice(), &[4.0, 7.0]);
+        assert_eq!((&a - &b).as_slice(), &[-2.0, -3.0]);
+        assert_eq!((&a * &b).as_slice(), &[3.0, 10.0]);
+        assert_eq!((&b / &a).as_slice(), &[3.0, 2.5]);
+        assert_eq!((&a * 2.0).as_slice(), &[2.0, 4.0]);
+        assert_eq!((-&a).as_slice(), &[-1.0, -2.0]);
+    }
+
+    #[test]
+    fn broadcasting_row_and_col() {
+        let m = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let row = t(&[10.0, 20.0, 30.0], &[3]);
+        let got = m.zip_broadcast(&row, |a, b| a + b);
+        assert_eq!(got.as_slice(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+        let col = t(&[100.0, 200.0], &[2, 1]);
+        let got = m.zip_broadcast(&col, |a, b| a + b);
+        assert_eq!(got.as_slice(), &[101.0, 102.0, 103.0, 204.0, 205.0, 206.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot broadcast")]
+    fn broadcast_mismatch_panics() {
+        let a = t(&[1.0, 2.0], &[2]);
+        let b = t(&[1.0, 2.0, 3.0], &[3]);
+        let _ = &a + &b;
+    }
+
+    #[test]
+    fn reductions() {
+        let m = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(m.sum(), 21.0);
+        assert_eq!(m.mean(), 3.5);
+        assert_eq!(m.max(), 6.0);
+        assert_eq!(m.min(), 1.0);
+        assert_eq!(m.argmax(), 5);
+        assert_eq!(m.sum_axis(0).as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(m.sum_axis(1).as_slice(), &[6.0, 15.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let mt = m.transpose();
+        assert_eq!(mt.shape(), &[3, 2]);
+        assert_eq!(mt.at(&[2, 1]), 6.0);
+        assert_eq!(mt.transpose(), m);
+    }
+
+    #[test]
+    fn norms_and_dot() {
+        let a = t(&[3.0, 4.0], &[2]);
+        assert_eq!(a.sq_norm(), 25.0);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.dot(&t(&[1.0, 1.0], &[2])), 7.0);
+    }
+
+    #[test]
+    fn axpy_and_scaling() {
+        let mut a = t(&[1.0, 1.0], &[2]);
+        a.axpy(2.0, &t(&[1.0, 3.0], &[2]));
+        assert_eq!(a.as_slice(), &[3.0, 7.0]);
+        a.scale_inplace(0.5);
+        assert_eq!(a.as_slice(), &[1.5, 3.5]);
+    }
+}

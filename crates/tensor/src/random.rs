@@ -1,0 +1,90 @@
+//! Random tensor constructors, seeded and reproducible.
+
+use crate::tensor::Tensor;
+use rand::distributions::Distribution;
+use rand::Rng;
+
+impl Tensor {
+    /// Fills a new tensor with uniform samples from `[lo, hi)`.
+    pub fn rand_uniform<R: Rng + ?Sized>(rng: &mut R, shape: &[usize], lo: f64, hi: f64) -> Tensor {
+        let n: usize = shape.iter().product();
+        let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+        Tensor::from_vec(data, shape)
+    }
+
+    /// Fills a new tensor with `N(mean, std²)` samples (Box–Muller).
+    pub fn rand_normal<R: Rng + ?Sized>(rng: &mut R, shape: &[usize], mean: f64, std: f64) -> Tensor {
+        let n: usize = shape.iter().product();
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            data.push(mean + std * r * theta.cos());
+            if data.len() < n {
+                data.push(mean + std * r * theta.sin());
+            }
+        }
+        Tensor::from_vec(data, shape)
+    }
+
+    /// Kaiming-uniform initialization for a weight of `fan_in` inputs:
+    /// uniform on `[-b, b]` with `b = sqrt(6 / fan_in)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fan_in == 0`.
+    pub fn kaiming_uniform<R: Rng + ?Sized>(rng: &mut R, shape: &[usize], fan_in: usize) -> Tensor {
+        assert!(fan_in > 0, "fan_in must be positive");
+        let bound = (6.0 / fan_in as f64).sqrt();
+        Self::rand_uniform(rng, shape, -bound, bound)
+    }
+
+    /// Samples each element from an arbitrary `rand` distribution.
+    pub fn rand_dist<R: Rng + ?Sized, D: Distribution<f64>>(
+        rng: &mut R,
+        shape: &[usize],
+        dist: &D,
+    ) -> Tensor {
+        let n: usize = shape.iter().product();
+        let data = (0..n).map(|_| dist.sample(rng)).collect();
+        Tensor::from_vec(data, shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_range_and_determinism() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Tensor::rand_uniform(&mut rng, &[1000], -2.0, 3.0);
+        assert!(t.as_slice().iter().all(|&x| (-2.0..3.0).contains(&x)));
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let t2 = Tensor::rand_uniform(&mut rng2, &[1000], -2.0, 3.0);
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let t = Tensor::rand_normal(&mut rng, &[20000], 1.0, 2.0);
+        let mean = t.mean();
+        let var = t.map(|x| (x - mean) * (x - mean)).mean();
+        assert!((mean - 1.0).abs() < 0.06, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn kaiming_bound() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Tensor::kaiming_uniform(&mut rng, &[64, 16], 16);
+        let b = (6.0f64 / 16.0).sqrt();
+        assert!(t.as_slice().iter().all(|&x| x.abs() <= b));
+        assert!(t.max() > 0.5 * b, "should fill out the range");
+    }
+}

@@ -1,0 +1,394 @@
+//! The core dense tensor type.
+
+use crate::shape::Shape;
+use std::fmt;
+
+/// A dense, row-major, dynamically shaped `f64` tensor.
+///
+/// `Tensor` is deliberately simple: owned storage, no views, no reference
+/// counting. Everything in the ADEPT stack (autodiff, photonic meshes, neural
+/// layers) is built from explicit copies of these, which keeps gradient
+/// bookkeeping straightforward and makes numerical bugs reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use adept_tensor::Tensor;
+///
+/// let t = Tensor::zeros(&[2, 3]);
+/// assert_eq!(t.shape(), &[2, 3]);
+/// assert_eq!(t.len(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Tensor {
+    pub(crate) data: Vec<f64>,
+    pub(crate) shape: Shape,
+}
+
+impl Tensor {
+    /// Creates a tensor from a flat `Vec` and a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the shape's element count.
+    pub fn from_vec(data: Vec<f64>, shape: &[usize]) -> Self {
+        let shape = Shape::new(shape);
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "data length {} does not match shape {shape}",
+            data.len()
+        );
+        Self { data, shape }
+    }
+
+    /// Creates a scalar (rank-0) tensor.
+    pub fn scalar(value: f64) -> Self {
+        Self {
+            data: vec![value],
+            shape: Shape::scalar(),
+        }
+    }
+
+    /// Creates an all-zeros tensor.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let shape = Shape::new(shape);
+        Self {
+            data: vec![0.0; shape.len()],
+            shape,
+        }
+    }
+
+    /// Creates an all-ones tensor.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f64) -> Self {
+        let shape = Shape::new(shape);
+        Self {
+            data: vec![value; shape.len()],
+            shape,
+        }
+    }
+
+    /// Creates the `n`×`n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Creates a 1-D tensor with `n` evenly spaced samples over
+    /// `[start, stop]` (inclusive on both ends when `n > 1`).
+    pub fn linspace(start: f64, stop: f64, n: usize) -> Self {
+        let data = if n <= 1 {
+            vec![start]
+        } else {
+            (0..n)
+                .map(|i| start + (stop - start) * i as f64 / (n - 1) as f64)
+                .collect()
+        };
+        let len = data.len();
+        Self::from_vec(data, &[len])
+    }
+
+    /// Creates a diagonal matrix from a 1-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `diag` is not rank 1.
+    pub fn from_diag(diag: &Tensor) -> Self {
+        assert_eq!(diag.rank(), 1, "from_diag expects a vector");
+        let n = diag.len();
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = diag.data[i];
+        }
+        t
+    }
+
+    /// Dimension extents.
+    pub fn shape(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Full shape object.
+    pub fn shape_obj(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing storage (row-major).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the backing storage (row-major).
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the backing storage.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or out-of-bounds coordinates.
+    pub fn at(&self, index: &[usize]) -> f64 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Mutable element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or out-of-bounds coordinates.
+    pub fn at_mut(&mut self, index: &[usize]) -> &mut f64 {
+        let off = self.shape.offset(index);
+        &mut self.data[off]
+    }
+
+    /// Returns the tensor reinterpreted with a new shape of equal length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        let new_shape = Shape::new(shape);
+        assert_eq!(
+            self.len(),
+            new_shape.len(),
+            "cannot reshape {} elements into {new_shape}",
+            self.len()
+        );
+        Tensor {
+            data: self.data.clone(),
+            shape: new_shape,
+        }
+    }
+
+    /// The single value of a scalar or one-element tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor has more than one element.
+    pub fn item(&self) -> f64 {
+        assert_eq!(self.len(), 1, "item() on tensor with {} elements", self.len());
+        self.data[0]
+    }
+
+    /// Elementwise approximate equality within absolute tolerance `tol`.
+    pub fn allclose(&self, other: &Tensor, tol: f64) -> bool {
+        self.shape == other.shape
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Maximum absolute difference to another tensor of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f64 {
+        assert_eq!(self.shape, other.shape, "shape mismatch in max_abs_diff");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Extracts row `r` of a matrix as a vector tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or `r` is out of bounds.
+    pub fn row(&self, r: usize) -> Tensor {
+        assert_eq!(self.rank(), 2, "row() expects a matrix");
+        let (rows, cols) = (self.shape()[0], self.shape()[1]);
+        assert!(r < rows, "row {r} out of bounds for {rows} rows");
+        Tensor::from_vec(self.data[r * cols..(r + 1) * cols].to_vec(), &[cols])
+    }
+
+    /// Extracts column `c` of a matrix as a vector tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or `c` is out of bounds.
+    pub fn col(&self, c: usize) -> Tensor {
+        assert_eq!(self.rank(), 2, "col() expects a matrix");
+        let (rows, cols) = (self.shape()[0], self.shape()[1]);
+        assert!(c < cols, "col {c} out of bounds for {cols} cols");
+        let data = (0..rows).map(|r| self.data[r * cols + c]).collect();
+        Tensor::from_vec(data, &[rows])
+    }
+
+    /// Writes `block` into `self` (a matrix) with its top-left corner at
+    /// `(r0, c0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not rank 2 or the block does not fit.
+    pub fn set_block(&mut self, r0: usize, c0: usize, block: &Tensor) {
+        assert_eq!(self.rank(), 2, "set_block target must be a matrix");
+        assert_eq!(block.rank(), 2, "set_block source must be a matrix");
+        let (rows, cols) = (self.shape()[0], self.shape()[1]);
+        let (br, bc) = (block.shape()[0], block.shape()[1]);
+        assert!(
+            r0 + br <= rows && c0 + bc <= cols,
+            "block {br}x{bc} at ({r0},{c0}) exceeds {rows}x{cols}"
+        );
+        for i in 0..br {
+            let src = &block.data[i * bc..(i + 1) * bc];
+            let dst_off = (r0 + i) * cols + c0;
+            self.data[dst_off..dst_off + bc].copy_from_slice(src);
+        }
+    }
+
+    /// Copies the `rows`×`cols` block whose top-left corner is `(r0, c0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or the block exceeds bounds.
+    pub fn block(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> Tensor {
+        assert_eq!(self.rank(), 2, "block() expects a matrix");
+        let (nr, nc) = (self.shape()[0], self.shape()[1]);
+        assert!(
+            r0 + rows <= nr && c0 + cols <= nc,
+            "block {rows}x{cols} at ({r0},{c0}) exceeds {nr}x{nc}"
+        );
+        let mut out = Tensor::zeros(&[rows, cols]);
+        for i in 0..rows {
+            let src_off = (r0 + i) * nc + c0;
+            out.data[i * cols..(i + 1) * cols]
+                .copy_from_slice(&self.data[src_off..src_off + cols]);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} ", self.shape)?;
+        if self.rank() == 2 {
+            let (r, c) = (self.shape()[0], self.shape()[1]);
+            writeln!(f, "[")?;
+            for i in 0..r.min(8) {
+                write!(f, "  [")?;
+                for j in 0..c.min(8) {
+                    if j > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{:9.4}", self.data[i * c + j])?;
+                }
+                if c > 8 {
+                    write!(f, ", …")?;
+                }
+                writeln!(f, "]")?;
+            }
+            if r > 8 {
+                writeln!(f, "  …")?;
+            }
+            write!(f, "]")
+        } else {
+            let n = self.len().min(16);
+            write!(f, "{:?}", &self.data[..n])?;
+            if self.len() > 16 {
+                write!(f, "…")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Tensor::zeros(&[3, 2]).len(), 6);
+        assert_eq!(Tensor::ones(&[4]).as_slice(), &[1.0; 4]);
+        assert_eq!(Tensor::full(&[2], 3.5).as_slice(), &[3.5, 3.5]);
+        assert_eq!(Tensor::scalar(2.0).item(), 2.0);
+        let eye = Tensor::eye(3);
+        assert_eq!(eye.at(&[1, 1]), 1.0);
+        assert_eq!(eye.at(&[0, 2]), 0.0);
+    }
+
+    #[test]
+    fn linspace_endpoints() {
+        let t = Tensor::linspace(0.0, 1.0, 5);
+        assert_eq!(t.as_slice(), &[0.0, 0.25, 0.5, 0.75, 1.0]);
+        assert_eq!(Tensor::linspace(2.0, 9.0, 1).as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn diag_round_trip() {
+        let d = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let m = Tensor::from_diag(&d);
+        assert_eq!(m.at(&[2, 2]), 3.0);
+        assert_eq!(m.at(&[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::linspace(0.0, 5.0, 6).reshape(&[2, 3]);
+        assert_eq!(t.at(&[1, 0]), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reshape")]
+    fn reshape_rejects_bad_len() {
+        Tensor::zeros(&[4]).reshape(&[3]);
+    }
+
+    #[test]
+    fn rows_cols_blocks() {
+        let m = Tensor::from_vec((0..12).map(|x| x as f64).collect(), &[3, 4]);
+        assert_eq!(m.row(1).as_slice(), &[4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(m.col(2).as_slice(), &[2.0, 6.0, 10.0]);
+        let b = m.block(1, 1, 2, 2);
+        assert_eq!(b.as_slice(), &[5.0, 6.0, 9.0, 10.0]);
+        let mut z = Tensor::zeros(&[3, 4]);
+        z.set_block(1, 2, &Tensor::ones(&[2, 2]));
+        assert_eq!(z.at(&[1, 2]), 1.0);
+        assert_eq!(z.at(&[2, 3]), 1.0);
+        assert_eq!(z.at(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn allclose_and_diff() {
+        let a = Tensor::ones(&[2, 2]);
+        let mut b = a.clone();
+        *b.at_mut(&[0, 1]) += 1e-9;
+        assert!(a.allclose(&b, 1e-8));
+        assert!(!a.allclose(&b, 1e-10));
+        assert!((a.max_abs_diff(&b) - 1e-9).abs() < 1e-15);
+    }
+}

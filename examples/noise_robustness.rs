@@ -1,0 +1,51 @@
+//! Noise robustness: train three PTC designs variation-aware, then sweep
+//! Gaussian phase drift at evaluation time (the paper's Fig. 4 protocol,
+//! miniaturized).
+//!
+//! Run with: `cargo run --release --example noise_robustness`
+
+use adept_bench::{retrain, run_search, ModelKind, RetrainSettings, Scale};
+use adept_datasets::DatasetKind;
+use adept_nn::models::Backend;
+use adept_photonics::Pdk;
+
+fn main() {
+    let k = 16usize;
+    let settings = RetrainSettings::for_scale(Scale::Repro);
+    let searched = run_search(k, Pdk::amf(), (1056.0, 1320.0), Scale::Repro, 11);
+    let designs: Vec<(&str, Backend)> = vec![
+        ("MZI-ONN", Backend::Mzi { k }),
+        ("FFT-ONN", Backend::butterfly(k)),
+        (
+            "ADEPT",
+            Backend::Topology {
+                u: searched.design.topo_u.clone(),
+                v: searched.design.topo_v.clone(),
+            },
+        ),
+    ];
+    println!("phase-noise robustness, proxy CNN on MNIST-like (variation-aware training)\n");
+    print!("{:<8} | {:>7}", "design", "clean");
+    let sigmas = [0.02, 0.05, 0.1];
+    for s in sigmas {
+        print!(" | σ={s:<4}");
+    }
+    println!("\n{}", "-".repeat(50));
+    for (i, (name, backend)) in designs.iter().enumerate() {
+        let mut out = retrain(
+            ModelKind::Proxy,
+            DatasetKind::MnistLike,
+            backend,
+            &settings,
+            60 + i as u64,
+        );
+        print!("{:<8} | {:>6.1}%", name, out.accuracy_pct);
+        for (si, &sigma) in sigmas.iter().enumerate() {
+            let (mean, _) = out.model.noisy_accuracy(sigma, 3, 900 + si as u64);
+            print!(" | {mean:>5.1}%");
+        }
+        println!();
+    }
+    println!("\nThe deep MZI mesh accumulates drift over O(K) stages and degrades");
+    println!("fastest; the shallow searched mesh holds up alongside the butterfly.");
+}

@@ -1,0 +1,73 @@
+//! Quickstart: search a photonic tensor core topology under a footprint
+//! budget, inspect the design, then train an ONN with it.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use adept::search::{search, AdeptConfig};
+use adept_bench as _;
+use adept_datasets::DatasetKind;
+use adept_nn::models::Backend;
+use adept_photonics::Pdk;
+
+fn main() {
+    // 1. Pick a PDK and a footprint window (in 1000 µm², like the paper's
+    //    Table 1 "a1" target for an 8×8 core).
+    let pdk = Pdk::amf();
+    let (f_min, f_max) = (240.0, 300.0);
+
+    // 2. Search. `quick` is a CPU-friendly schedule; `paper_like` matches
+    //    the paper's 90-epoch flow.
+    let mut cfg = AdeptConfig::quick(8, pdk.clone(), f_min, f_max);
+    cfg.seed = 42;
+    let outcome = search(&cfg);
+
+    println!("analytic block bounds (Eq. 16): B ∈ [{}, {}]", outcome.b_min, outcome.b_max);
+    let d = &outcome.design;
+    println!(
+        "searched design: {} blocks, #CR={}, #DC={}, #PS={}",
+        d.device_count.blocks, d.device_count.cr, d.device_count.dc, d.device_count.ps
+    );
+    println!(
+        "footprint: {:.0} kµm² (window [{f_min:.0}, {f_max:.0}] kµm² on {})",
+        d.footprint_kum2, pdk.name
+    );
+    for (i, b) in d.topo_u.blocks().iter().enumerate() {
+        println!(
+            "  U block {i}: dc_start={} couplers={:?} crossings={}",
+            b.dc_start,
+            b.couplers.iter().map(|&c| c as u8).collect::<Vec<_>>(),
+            b.perm.crossing_count()
+        );
+    }
+
+    // 3. Train an ONN that uses the searched core for every layer
+    //    (variation-aware, like the paper's retraining stage).
+    let settings = adept_bench::RetrainSettings::for_scale(adept_bench::Scale::Repro);
+    let backend = Backend::Topology {
+        u: d.topo_u.clone(),
+        v: d.topo_v.clone(),
+    };
+    let result = adept_bench::retrain(
+        adept_bench::ModelKind::Proxy,
+        DatasetKind::MnistLike,
+        &backend,
+        &settings,
+        42,
+    );
+    println!("\nretrained proxy-CNN accuracy: {:.1}%", result.accuracy_pct);
+
+    // 4. Compare against the hand-designed FFT-ONN butterfly at its own
+    //    (fixed) footprint.
+    let fft = adept_bench::retrain(
+        adept_bench::ModelKind::Proxy,
+        DatasetKind::MnistLike,
+        &Backend::butterfly(8),
+        &settings,
+        42,
+    );
+    let fft_fp = adept_bench::fft_counts(8).footprint_kum2(&pdk);
+    println!(
+        "FFT-ONN baseline: {:.1}% at {:.0} kµm² (searched: {:.1}% at {:.0} kµm²)",
+        fft.accuracy_pct, fft_fp, result.accuracy_pct, d.footprint_kum2
+    );
+}

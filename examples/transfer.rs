@@ -1,0 +1,60 @@
+//! Transferability: a topology searched once on the MNIST-like proxy task
+//! is reused — without re-searching — for a different model (LeNet-5) on a
+//! different dataset (FashionMNIST-like), the paper's Table 3 protocol.
+//!
+//! Run with: `cargo run --release --example transfer`
+
+use adept_bench::{retrain, run_search, ModelKind, RetrainSettings, Scale};
+use adept_datasets::DatasetKind;
+use adept_nn::models::Backend;
+use adept_photonics::Pdk;
+
+fn main() {
+    let k = 16usize;
+    let mut settings = RetrainSettings::for_scale(Scale::Repro);
+    settings.image_size = 12; // LeNet needs room to pool twice
+
+    println!("searching a 16×16 PTC on the MNIST-like proxy (a2 window)…");
+    let searched = run_search(k, Pdk::amf(), (672.0, 840.0), Scale::Repro, 21);
+    let d = &searched.design;
+    println!(
+        "  found: #Blk={} #CR={} #DC={} footprint {:.0} kµm²\n",
+        d.device_count.blocks, d.device_count.cr, d.device_count.dc, d.footprint_kum2
+    );
+    let backend = Backend::Topology {
+        u: d.topo_u.clone(),
+        v: d.topo_v.clone(),
+    };
+
+    println!("transferring the frozen topology to LeNet-5 / FashionMNIST-like:");
+    let adept_acc = retrain(
+        ModelKind::LeNet5,
+        DatasetKind::FashionMnistLike,
+        &backend,
+        &settings,
+        1,
+    )
+    .accuracy_pct;
+    let fft_acc = retrain(
+        ModelKind::LeNet5,
+        DatasetKind::FashionMnistLike,
+        &Backend::butterfly(k),
+        &settings,
+        1,
+    )
+    .accuracy_pct;
+    let mzi_acc = retrain(
+        ModelKind::LeNet5,
+        DatasetKind::FashionMnistLike,
+        &Backend::Mzi { k },
+        &settings,
+        1,
+    )
+    .accuracy_pct;
+    println!("  ADEPT (searched on proxy): {adept_acc:.1}%");
+    println!("  FFT-ONN butterfly:         {fft_acc:.1}%");
+    println!("  MZI-ONN (universal):       {mzi_acc:.1}%");
+    println!("\nOnly the phases are retrained per task — the fabric (couplers and");
+    println!("crossings) is fixed at tape-out, exactly the constraint the paper's");
+    println!("search is designed around.");
+}

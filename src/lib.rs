@@ -1,0 +1,12 @@
+//! Umbrella crate for the ADEPT (DAC 2022) reproduction workspace.
+//!
+//! The real functionality lives in the member crates; this crate re-exports
+//! them so examples and integration tests can use one coherent namespace.
+
+pub use adept;
+pub use adept_autodiff as autodiff;
+pub use adept_datasets as datasets;
+pub use adept_linalg as linalg;
+pub use adept_nn as nn;
+pub use adept_photonics as photonics;
+pub use adept_tensor as tensor;

@@ -1,0 +1,126 @@
+//! Property-based tests of the autodiff engine: analytic gradients of
+//! randomly composed graphs must match finite differences.
+
+use adept_autodiff::{check_gradients, Graph, Var};
+use adept_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small op vocabulary applied in sequence to a starting matrix.
+#[derive(Debug, Clone, Copy)]
+enum OpChoice {
+    Square,
+    Tanh,
+    Sigmoid,
+    Relu,
+    Neg,
+    MulSelf,
+    AddSelf,
+    Transpose,
+    SoftmaxRows,
+}
+
+fn apply<'g>(op: OpChoice, v: Var<'g>) -> Var<'g> {
+    match op {
+        OpChoice::Square => v.square(),
+        OpChoice::Tanh => v.tanh(),
+        OpChoice::Sigmoid => v.sigmoid(),
+        OpChoice::Relu => v.relu(),
+        OpChoice::Neg => v.neg(),
+        OpChoice::MulSelf => v.mul(v),
+        OpChoice::AddSelf => v.add(v),
+        OpChoice::Transpose => v.transpose().transpose(),
+        OpChoice::SoftmaxRows => v.softmax_rows(),
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = OpChoice> {
+    prop_oneof![
+        Just(OpChoice::Square),
+        Just(OpChoice::Tanh),
+        Just(OpChoice::Sigmoid),
+        Just(OpChoice::Relu),
+        Just(OpChoice::Neg),
+        Just(OpChoice::MulSelf),
+        Just(OpChoice::AddSelf),
+        Just(OpChoice::Transpose),
+        Just(OpChoice::SoftmaxRows),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_op_chains_gradcheck(
+        ops in proptest::collection::vec(op_strategy(), 1..6),
+        seed in 0u64..10_000,
+        rows in 2usize..4,
+        cols in 2usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Keep magnitudes moderate and away from relu kinks.
+        let x = Tensor::rand_uniform(&mut rng, &[rows, cols], 0.1, 0.9);
+        let ops_cl = ops.clone();
+        let result = check_gradients(
+            move |_, vars| {
+                let mut v = vars[0];
+                for &op in &ops_cl {
+                    v = apply(op, v);
+                }
+                v.sum()
+            },
+            &[x],
+            1e-6,
+            5e-5,
+        );
+        prop_assert!(result.is_ok(), "ops {:?}: {:?}", ops, result.err());
+    }
+
+    #[test]
+    fn matmul_chain_gradcheck(
+        depth in 1usize..4,
+        seed in 0u64..10_000,
+        n in 2usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::rand_uniform(&mut rng, &[n, n], -0.8, 0.8);
+        let b = Tensor::rand_uniform(&mut rng, &[n, n], -0.8, 0.8);
+        let result = check_gradients(
+            move |_, vars| {
+                let mut m = vars[0];
+                for _ in 0..depth {
+                    m = m.matmul(vars[1]);
+                }
+                m.square().sum()
+            },
+            &[a, b],
+            1e-6,
+            5e-5,
+        );
+        prop_assert!(result.is_ok(), "{:?}", result.err());
+    }
+
+    #[test]
+    fn sum_and_mean_agree(seed in 0u64..10_000, rows in 1usize..5, cols in 1usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::rand_uniform(&mut rng, &[rows, cols], -2.0, 2.0);
+        let g = Graph::new();
+        let v = g.leaf(x.clone());
+        let total = v.sum().value().item();
+        let mean = v.mean().value().item();
+        prop_assert!((total / (rows * cols) as f64 - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detach_really_stops_gradients(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::rand_uniform(&mut rng, &[3], 0.2, 1.5);
+        let g = Graph::new();
+        let v = g.leaf(x);
+        let loss = v.detach().mul(v.detach()).sum();
+        let grads = g.backward(loss);
+        prop_assert!(grads.grad(v).is_none());
+    }
+}

@@ -1,0 +1,85 @@
+//! Integration test: hardware-fault injection on photonic meshes — dead
+//! phase shifters and severe drift must degrade gracefully (never break
+//! unitarity/passivity) and monotonically.
+
+use adept_linalg::CMatrix;
+use adept_photonics::{BlockMeshTopology, DeadShifterFault, PhaseNoise};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_phases(rng: &mut StdRng, blocks: usize, k: usize) -> Vec<Vec<f64>> {
+    (0..blocks)
+        .map(|_| (0..k).map(|_| rng.gen_range(-3.0..3.0)).collect())
+        .collect()
+}
+
+#[test]
+fn dead_shifters_preserve_unitarity() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let topo = BlockMeshTopology::random(&mut rng, 8, 5);
+    let phases = random_phases(&mut rng, 5, 8);
+    for p in [0.0, 0.1, 0.5, 1.0] {
+        let fault = DeadShifterFault::new(p);
+        let faulty: Vec<Vec<f64>> = phases.iter().map(|c| fault.inject(c, &mut rng)).collect();
+        let u = topo.unitary(&faulty);
+        assert!(u.is_unitary(1e-9), "p={p}");
+    }
+}
+
+#[test]
+fn fault_severity_orders_transfer_error() {
+    // Average transfer-matrix deviation grows with the death probability.
+    let mut rng = StdRng::seed_from_u64(2);
+    let topo = BlockMeshTopology::butterfly(16);
+    let phases = random_phases(&mut rng, topo.blocks().len(), 16);
+    let clean = topo.unitary(&phases);
+    let mean_err = |p: f64, rng: &mut StdRng| -> f64 {
+        let fault = DeadShifterFault::new(p);
+        let mut total = 0.0;
+        for _ in 0..10 {
+            let faulty: Vec<Vec<f64>> = phases.iter().map(|c| fault.inject(c, rng)).collect();
+            total += topo.unitary(&faulty).fro_dist(&clean);
+        }
+        total / 10.0
+    };
+    let e_small = mean_err(0.05, &mut rng);
+    let e_large = mean_err(0.5, &mut rng);
+    assert!(e_small > 0.0);
+    assert!(
+        e_large > 1.5 * e_small,
+        "fault severity not ordered: {e_small} vs {e_large}"
+    );
+}
+
+#[test]
+fn drift_and_faults_compose() {
+    // Drift on top of dead shifters still yields a physical (unitary) mesh.
+    let mut rng = StdRng::seed_from_u64(3);
+    let topo = BlockMeshTopology::random(&mut rng, 12, 4);
+    let phases = random_phases(&mut rng, 4, 12);
+    let noise = PhaseNoise::new(0.1);
+    let fault = DeadShifterFault::new(0.2);
+    let damaged: Vec<Vec<f64>> = phases
+        .iter()
+        .map(|c| fault.inject(&noise.perturb(c, &mut rng), &mut rng))
+        .collect();
+    let u = topo.unitary(&damaged);
+    assert!(u.is_unitary(1e-9));
+    // Energy conservation: column power stays 1 (passive optics).
+    for j in 0..12 {
+        let power: f64 = (0..12).map(|i| u[(i, j)].norm_sqr()).sum();
+        assert!((power - 1.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn mzi_mesh_survives_total_phase_loss() {
+    // Even with every programmed phase dead (all-zero), the MZI
+    // decomposition of the resulting matrix is still exact.
+    let topo = BlockMeshTopology::butterfly(8);
+    let zero_phases = vec![vec![0.0; 8]; topo.blocks().len()];
+    let u = topo.unitary(&zero_phases);
+    let d = adept_photonics::clements::decompose(&u);
+    assert!(d.reconstruct().fro_dist(&u) < 1e-9);
+    let _ = CMatrix::identity(2); // keep the linalg import exercised
+}

@@ -1,0 +1,170 @@
+//! Integration test: every *structural* cell of the paper's Tables 1–2
+//! (device counts and footprints of the MZI-ONN and FFT-ONN baselines, and
+//! the analytic block bounds behind each ADEPT window) is reproduced
+//! exactly by the workspace.
+
+use adept_photonics::{block_count_bounds, butterfly::butterfly_topology, DeviceCount, Pdk};
+
+struct BaselineCell {
+    k: usize,
+    cr: usize,
+    dc: usize,
+    blocks: usize,
+    footprint_amf: f64,
+}
+
+#[test]
+fn table1_mzi_rows_exact() {
+    let rows = [
+        BaselineCell { k: 8, cr: 0, dc: 112, blocks: 32, footprint_amf: 1909.0 },
+        BaselineCell { k: 16, cr: 0, dc: 480, blocks: 64, footprint_amf: 7683.0 },
+        BaselineCell { k: 32, cr: 0, dc: 1984, blocks: 128, footprint_amf: 30829.0 },
+    ];
+    for row in rows {
+        let c = DeviceCount::mzi_ptc(row.k);
+        assert_eq!(c.cr, row.cr, "k={}", row.k);
+        assert_eq!(c.dc, row.dc, "k={}", row.k);
+        assert_eq!(c.blocks, row.blocks, "k={}", row.k);
+        assert_eq!(c.ps, row.k * row.blocks, "k={}", row.k);
+        assert_eq!(
+            c.footprint_kum2(&Pdk::amf()).round(),
+            row.footprint_amf,
+            "k={}",
+            row.k
+        );
+    }
+}
+
+#[test]
+fn table1_fft_rows_exact() {
+    let rows = [
+        BaselineCell { k: 8, cr: 16, dc: 24, blocks: 6, footprint_amf: 363.0 },
+        BaselineCell { k: 16, cr: 88, dc: 64, blocks: 8, footprint_amf: 972.0 },
+        BaselineCell { k: 32, cr: 416, dc: 160, blocks: 10, footprint_amf: 2443.0 },
+    ];
+    for row in rows {
+        let t = butterfly_topology(row.k);
+        let c = t.ptc_device_count(&t);
+        assert_eq!(c.cr, row.cr, "k={}", row.k);
+        assert_eq!(c.dc, row.dc, "k={}", row.k);
+        assert_eq!(c.blocks, row.blocks, "k={}", row.k);
+        assert_eq!(
+            c.footprint_kum2(&Pdk::amf()).round(),
+            row.footprint_amf,
+            "k={}",
+            row.k
+        );
+    }
+}
+
+#[test]
+fn table2_baseline_rows_exact() {
+    let aim = Pdk::aim();
+    let mzi = DeviceCount::mzi_ptc(16);
+    assert_eq!(mzi.footprint_kum2(&aim).round(), 4480.0);
+    let t = butterfly_topology(16);
+    let fft = t.ptc_device_count(&t);
+    assert_eq!(fft.footprint_kum2(&aim).round(), 1007.0);
+}
+
+#[test]
+fn published_adept_designs_fit_their_windows_and_bounds() {
+    // (k, pdk, window, published #Blk) from Tables 1–2 — the analytic
+    // Eq. 16 bounds must bracket every published block count.
+    let aim = Pdk::aim();
+    let amf = Pdk::amf();
+    let cases: Vec<(usize, &Pdk, f64, f64, usize)> = vec![
+        (8, &amf, 240.0, 300.0, 5),
+        (8, &amf, 336.0, 420.0, 6),
+        (8, &amf, 432.0, 540.0, 8),
+        (8, &amf, 528.0, 660.0, 11),
+        (8, &amf, 624.0, 780.0, 13),
+        (16, &amf, 480.0, 600.0, 4),
+        (16, &amf, 672.0, 840.0, 6),
+        (16, &amf, 864.0, 1080.0, 8),
+        (16, &amf, 1056.0, 1320.0, 10),
+        (16, &amf, 1248.0, 1560.0, 12),
+        (32, &amf, 960.0, 1200.0, 4),
+        (32, &amf, 1344.0, 1680.0, 6),
+        (32, &amf, 1728.0, 2160.0, 8),
+        (32, &amf, 2112.0, 2640.0, 10),
+        (32, &amf, 2496.0, 3120.0, 12),
+        (16, &aim, 384.0, 480.0, 5),
+        (16, &aim, 480.0, 600.0, 8),
+        (16, &aim, 672.0, 840.0, 8),
+        (16, &aim, 864.0, 1080.0, 13),
+        (16, &aim, 1056.0, 1320.0, 14),
+        (16, &aim, 1248.0, 1560.0, 16),
+    ];
+    for (k, pdk, f_min, f_max, published_blocks) in cases {
+        let b = block_count_bounds(k, pdk, f_min, f_max);
+        assert!(
+            b.b_min <= published_blocks && published_blocks <= b.b_max,
+            "k={k} {} window [{f_min},{f_max}]: published {published_blocks} ∉ [{}, {}]",
+            pdk.name,
+            b.b_min,
+            b.b_max
+        );
+    }
+}
+
+#[test]
+fn published_adept_footprints_reproduce_from_counts() {
+    // Footprint column of Table 1's ADEPT rows recomputed from the
+    // published #PS/#DC/#CR counts must land on the published number
+    // (±1 kµm² rounding).
+    let amf = Pdk::amf();
+    // (k, cr, dc, blocks, published F)
+    let rows = [
+        (8usize, 24usize, 17usize, 5usize, 299.0),
+        (8, 17, 19, 6, 356.0),
+        (8, 26, 27, 8, 478.0),
+        (8, 27, 36, 11, 654.0),
+        (8, 33, 41, 13, 771.0),
+        (16, 45, 28, 4, 480.0),
+        (16, 68, 43, 6, 722.0),
+        (16, 127, 59, 8, 967.0),
+        (16, 174, 71, 10, 1206.0),
+        (16, 131, 85, 12, 1441.0),
+        (32, 223, 60, 4, 975.0),
+        (32, 333, 87, 6, 1457.0),
+        (32, 691, 150, 10, 2445.0),
+        (32, 717, 179, 12, 2926.0),
+    ];
+    for (k, cr, dc, blocks, f) in rows {
+        let c = DeviceCount::new(k * blocks, dc, cr, blocks);
+        let got = c.footprint_kum2(&amf);
+        assert!(
+            (got - f).abs() <= 1.0,
+            "k={k} blocks={blocks}: recomputed {got:.1} vs published {f}"
+        );
+    }
+    // The published 32×32 ADEPT-a3 row (#CR/#DC/#Blk = 628/178/8,
+    // F = 1959) is internally inconsistent with the paper's own cost
+    // model: 256·6.8 + 178·1.5 + 628·0.064 = 2048 ≠ 1959. Every other row
+    // of Tables 1–2 reproduces to ±1 kµm², so we record the discrepancy
+    // here rather than asserting it.
+    let a3 = DeviceCount::new(32 * 8, 178, 628, 8);
+    assert_eq!(a3.footprint_kum2(&amf).round(), 2048.0);
+}
+
+#[test]
+fn table2_adept_footprints_reproduce_from_counts() {
+    let aim = Pdk::aim();
+    let rows = [
+        (15usize, 35usize, 5usize, 414.0),
+        (1, 58, 8, 557.0),
+        (26, 58, 8, 679.0),
+        (17, 92, 13, 971.0),
+        (25, 99, 14, 1079.0),
+        (89, 111, 16, 1520.0),
+    ];
+    for (cr, dc, blocks, f) in rows {
+        let c = DeviceCount::new(16 * blocks, dc, cr, blocks);
+        let got = c.footprint_kum2(&aim);
+        assert!(
+            (got - f).abs() <= 1.0,
+            "blocks={blocks}: recomputed {got:.1} vs published {f}"
+        );
+    }
+}

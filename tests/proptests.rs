@@ -1,0 +1,130 @@
+//! Property-based tests (proptest) over the workspace's core invariants.
+
+use adept::spl;
+use adept_linalg::{polar_orthogonal, svd, Permutation};
+use adept_photonics::{BlockMeshTopology, DeviceCount, Pdk};
+use adept_tensor::{broadcast_shapes, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn perm_strategy(n: usize) -> impl Strategy<Value = Permutation> {
+    Just(n).prop_perturb(move |n, mut rng| {
+        let mut image: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            image.swap(i, j);
+        }
+        Permutation::from_vec(image).expect("shuffle is a bijection")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn crossing_count_invariant_under_inverse(p in perm_strategy(12)) {
+        prop_assert_eq!(p.crossing_count(), p.inverse().crossing_count());
+    }
+
+    #[test]
+    fn compose_with_inverse_is_identity(p in perm_strategy(10)) {
+        prop_assert!(p.compose(&p.inverse()).is_identity());
+        prop_assert!(p.inverse().compose(&p).is_identity());
+    }
+
+    #[test]
+    fn crossing_count_bounded_by_max_inversions(p in perm_strategy(14)) {
+        prop_assert!(p.crossing_count() <= 14 * 13 / 2);
+    }
+
+    #[test]
+    fn permutation_matrix_round_trip(p in perm_strategy(9)) {
+        let m = p.to_matrix();
+        let q = Permutation::try_from_matrix(&m, 1e-12).unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn broadcast_is_commutative_in_shape(
+        a in proptest::collection::vec(1usize..5, 1..4),
+        b in proptest::collection::vec(1usize..5, 1..4),
+    ) {
+        prop_assert_eq!(broadcast_shapes(&a, &b), broadcast_shapes(&b, &a));
+    }
+
+    #[test]
+    fn tensor_transpose_involution(rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Tensor::rand_uniform(&mut rng, &[rows, cols], -2.0, 2.0);
+        prop_assert_eq!(t.transpose().transpose(), t);
+    }
+
+    #[test]
+    fn svd_reconstructs_random_matrices(n in 2usize..8, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::rand_uniform(&mut rng, &[n, n], -3.0, 3.0);
+        let d = svd(&a);
+        prop_assert!(d.reconstruct().allclose(&a, 1e-8));
+        // Singular values are sorted and non-negative.
+        for w in d.s.windows(2) {
+            prop_assert!(w[0] + 1e-12 >= w[1]);
+        }
+        prop_assert!(d.s.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn polar_factor_is_orthogonal(n in 2usize..7, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::rand_uniform(&mut rng, &[n, n], -2.0, 2.0);
+        let q = polar_orthogonal(&a);
+        let qtq = q.transpose().matmul(&q);
+        prop_assert!(qtq.allclose(&Tensor::eye(n), 1e-8));
+    }
+
+    #[test]
+    fn spl_always_returns_legal_permutation(n in 3usize..10, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = Tensor::rand_uniform(&mut rng, &[n, n], 0.0, 1.0);
+        let legal = spl::legalize(&p, &mut rng, 8, 0.05);
+        prop_assert_eq!(legal.len(), n);
+    }
+
+    #[test]
+    fn random_mesh_unitary_is_unitary(k in 2usize..7, b in 1usize..5, seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = BlockMeshTopology::random(&mut rng, 2 * k, b);
+        let phases: Vec<Vec<f64>> = (0..b)
+            .map(|_| (0..2 * k).map(|_| {
+                use rand::Rng;
+                rng.gen_range(-3.0..3.0)
+            }).collect())
+            .collect();
+        let u = topo.unitary(&phases);
+        prop_assert!(u.is_unitary(1e-8));
+    }
+
+    #[test]
+    fn footprint_is_linear_in_counts(
+        ps in 0usize..500, dc in 0usize..300, cr in 0usize..300,
+    ) {
+        let pdk = Pdk::amf();
+        let c1 = DeviceCount::new(ps, dc, cr, 1);
+        let c2 = DeviceCount::new(2 * ps, 2 * dc, 2 * cr, 2);
+        prop_assert!((c2.footprint_um2(&pdk) - 2.0 * c1.footprint_um2(&pdk)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn device_count_addition_is_componentwise(
+        a in (0usize..100, 0usize..100, 0usize..100, 0usize..10),
+        b in (0usize..100, 0usize..100, 0usize..100, 0usize..10),
+    ) {
+        let x = DeviceCount::new(a.0, a.1, a.2, a.3);
+        let y = DeviceCount::new(b.0, b.1, b.2, b.3);
+        let s = x + y;
+        prop_assert_eq!(s.ps, a.0 + b.0);
+        prop_assert_eq!(s.dc, a.1 + b.1);
+        prop_assert_eq!(s.cr, a.2 + b.2);
+        prop_assert_eq!(s.blocks, a.3 + b.3);
+    }
+}
