@@ -65,12 +65,7 @@ impl std::error::Error for GradCheckError {}
 /// )?;
 /// # Ok::<(), adept_autodiff::GradCheckError>(())
 /// ```
-pub fn check_gradients<F>(
-    f: F,
-    inputs: &[Tensor],
-    eps: f64,
-    tol: f64,
-) -> Result<(), GradCheckError>
+pub fn check_gradients<F>(f: F, inputs: &[Tensor], eps: f64, tol: f64) -> Result<(), GradCheckError>
 where
     F: for<'g> Fn(&'g Graph, &[Var<'g>]) -> Var<'g>,
 {
@@ -134,7 +129,13 @@ mod tests {
         check_gradients(|_, v| v[0].sqrt().sum(), &[x.clone()], 1e-6, 1e-6).unwrap();
         let y = rand_t(&[6], 2);
         check_gradients(|_, v| v[0].exp().sum(), &[y.clone()], 1e-6, 1e-6).unwrap();
-        check_gradients(|_, v| v[0].sin().mul(v[0].cos()).sum(), &[y.clone()], 1e-6, 1e-6).unwrap();
+        check_gradients(
+            |_, v| v[0].sin().mul(v[0].cos()).sum(),
+            &[y.clone()],
+            1e-6,
+            1e-6,
+        )
+        .unwrap();
         check_gradients(|_, v| v[0].tanh().sum(), &[y.clone()], 1e-6, 1e-6).unwrap();
         check_gradients(|_, v| v[0].sigmoid().sum(), &[y.clone()], 1e-6, 1e-6).unwrap();
         check_gradients(|_, v| v[0].square().sum(), &[y.clone()], 1e-6, 1e-6).unwrap();
@@ -152,13 +153,7 @@ mod tests {
             1e-6,
         )
         .unwrap();
-        check_gradients(
-            |_, v| v[0].div(v[1]).sum(),
-            &[a.clone(), row],
-            1e-6,
-            1e-6,
-        )
-        .unwrap();
+        check_gradients(|_, v| v[0].div(v[1]).sum(), &[a.clone(), row], 1e-6, 1e-6).unwrap();
         let col = rand_t(&[3, 1], 5);
         check_gradients(|_, v| v[0].sub(v[1]).square().sum(), &[a, col], 1e-6, 1e-6).unwrap();
     }
@@ -174,8 +169,13 @@ mod tests {
             1e-6,
         )
         .unwrap();
-        check_gradients(|_, v| v[0].transpose().sum_axis(1).square().sum(), &[a.clone()], 1e-6, 1e-6)
-            .unwrap();
+        check_gradients(
+            |_, v| v[0].transpose().sum_axis(1).square().sum(),
+            &[a.clone()],
+            1e-6,
+            1e-6,
+        )
+        .unwrap();
         check_gradients(|_, v| v[0].crop2d(2, 3).mean(), &[a.clone()], 1e-6, 1e-6).unwrap();
         check_gradients(|_, v| v[0].pad2d(5, 6).square().sum(), &[a], 1e-6, 1e-6).unwrap();
     }
@@ -234,6 +234,71 @@ mod tests {
         check_gradients(
             |_, v| v[0].cross_entropy_logits(&[1, 0, 4]),
             &[x],
+            1e-6,
+            1e-6,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn view_based_ops_pass() {
+        // slice2d: interior block, so the gradient scatter is offset on
+        // both axes.
+        let a = rand_t(&[4, 5], 20);
+        check_gradients(
+            |_, v| v[0].slice2d(1, 2, 2, 3).square().sum(),
+            &[a.clone()],
+            1e-6,
+            1e-6,
+        )
+        .unwrap();
+        // Transpose of a slice: the downstream op sees a value that was
+        // materialized from a non-contiguous view.
+        check_gradients(
+            |_, v| v[0].slice2d(0, 1, 3, 3).transpose().square().sum(),
+            &[a.clone()],
+            1e-6,
+            1e-6,
+        )
+        .unwrap();
+        // Chain: slice → matmul with a transposed slice of the same leaf.
+        check_gradients(
+            |_, v| {
+                let left = v[0].slice2d(0, 0, 3, 4);
+                let right = v[0].slice2d(1, 1, 3, 4).transpose();
+                left.matmul(right.transpose().transpose()).square().sum()
+            },
+            &[a],
+            1e-6,
+            1e-5,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn batched_matmul_passes() {
+        let a = rand_t(&[3, 2, 4], 21);
+        let b = rand_t(&[3, 4, 2], 22);
+        check_gradients(
+            |_, v| v[0].batched_matmul(v[1]).square().sum(),
+            &[a.clone(), b.clone()],
+            1e-6,
+            1e-6,
+        )
+        .unwrap();
+        // Through stack + assemble, mirroring the PTC tile pipeline.
+        let t0 = rand_t(&[2, 2], 23);
+        let t1 = rand_t(&[2, 2], 24);
+        let r0 = rand_t(&[2, 2], 25);
+        let r1 = rand_t(&[2, 2], 26);
+        check_gradients(
+            |_, v| {
+                let lhs = crate::ops_matrix::stack(&[v[0], v[1]]);
+                let rhs = crate::ops_matrix::stack(&[v[2], v[3]]);
+                let prod = lhs.batched_matmul(rhs);
+                crate::ops_matrix::assemble_tiles(prod, 1, 2).square().sum()
+            },
+            &[t0, t1, r0, r1],
             1e-6,
             1e-6,
         )

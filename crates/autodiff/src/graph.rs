@@ -92,7 +92,12 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if any parent belongs to another graph.
-    pub fn custom<'g>(&'g self, parents: &[Var<'g>], value: Tensor, backward: BackwardFn) -> Var<'g> {
+    pub fn custom<'g>(
+        &'g self,
+        parents: &[Var<'g>],
+        value: Tensor,
+        backward: BackwardFn,
+    ) -> Var<'g> {
         let ids: Vec<usize> = parents
             .iter()
             .map(|p| {
@@ -329,11 +334,7 @@ mod tests {
         let g = Graph::new();
         let x = g.leaf(Tensor::from_vec(vec![1.0, -2.0], &[2]));
         let v = x.value().map(|t| t * 3.0);
-        let y = g.custom(
-            &[x],
-            v,
-            Box::new(|gout| vec![Some(gout.map(|t| t * 3.0))]),
-        );
+        let y = g.custom(&[x], v, Box::new(|gout| vec![Some(gout.map(|t| t * 3.0))]));
         let loss = y.sum();
         let grads = g.backward(loss);
         assert_eq!(grads.grad(x).unwrap().as_slice(), &[3.0, 3.0]);

@@ -40,7 +40,7 @@ mod ops_nn;
 
 pub use gradcheck::{check_gradients, GradCheckError};
 pub use graph::{BackwardFn, Gradients, Graph, Var};
-pub use ops_matrix::assemble_blocks;
+pub use ops_matrix::{assemble_blocks, assemble_tiles, batched_tile_product, stack};
 
 /// Convenience re-export so downstream crates need only one `use`.
 pub use adept_tensor::Tensor;

@@ -18,7 +18,9 @@ pub(crate) fn reduce_grad_to(grad: &Tensor, target: &[usize]) -> Tensor {
     let tshape = adept_tensor::Shape::new(&tdims);
     let tstrides = tshape.strides();
     let mut out = Tensor::zeros(&tdims);
-    for flat in 0..grad.len() {
+    let dst = out.as_mut_slice();
+    let src = grad.as_slice();
+    for (flat, &g) in src.iter().enumerate() {
         let mut toff = 0;
         for d in 0..rank {
             let i = (flat / gstrides[d]) % gdims[d];
@@ -26,7 +28,7 @@ pub(crate) fn reduce_grad_to(grad: &Tensor, target: &[usize]) -> Tensor {
                 toff += i * tstrides[d];
             }
         }
-        out.as_mut_slice()[toff] += grad.as_slice()[flat];
+        dst[toff] += g;
     }
     out.reshape(target)
 }
@@ -106,14 +108,14 @@ impl<'g> Var<'g> {
         |g, _av, bv| g.zip_broadcast(bv, |x, y| x * y),
         |g, av, _bv| g.zip_broadcast(av, |x, y| x * y));
     binary_op!(
-        /// Elementwise (broadcasting) division.
-        div, |a, b| a / b,
-        |g, _av, bv| g.zip_broadcast(bv, |x, y| x / y),
-        |g, av, bv| {
-            let num = g.zip_broadcast(av, |x, y| x * y);
-            let den = bv.zip_broadcast(bv, |x, y| x * y);
-            -&num.zip_broadcast(&den, |x, y| x / y)
-        });
+    /// Elementwise (broadcasting) division.
+    div, |a, b| a / b,
+    |g, _av, bv| g.zip_broadcast(bv, |x, y| x / y),
+    |g, av, bv| {
+        let num = g.zip_broadcast(av, |x, y| x * y);
+        let den = bv.zip_broadcast(bv, |x, y| x * y);
+        -&num.zip_broadcast(&den, |x, y| x / y)
+    });
 
     unary_op!(
         /// Elementwise negation.
@@ -157,18 +159,18 @@ impl<'g> Var<'g> {
     /// Adds a scalar constant.
     pub fn add_scalar(self, c: f64) -> Var<'g> {
         let out = self.value().map(|x| x + c);
-        self.graph.custom(
-            &[self],
-            out,
-            Box::new(move |g| vec![Some(g.clone())]),
-        )
+        self.graph
+            .custom(&[self], out, Box::new(move |g| vec![Some(g.clone())]))
     }
 
     /// Multiplies by a scalar constant.
     pub fn mul_scalar(self, c: f64) -> Var<'g> {
         let out = self.value().map(|x| x * c);
-        self.graph
-            .custom(&[self], out, Box::new(move |g| vec![Some(g.map(|x| x * c))]))
+        self.graph.custom(
+            &[self],
+            out,
+            Box::new(move |g| vec![Some(g.map(|x| x * c))]),
+        )
     }
 
     /// Raises every element to the constant power `p`.
@@ -180,11 +182,7 @@ impl<'g> Var<'g> {
         self.graph.custom(
             &[self],
             out,
-            Box::new(move |g| {
-                vec![Some(
-                    g.zip_broadcast(&xv, |gi, x| gi * p * x.powf(p - 1.0)),
-                )]
-            }),
+            Box::new(move |g| vec![Some(g.zip_broadcast(&xv, |gi, x| gi * p * x.powf(p - 1.0)))]),
         )
     }
 

@@ -1,8 +1,13 @@
-//! Matrix-structured differentiable operations: products, reshapes,
-//! reductions, padding/cropping and block assembly.
+//! Matrix-structured differentiable operations: products (single and
+//! batched), reshapes, reductions, slicing/padding and tile assembly.
+//!
+//! Backward passes lean on the tensor crate's zero-copy machinery: matmul
+//! gradients multiply straight off transposed *views*, slice gradients are
+//! strided scatters, and the stack/assemble ops hand sub-tile gradients out
+//! as storage-sharing windows instead of copies.
 
 use crate::graph::Var;
-use adept_tensor::Tensor;
+use adept_tensor::{matmul_view, Tensor};
 
 impl<'g> Var<'g> {
     /// Differentiable matrix product.
@@ -19,8 +24,35 @@ impl<'g> Var<'g> {
             &[self, rhs],
             out,
             Box::new(move |g| {
-                let ga = g.matmul(&b.transpose());
-                let gb = a.transpose().matmul(g);
+                // Gradients run off transposed views; the transposes are
+                // never materialized.
+                let ga = matmul_view(&g.view(), &b.t_view());
+                let gb = matmul_view(&a.t_view(), &g.view());
+                vec![Some(ga), Some(gb)]
+            }),
+        )
+    }
+
+    /// Differentiable batched matrix product of rank-3 values:
+    /// `[T, m, k] · [T, k, n] → [T, m, n]`.
+    ///
+    /// Forward and both backward products each run as one
+    /// [`adept_tensor::batched_matmul_into`] sweep over all `T` tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/batch/dimension mismatch or cross-graph operands.
+    pub fn batched_matmul(self, rhs: Var<'g>) -> Var<'g> {
+        self.assert_same_graph(&rhs);
+        let a = self.value();
+        let b = rhs.value();
+        let out = a.batched_matmul(&b);
+        self.graph.custom(
+            &[self, rhs],
+            out,
+            Box::new(move |g| {
+                let ga = g.batched_matmul_opt(&b, false, true);
+                let gb = a.batched_matmul_opt(g, true, false);
                 vec![Some(ga), Some(gb)]
             }),
         )
@@ -33,11 +65,8 @@ impl<'g> Var<'g> {
     /// Panics if the value is not rank 2.
     pub fn transpose(self) -> Var<'g> {
         let out = self.value().transpose();
-        self.graph.custom(
-            &[self],
-            out,
-            Box::new(move |g| vec![Some(g.transpose())]),
-        )
+        self.graph
+            .custom(&[self], out, Box::new(move |g| vec![Some(g.transpose())]))
     }
 
     /// Differentiable reshape (same element count).
@@ -98,10 +127,11 @@ impl<'g> Var<'g> {
             out,
             Box::new(move |g| {
                 let mut full = Tensor::zeros(&[r, c]);
+                let dst = full.as_mut_slice();
+                let src = g.as_slice();
                 for i in 0..r {
                     for j in 0..c {
-                        full.as_mut_slice()[i * c + j] =
-                            if axis == 0 { g.as_slice()[j] } else { g.as_slice()[i] };
+                        dst[i * c + j] = if axis == 0 { src[j] } else { src[i] };
                     }
                 }
                 vec![Some(full)]
@@ -117,17 +147,33 @@ impl<'g> Var<'g> {
     ///
     /// Panics if the value is not rank 2 or the crop exceeds bounds.
     pub fn crop2d(self, rows: usize, cols: usize) -> Var<'g> {
+        self.slice2d(0, 0, rows, cols)
+    }
+
+    /// Extracts the `rows`×`cols` block of a matrix at `(r0, c0)`.
+    ///
+    /// The forward pass is a strided view materialization (zero-copy when
+    /// the slice covers whole leading rows); the backward pass scatters the
+    /// gradient back into a zero matrix at the same offsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not rank 2 or the block exceeds bounds.
+    pub fn slice2d(self, r0: usize, c0: usize, rows: usize, cols: usize) -> Var<'g> {
         let v = self.value();
-        assert_eq!(v.rank(), 2, "crop2d expects a matrix");
+        assert_eq!(v.rank(), 2, "slice2d expects a matrix");
         let (r, c) = (v.shape()[0], v.shape()[1]);
-        assert!(rows <= r && cols <= c, "crop {rows}x{cols} exceeds {r}x{c}");
-        let out = v.block(0, 0, rows, cols);
+        assert!(
+            r0 + rows <= r && c0 + cols <= c,
+            "slice {rows}x{cols} at ({r0},{c0}) exceeds {r}x{c}"
+        );
+        let out = v.block_view(r0, c0, rows, cols).materialize();
         self.graph.custom(
             &[self],
             out,
             Box::new(move |g| {
                 let mut full = Tensor::zeros(&[r, c]);
-                full.set_block(0, 0, g);
+                full.set_block(r0, c0, g);
                 vec![Some(full)]
             }),
         )
@@ -225,23 +271,137 @@ impl<'g> Var<'g> {
     }
 }
 
+/// Stacks equally shaped blocks into one `[T, …dims]` node.
+///
+/// The forward pass performs the single unavoidable copy (tiles come from
+/// separate node buffers); the backward pass hands each parent its slab of
+/// the gradient as a zero-copy storage-sharing window.
+///
+/// # Panics
+///
+/// Panics if `blocks` is empty, shapes disagree, or blocks live on
+/// different graphs.
+pub fn stack<'g>(blocks: &[Var<'g>]) -> Var<'g> {
+    assert!(!blocks.is_empty(), "stack needs at least one block");
+    let graph = blocks[0].graph();
+    let first = blocks[0].value();
+    let item_shape = first.shape().to_vec();
+    let item_len = first.len();
+    let t = blocks.len();
+    let mut out_shape = vec![t];
+    out_shape.extend_from_slice(&item_shape);
+    let mut data = vec![0.0; t * item_len];
+    for (i, b) in blocks.iter().enumerate() {
+        let v = b.value();
+        assert_eq!(v.shape(), &item_shape[..], "block {i} has mismatched shape");
+        data[i * item_len..(i + 1) * item_len].copy_from_slice(v.as_slice());
+    }
+    let out = Tensor::from_vec(data, &out_shape);
+    graph.custom(
+        blocks,
+        out,
+        Box::new(move |g| (0..t).map(|i| Some(g.subtensor(i))).collect()),
+    )
+}
+
+/// Lays a `[T, kr, kc]` stack of tiles out as a `grid_rows`×`grid_cols`
+/// grid, producing a `[grid_rows·kr, grid_cols·kc]` matrix node. Tile `t`
+/// lands at grid position `(t / grid_cols, t % grid_cols)`.
+///
+/// Forward and backward are single strided sweeps (no per-tile tensors).
+///
+/// # Panics
+///
+/// Panics unless the value is rank 3 with `T = grid_rows · grid_cols`.
+pub fn assemble_tiles(tiles: Var<'_>, grid_rows: usize, grid_cols: usize) -> Var<'_> {
+    let v = tiles.value();
+    assert_eq!(v.rank(), 3, "assemble_tiles expects a [T, kr, kc] stack");
+    let (t, kr, kc) = (v.shape()[0], v.shape()[1], v.shape()[2]);
+    assert_eq!(
+        t,
+        grid_rows * grid_cols,
+        "expected {} tiles, got {t}",
+        grid_rows * grid_cols
+    );
+    let (rows, cols) = (grid_rows * kr, grid_cols * kc);
+    let mut out = Tensor::zeros(&[rows, cols]);
+    {
+        let src = v.as_slice();
+        let dst = out.as_mut_slice();
+        for ti in 0..t {
+            let (gr, gc) = (ti / grid_cols, ti % grid_cols);
+            for i in 0..kr {
+                let s = ti * kr * kc + i * kc;
+                let d = (gr * kr + i) * cols + gc * kc;
+                dst[d..d + kc].copy_from_slice(&src[s..s + kc]);
+            }
+        }
+    }
+    tiles.graph().custom(
+        &[tiles],
+        out,
+        Box::new(move |g| {
+            let mut grad = Tensor::zeros(&[t, kr, kc]);
+            {
+                let src = g.as_slice();
+                let dst = grad.as_mut_slice();
+                for ti in 0..t {
+                    let (gr, gc) = (ti / grid_cols, ti % grid_cols);
+                    for i in 0..kr {
+                        let s = (gr * kr + i) * cols + gc * kc;
+                        let d = ti * kr * kc + i * kc;
+                        dst[d..d + kc].copy_from_slice(&src[s..s + kc]);
+                    }
+                }
+            }
+            vec![Some(grad)]
+        }),
+    )
+}
+
+/// The batched PTC tile product: given per-tile factor variables
+/// `(UΣ)_re`, `(UΣ)_im`, `V_re`, `V_im` (all `[K, K]`), computes
+/// `Re(UΣ·V)[t] = (UΣ)_re[t]·V_re[t] − (UΣ)_im[t]·V_im[t]` for every tile
+/// as two batched GEMM sweeps over stacked `[T, K, K]` buffers and lays the
+/// results out as a `grid_rows`×`grid_cols` grid.
+///
+/// This is the shared back half of `PtcWeight::build` (fixed topologies)
+/// and `SuperPtcWeight::build` (search-time SuperMesh frames).
+///
+/// # Panics
+///
+/// Panics if the slices are empty, disagree in length with the grid, or
+/// hold mismatched shapes.
+pub fn batched_tile_product<'g>(
+    us_re: &[Var<'g>],
+    us_im: &[Var<'g>],
+    v_re: &[Var<'g>],
+    v_im: &[Var<'g>],
+    grid_rows: usize,
+    grid_cols: usize,
+) -> Var<'g> {
+    assert_eq!(us_re.len(), grid_rows * grid_cols, "tile count mismatch");
+    let re = stack(us_re).batched_matmul(stack(v_re));
+    let im = stack(us_im).batched_matmul(stack(v_im));
+    assemble_tiles(re.sub(im), grid_rows, grid_cols)
+}
+
 /// Assembles a `grid_rows`×`grid_cols` grid of equally sized matrix blocks
 /// into one large matrix node.
 ///
 /// `blocks` is row-major over the grid; every block must share the same
-/// `k_rows`×`k_cols` shape. The backward pass slices the gradient back into
-/// per-block gradients.
+/// `k_rows`×`k_cols` shape. Implemented as [`stack`] followed by
+/// [`assemble_tiles`], so the backward pass hands out zero-copy windows.
 ///
 /// # Panics
 ///
 /// Panics if the number of blocks or any block shape disagrees with the
 /// grid, or blocks live on different graphs.
-pub fn assemble_blocks<'g>(
-    blocks: &[Var<'g>],
-    grid_rows: usize,
-    grid_cols: usize,
-) -> Var<'g> {
-    assert!(!blocks.is_empty(), "assemble_blocks needs at least one block");
+pub fn assemble_blocks<'g>(blocks: &[Var<'g>], grid_rows: usize, grid_cols: usize) -> Var<'g> {
+    assert!(
+        !blocks.is_empty(),
+        "assemble_blocks needs at least one block"
+    );
     assert_eq!(
         blocks.len(),
         grid_rows * grid_cols,
@@ -249,29 +409,8 @@ pub fn assemble_blocks<'g>(
         grid_rows * grid_cols,
         blocks.len()
     );
-    let graph = blocks[0].graph();
-    let first = blocks[0].value();
-    assert_eq!(first.rank(), 2, "blocks must be matrices");
-    let (kr, kc) = (first.shape()[0], first.shape()[1]);
-    let mut out = Tensor::zeros(&[grid_rows * kr, grid_cols * kc]);
-    for (idx, b) in blocks.iter().enumerate() {
-        let v = b.value();
-        assert_eq!(v.shape(), &[kr, kc], "block {idx} has mismatched shape");
-        let (gr, gc) = (idx / grid_cols, idx % grid_cols);
-        out.set_block(gr * kr, gc * kc, &v);
-    }
-    graph.custom(
-        blocks,
-        out,
-        Box::new(move |g| {
-            (0..grid_rows * grid_cols)
-                .map(|idx| {
-                    let (gr, gc) = (idx / grid_cols, idx % grid_cols);
-                    Some(g.block(gr * kr, gc * kc, kr, kc))
-                })
-                .collect()
-        }),
-    )
+    assert_eq!(blocks[0].value().rank(), 2, "blocks must be matrices");
+    assemble_tiles(stack(blocks), grid_rows, grid_cols)
 }
 
 #[cfg(test)]
@@ -295,7 +434,11 @@ mod tests {
     fn transpose_and_reshape_gradients() {
         let g = Graph::new();
         let a = g.leaf(Tensor::linspace(0.0, 5.0, 6).reshape(&[2, 3]));
-        let loss = a.transpose().reshape(&[6]).mul(g.constant(Tensor::linspace(1.0, 6.0, 6))).sum();
+        let loss = a
+            .transpose()
+            .reshape(&[6])
+            .mul(g.constant(Tensor::linspace(1.0, 6.0, 6)))
+            .sum();
         let grads = g.backward(loss);
         // Transposed flat order is [0,3],[1,4],[2,5] → weights map back accordingly.
         assert_eq!(
@@ -335,7 +478,10 @@ mod tests {
         assert_eq!(padded.shape(), vec![3, 4]);
         let back = padded.crop2d(2, 2);
         let grads = g.backward(back.sum());
-        assert!(grads.grad(a).unwrap().allclose(&Tensor::ones(&[2, 2]), 1e-12));
+        assert!(grads
+            .grad(a)
+            .unwrap()
+            .allclose(&Tensor::ones(&[2, 2]), 1e-12));
     }
 
     #[test]
@@ -370,7 +516,10 @@ mod tests {
         assert_eq!(big.value().at(&[3, 3]), 3.0);
         let grads = g.backward(big.mul_scalar(2.0).sum());
         for b in &blocks {
-            assert!(grads.grad(*b).unwrap().allclose(&Tensor::full(&[2, 2], 2.0), 1e-12));
+            assert!(grads
+                .grad(*b)
+                .unwrap()
+                .allclose(&Tensor::full(&[2, 2], 2.0), 1e-12));
         }
     }
 
@@ -380,5 +529,75 @@ mod tests {
         let g = Graph::new();
         let v = g.leaf(Tensor::ones(&[2]));
         let _ = v.scatter(&[4], &[1, 1]);
+    }
+
+    #[test]
+    fn slice2d_interior_block() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::linspace(0.0, 11.0, 12).reshape(&[3, 4]));
+        let s = a.slice2d(1, 1, 2, 2);
+        assert_eq!(s.value().as_slice(), &[5.0, 6.0, 9.0, 10.0]);
+        let grads = g.backward(s.sum());
+        let ga = grads.grad(a).unwrap();
+        assert_eq!(ga.at(&[1, 1]), 1.0);
+        assert_eq!(ga.at(&[2, 2]), 1.0);
+        assert_eq!(ga.at(&[0, 0]), 0.0);
+        assert_eq!(ga.at(&[1, 3]), 0.0);
+    }
+
+    #[test]
+    fn batched_matmul_forward_and_grads() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::linspace(-1.0, 1.0, 2 * 2 * 3).reshape(&[2, 2, 3]));
+        let b = g.leaf(Tensor::linspace(0.0, 1.0, 2 * 3 * 2).reshape(&[2, 3, 2]));
+        let c = a.batched_matmul(b);
+        assert_eq!(c.shape(), vec![2, 2, 2]);
+        // Forward matches per-item matmul.
+        for t in 0..2 {
+            let want = a.value().subtensor(t).matmul(&b.value().subtensor(t));
+            assert_eq!(c.value().subtensor(t).as_slice(), want.as_slice());
+        }
+        // Gradients flow to both operands with the right shapes.
+        let grads = g.backward(c.square().sum());
+        assert_eq!(grads.grad(a).unwrap().shape(), &[2, 2, 3]);
+        assert_eq!(grads.grad(b).unwrap().shape(), &[2, 3, 2]);
+    }
+
+    #[test]
+    fn stack_assemble_round_trip() {
+        let g = Graph::new();
+        let blocks: Vec<_> = (0..6)
+            .map(|i| g.leaf(Tensor::full(&[2, 3], i as f64)))
+            .collect();
+        let stacked = stack(&blocks);
+        assert_eq!(stacked.shape(), vec![6, 2, 3]);
+        let big = assemble_tiles(stacked, 2, 3);
+        assert_eq!(big.shape(), vec![4, 9]);
+        // Tile t sits at (t / 3, t % 3).
+        assert_eq!(big.value().at(&[0, 0]), 0.0);
+        assert_eq!(big.value().at(&[0, 4]), 1.0);
+        assert_eq!(big.value().at(&[2, 0]), 3.0);
+        assert_eq!(big.value().at(&[3, 8]), 5.0);
+        let grads = g.backward(big.mul_scalar(3.0).sum());
+        for b in &blocks {
+            assert!(grads
+                .grad(*b)
+                .unwrap()
+                .allclose(&Tensor::full(&[2, 3], 3.0), 1e-12));
+        }
+    }
+
+    #[test]
+    fn stack_distinguishes_block_gradients() {
+        // Each block's gradient must be its own slab of the upstream
+        // gradient, not a shared average.
+        let g = Graph::new();
+        let b0 = g.leaf(Tensor::ones(&[1, 2]));
+        let b1 = g.leaf(Tensor::ones(&[1, 2]));
+        let stacked = stack(&[b0, b1]);
+        let w = g.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 1, 2]));
+        let grads = g.backward(stacked.mul(w).sum());
+        assert_eq!(grads.grad(b0).unwrap().as_slice(), &[1.0, 2.0]);
+        assert_eq!(grads.grad(b1).unwrap().as_slice(), &[3.0, 4.0]);
     }
 }

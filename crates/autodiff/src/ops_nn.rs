@@ -8,17 +8,18 @@ use adept_tensor::Tensor;
 fn softmax_matrix(v: &Tensor) -> Tensor {
     let (r, c) = (v.shape()[0], v.shape()[1]);
     let mut out = Tensor::zeros(&[r, c]);
+    let dst = out.as_mut_slice();
     for i in 0..r {
         let row = &v.as_slice()[i * c..(i + 1) * c];
         let m = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let mut denom = 0.0;
         for j in 0..c {
             let e = (row[j] - m).exp();
-            out.as_mut_slice()[i * c + j] = e;
+            dst[i * c + j] = e;
             denom += e;
         }
         for j in 0..c {
-            out.as_mut_slice()[i * c + j] /= denom;
+            dst[i * c + j] /= denom;
         }
     }
     out
@@ -143,7 +144,10 @@ mod tests {
     #[test]
     fn softmax_rows_sums_to_one() {
         let g = Graph::new();
-        let x = g.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]));
+        let x = g.leaf(Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0],
+            &[2, 3],
+        ));
         let y = x.softmax_rows().value();
         for i in 0..2 {
             let s: f64 = y.row(i).sum();
@@ -181,7 +185,10 @@ mod tests {
     #[test]
     fn cross_entropy_perfect_prediction_is_small() {
         let g = Graph::new();
-        let x = g.leaf(Tensor::from_vec(vec![20.0, 0.0, 0.0, 0.0, 20.0, 0.0], &[2, 3]));
+        let x = g.leaf(Tensor::from_vec(
+            vec![20.0, 0.0, 0.0, 0.0, 20.0, 0.0],
+            &[2, 3],
+        ));
         let loss = x.cross_entropy_logits(&[0, 1]);
         assert!(loss.value().item() < 1e-6);
     }

@@ -57,8 +57,7 @@ fn bench_retrain_epoch(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter(|| {
                 black_box(
-                    retrain(ModelKind::Proxy, DatasetKind::MnistLike, &backend, &s, 1)
-                        .accuracy_pct,
+                    retrain(ModelKind::Proxy, DatasetKind::MnistLike, &backend, &s, 1).accuracy_pct,
                 )
             });
         });
@@ -75,7 +74,13 @@ fn bench_noisy_eval(c: &mut Criterion) {
     s.epochs = 1;
     s.n_train = 64;
     s.n_test = 32;
-    let mut mzi = retrain(ModelKind::Proxy, DatasetKind::MnistLike, &Backend::Mzi { k: 16 }, &s, 1);
+    let mut mzi = retrain(
+        ModelKind::Proxy,
+        DatasetKind::MnistLike,
+        &Backend::Mzi { k: 16 },
+        &s,
+        1,
+    );
     group.bench_function("mzi16", |b| {
         b.iter(|| black_box(mzi.model.noisy_accuracy(0.05, 1, 7)));
     });

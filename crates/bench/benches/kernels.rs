@@ -4,7 +4,7 @@
 use adept_linalg::{polar_orthogonal, svd, Permutation};
 use adept_photonics::clements::decompose;
 use adept_photonics::devices::crossing_matrix;
-use adept_tensor::{im2col, Conv2dGeometry, Tensor};
+use adept_tensor::{batched_matmul_into, im2col, Conv2dGeometry, Tensor, Tile};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -87,6 +87,65 @@ fn bench_clements(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-tile vs batched PTC tile assembly: the acceptance benchmark of the
+/// zero-copy substrate. Both paths compute the 64 tile products of a 64x64
+/// K=8 weight (`W_t = A_t · B_t`) and lay them out as an 8x8 grid; the
+/// per-tile path extracts/copies every tile, the batched path addresses
+/// them through [`Tile`] descriptors in one sweep.
+fn bench_tile_assembly(c: &mut Criterion) {
+    let k = 8usize;
+    let grid = 8usize;
+    let tiles = grid * grid;
+    let mut rng = StdRng::seed_from_u64(7);
+    let lhs = Tensor::rand_uniform(&mut rng, &[grid * k, grid * k], -1.0, 1.0);
+    let rhs = Tensor::rand_uniform(&mut rng, &[tiles, k, k], -1.0, 1.0);
+    let mut group = c.benchmark_group("tile_assembly_k8_64x64");
+
+    group.bench_function("per_tile", |b| {
+        b.iter(|| {
+            let mut out = Tensor::zeros(&[grid * k, grid * k]);
+            for t in 0..tiles {
+                let (gr, gc) = (t / grid, t % grid);
+                let a = lhs.block(gr * k, gc * k, k, k);
+                let prod = a.matmul(&rhs.subtensor(t));
+                out.set_block(gr * k, gc * k, &prod);
+            }
+            black_box(out)
+        });
+    });
+
+    let a_tiles: Vec<Tile> = (0..tiles)
+        .map(|t| Tile {
+            offset: (t / grid) * k * (grid * k) + (t % grid) * k,
+            row_stride: grid * k,
+            col_stride: 1,
+        })
+        .collect();
+    let b_tiles: Vec<Tile> = (0..tiles).map(|t| Tile::contiguous(t * k * k, k)).collect();
+    let c_tiles = a_tiles.clone();
+    group.bench_function("batched", |b| {
+        b.iter(|| {
+            let mut out = Tensor::zeros(&[grid * k, grid * k]);
+            // SAFETY: c tiles are the disjoint K x K cells of the grid.
+            unsafe {
+                batched_matmul_into(
+                    lhs.as_slice(),
+                    &a_tiles,
+                    rhs.as_slice(),
+                    &b_tiles,
+                    out.as_mut_slice(),
+                    &c_tiles,
+                    k,
+                    k,
+                    k,
+                );
+            }
+            black_box(out)
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_gemm,
@@ -94,6 +153,7 @@ criterion_group!(
     bench_svd,
     bench_polar,
     bench_crossing_count,
-    bench_clements
+    bench_clements,
+    bench_tile_assembly
 );
 criterion_main!(benches);

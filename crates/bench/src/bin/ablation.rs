@@ -39,7 +39,10 @@ fn main() {
             },
         ),
     ];
-    println!("Ablation — 16×16 PTC, AMF, window [{}, {}] kµm²; scale {scale:?}\n", window.0, window.1);
+    println!(
+        "Ablation — 16×16 PTC, AMF, window [{}, {}] kµm²; scale {scale:?}\n",
+        window.0, window.1
+    );
     println!(
         "{:<12} | {:>4} | {:>4} | {:>4} | {:>9} | {:>8} | {:>7}",
         "variant", "#CR", "#DC", "#Blk", "footprint", "Δ_end", "Acc(%)"

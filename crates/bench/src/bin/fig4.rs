@@ -49,7 +49,11 @@ fn main() {
     ];
     let sigmas = [0.02, 0.04, 0.06, 0.08, 0.10];
     let panels = [
-        ("(a) proxy CNN / MNIST-like", ModelKind::Proxy, DatasetKind::MnistLike),
+        (
+            "(a) proxy CNN / MNIST-like",
+            ModelKind::Proxy,
+            DatasetKind::MnistLike,
+        ),
         (
             "(b) LeNet-5 / FMNIST-like",
             ModelKind::LeNet5,
@@ -67,9 +71,10 @@ fn main() {
             let mut outcome = retrain(mk, ds, backend, &settings, 50 + bi as u64);
             print!("{:<10} | {:>7.2}", name, outcome.accuracy_pct);
             for (si, &sigma) in sigmas.iter().enumerate() {
-                let (mean, std) = outcome
-                    .model
-                    .noisy_accuracy(sigma, runs, 1000 + (bi * 10 + si) as u64);
+                let (mean, std) =
+                    outcome
+                        .model
+                        .noisy_accuracy(sigma, runs, 1000 + (bi * 10 + si) as u64);
                 print!(" | {mean:>5.1}±{std:>3.1}");
             }
             println!();

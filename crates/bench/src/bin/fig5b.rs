@@ -60,7 +60,11 @@ fn main() {
         println!(
             "  β = {beta:<6}: E[F]_end = {:>7.1} kµm²  {}",
             last.expected_f_kum2,
-            if inside { "(inside window)" } else { "(outside window)" }
+            if inside {
+                "(inside window)"
+            } else {
+                "(outside window)"
+            }
         );
     }
     println!("\nShape target: with β ≈ 10 the expected footprint is pulled inside the");

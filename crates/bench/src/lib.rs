@@ -34,9 +34,7 @@ impl Scale {
     pub fn from_args() -> Scale {
         let args: Vec<String> = std::env::args().collect();
         if args.iter().any(|a| a == "full" || a == "--full")
-            || args
-                .windows(2)
-                .any(|w| w[0] == "--scale" && w[1] == "full")
+            || args.windows(2).any(|w| w[0] == "--scale" && w[1] == "full")
         {
             Scale::Full
         } else {
@@ -221,7 +219,7 @@ pub fn retrain(
     let data_cfg = SyntheticConfig::new(dataset)
         .with_image_size(s.image_size)
         .with_sizes(s.n_train, s.n_test);
-    let (train, test) = data_cfg.generate(seed ^ 0xDA7A_5E7);
+    let (train, test) = data_cfg.generate(seed ^ 0x0DA7_A5E7);
     let mut store = ParamStore::new();
     let mut model = build_model(&mut store, kind, dataset, backend, s, seed);
     let cfg = TrainConfig {
@@ -244,7 +242,13 @@ pub fn retrain(
 }
 
 /// Runs an ADEPT search at the given scale.
-pub fn run_search(k: usize, pdk: Pdk, window: (f64, f64), scale: Scale, seed: u64) -> SearchOutcome {
+pub fn run_search(
+    k: usize,
+    pdk: Pdk,
+    window: (f64, f64),
+    scale: Scale,
+    seed: u64,
+) -> SearchOutcome {
     let mut cfg = match scale {
         Scale::Repro => AdeptConfig::quick(k, pdk, window.0, window.1),
         Scale::Full => AdeptConfig::paper_like(k, pdk, window.0, window.1),

@@ -13,9 +13,7 @@ use crate::alm::AlmState;
 use crate::fpen::FootprintPenalty;
 use crate::sample::{sample_topology, SampledDesign};
 use crate::spl;
-use crate::supermesh::{
-    build_mesh_frame, ArchSample, MeshFrame, SuperMeshHandles, SuperPtcWeight,
-};
+use crate::supermesh::{build_mesh_frame, ArchSample, MeshFrame, SuperMeshHandles, SuperPtcWeight};
 use adept_autodiff::{Graph, Var};
 use adept_datasets::{DatasetKind, SyntheticConfig};
 use adept_nn::layers::{cols_to_nchw, im2col_var, BatchNorm2d, Layer};
@@ -231,10 +229,26 @@ impl SearchModel {
         let pool = (g2.out_h() / 3).max(1);
         let fh = g2.out_h() / pool;
         let fw = g2.out_w() / pool;
-        let conv1 = SuperPtcWeight::new(store, "conv1", g1.col_rows(), cfg.channels, k, n_blocks, cfg.seed + 10);
+        let conv1 = SuperPtcWeight::new(
+            store,
+            "conv1",
+            g1.col_rows(),
+            cfg.channels,
+            k,
+            n_blocks,
+            cfg.seed + 10,
+        );
         let b1 = store.register("conv1.b", Tensor::zeros(&[cfg.channels]), 0.0);
         let bn1 = BatchNorm2d::new(store, "bn1", cfg.channels);
-        let conv2 = SuperPtcWeight::new(store, "conv2", g2.col_rows(), cfg.channels, k, n_blocks, cfg.seed + 11);
+        let conv2 = SuperPtcWeight::new(
+            store,
+            "conv2",
+            g2.col_rows(),
+            cfg.channels,
+            k,
+            n_blocks,
+            cfg.seed + 11,
+        );
         let b2 = store.register("conv2.b", Tensor::zeros(&[cfg.channels]), 0.0);
         let bn2 = BatchNorm2d::new(store, "bn2", cfg.channels);
         let fc = SuperPtcWeight::new(
@@ -430,8 +444,20 @@ pub fn search(cfg: &AdeptConfig) -> SearchOutcome {
         let (mean_delta, mean_lambda) = {
             let graph = Graph::new();
             let ctx = ForwardCtx::new(&graph, &store, false, 0);
-            let fu = build_mesh_frame(&ctx, &handles.u, cfg.k, &vec![[0.0; 2]; blocks_per_side], tau);
-            let fv = build_mesh_frame(&ctx, &handles.v, cfg.k, &vec![[0.0; 2]; blocks_per_side], tau);
+            let fu = build_mesh_frame(
+                &ctx,
+                &handles.u,
+                cfg.k,
+                &vec![[0.0; 2]; blocks_per_side],
+                tau,
+            );
+            let fv = build_mesh_frame(
+                &ctx,
+                &handles.v,
+                cfg.k,
+                &vec![[0.0; 2]; blocks_per_side],
+                tau,
+            );
             (AlmState::mean_delta(&[&fu, &fv]), alm.mean_lambda())
         };
         history.push(SearchEpochStats {
@@ -535,7 +561,10 @@ mod tests {
         // Every crossing layer is a legal permutation.
         for topo in [&out.design.topo_u, &out.design.topo_v] {
             for b in topo.blocks() {
-                assert!(Permutation::matrix_is_permutation(&b.perm.to_matrix(), 1e-9));
+                assert!(Permutation::matrix_is_permutation(
+                    &b.perm.to_matrix(),
+                    1e-9
+                ));
             }
         }
         // Block count within the analytic bounds (paper Eq. 16) and at
@@ -544,8 +573,7 @@ mod tests {
         assert!(out.design.device_count.blocks <= out.b_max);
         // Footprint reported consistently.
         assert!(
-            (out.footprint_kum2() - out.design.device_count.footprint_kum2(&cfg.pdk)).abs()
-                < 1e-9
+            (out.footprint_kum2() - out.design.device_count.footprint_kum2(&cfg.pdk)).abs() < 1e-9
         );
         assert_eq!(out.history.len(), cfg.epochs);
         // Training makes progress at some point (SPL mid-run may bump the

@@ -186,6 +186,10 @@ mod tests {
         }
         let mut rng = StdRng::seed_from_u64(4);
         let got = legalize(&p, &mut rng, 32, 0.05);
-        assert!(got.crossing_count() <= 2, "crossings {}", got.crossing_count());
+        assert!(
+            got.crossing_count() <= 2,
+            "crossings {}",
+            got.crossing_count()
+        );
     }
 }

@@ -6,7 +6,7 @@
 //! a two-way architecture logit deciding *skip vs execute* through a
 //! Gumbel-softmax gate. Phases and Σ are ordinary per-tile weights.
 
-use adept_autodiff::{assemble_blocks, Var};
+use adept_autodiff::{batched_tile_product, Var};
 use adept_nn::{ForwardCtx, ParamId, ParamStore};
 use adept_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -465,6 +465,11 @@ impl SuperPtcWeight {
     }
 
     /// Materializes the `[out, in]` weight under the given frames.
+    ///
+    /// Like `adept_nn::onn::PtcWeight::build`, all tile products run as two
+    /// batched GEMM sweeps over stacked `[T, K, K]` factors plus one strided
+    /// assembly node — the stage-2 search inner loop never extracts or
+    /// copies an individual tile.
     pub fn build<'g>(
         &self,
         ctx: &ForwardCtx<'g, '_>,
@@ -472,17 +477,28 @@ impl SuperPtcWeight {
         frame_v: &MeshFrame<'g>,
     ) -> Var<'g> {
         let k = self.k;
-        let mut tiles = Vec::with_capacity(self.grid_rows * self.grid_cols);
-        for tile in 0..self.grid_rows * self.grid_cols {
+        let n_tiles = self.grid_rows * self.grid_cols;
+        let mut us_re_tiles = Vec::with_capacity(n_tiles);
+        let mut us_im_tiles = Vec::with_capacity(n_tiles);
+        let mut v_re_tiles = Vec::with_capacity(n_tiles);
+        let mut v_im_tiles = Vec::with_capacity(n_tiles);
+        for tile in 0..n_tiles {
             let (u_re, u_im) = super_unitary(ctx, frame_u, ctx.param(self.phases_u[tile]), true);
             let (v_re, v_im) = super_unitary(ctx, frame_v, ctx.param(self.phases_v[tile]), false);
             let sig = ctx.param(self.sigma[tile]);
-            let us_re = u_re.mul(sig);
-            let us_im = u_im.mul(sig);
-            let w_tile = us_re.matmul(v_re).sub(us_im.matmul(v_im));
-            tiles.push(w_tile);
+            us_re_tiles.push(u_re.mul(sig));
+            us_im_tiles.push(u_im.mul(sig));
+            v_re_tiles.push(v_re);
+            v_im_tiles.push(v_im);
         }
-        let full = assemble_blocks(&tiles, self.grid_rows, self.grid_cols);
+        let full = batched_tile_product(
+            &us_re_tiles,
+            &us_im_tiles,
+            &v_re_tiles,
+            &v_im_tiles,
+            self.grid_rows,
+            self.grid_cols,
+        );
         if self.grid_rows * k == self.out_features && self.grid_cols * k == self.in_features {
             full
         } else {
@@ -560,7 +576,10 @@ mod tests {
         let loss = p.square().sum();
         let grads = graph.backward(loss);
         let g = grads.grad(ctx.param(id));
-        assert!(g.is_none() || g.unwrap().norm() < 1e-12, "gradient must stop");
+        assert!(
+            g.is_none() || g.unwrap().norm() < 1e-12,
+            "gradient must stop"
+        );
     }
 
     #[test]
@@ -622,8 +641,12 @@ mod tests {
             *store.value_mut(h.u.perm[b]) = p.to_matrix();
             perms.push(p);
             let slots = (k - h.u.dc_start[b]) / 2;
-            *store.value_mut(h.u.t[b]) =
-                Tensor::from_vec((0..slots).map(|i| if i % 2 == 0 { -1.0 } else { 1.0 }).collect(), &[slots]);
+            *store.value_mut(h.u.t[b]) = Tensor::from_vec(
+                (0..slots)
+                    .map(|i| if i % 2 == 0 { -1.0 } else { 1.0 })
+                    .collect(),
+                &[slots],
+            );
         }
         let phases_t = Tensor::rand_uniform(&mut rng, &[2, k], -2.0, 2.0);
         let phases = store.register("phi", phases_t.clone(), 0.0);

@@ -67,7 +67,15 @@ pub fn alm_trace(cfg: &AlmTraceConfig) -> Vec<AlmTracePoint> {
     let mut store = ParamStore::new();
     let handles =
         SuperMeshHandles::register(&mut store, cfg.k, cfg.n_blocks, cfg.n_blocks, cfg.seed);
-    let weight = SuperPtcWeight::new(&mut store, "w", cfg.k, cfg.k, cfg.k, cfg.n_blocks, cfg.seed + 1);
+    let weight = SuperPtcWeight::new(
+        &mut store,
+        "w",
+        cfg.k,
+        cfg.k,
+        cfg.k,
+        cfg.n_blocks,
+        cfg.seed + 1,
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xABCD);
     let target = Tensor::rand_uniform(&mut rng, &[cfg.k, cfg.k], -0.5, 0.5);
     let mut alm = AlmState::new(2 * cfg.n_blocks, cfg.k, cfg.rho0, cfg.steps);
@@ -165,9 +173,16 @@ pub struct FpenTracePoint {
 /// under the probabilistic footprint penalty, recording E[F] and `L_F/β`.
 pub fn footprint_trace(cfg: &FpenTraceConfig) -> Vec<FpenTracePoint> {
     let mut store = ParamStore::new();
-    let handles =
-        SuperMeshHandles::register(&mut store, cfg.k, cfg.n_blocks, cfg.pinned, cfg.seed);
-    let weight = SuperPtcWeight::new(&mut store, "w", cfg.k, cfg.k, cfg.k, cfg.n_blocks, cfg.seed + 1);
+    let handles = SuperMeshHandles::register(&mut store, cfg.k, cfg.n_blocks, cfg.pinned, cfg.seed);
+    let weight = SuperPtcWeight::new(
+        &mut store,
+        "w",
+        cfg.k,
+        cfg.k,
+        cfg.k,
+        cfg.n_blocks,
+        cfg.seed + 1,
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xF00D);
     let target = Tensor::rand_uniform(&mut rng, &[cfg.k, cfg.k], -0.5, 0.5);
     let mut fpen = FootprintPenalty::new(cfg.pdk.clone(), cfg.f_min_kum2, cfg.f_max_kum2);
@@ -234,8 +249,12 @@ mod tests {
         let first = trace.first().unwrap();
         let last = trace.last().unwrap();
         // Δ decreases substantially; λ grows from zero; ρ grows 1e4×.
-        assert!(last.mean_delta < 0.5 * first.mean_delta,
-            "Δ {} → {}", first.mean_delta, last.mean_delta);
+        assert!(
+            last.mean_delta < 0.5 * first.mean_delta,
+            "Δ {} → {}",
+            first.mean_delta,
+            last.mean_delta
+        );
         assert_eq!(first.mean_lambda, 0.0);
         assert!(last.mean_lambda > 0.0);
         assert!(last.rho > 1e3 * first.rho);

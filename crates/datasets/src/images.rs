@@ -35,19 +35,21 @@ impl Dataset {
         ]
     }
 
-    /// Copies samples `[start, start+count)` into a new batch tensor and
-    /// label vector.
+    /// Extracts samples `[start, start+count)` as a batch tensor and label
+    /// vector.
+    ///
+    /// Zero-copy: a contiguous range of the leading axis is a window into
+    /// the dataset's storage, so every training step's batch shares the
+    /// dataset allocation (copy-on-write protects the dataset if a consumer
+    /// mutates the batch).
     ///
     /// # Panics
     ///
     /// Panics if the range exceeds the dataset.
     pub fn batch(&self, start: usize, count: usize) -> (Tensor, Vec<usize>) {
         assert!(start + count <= self.len(), "batch range out of bounds");
-        let [c, h, w] = self.image_shape();
-        let stride = c * h * w;
-        let data = self.images.as_slice()[start * stride..(start + count) * stride].to_vec();
         (
-            Tensor::from_vec(data, &[count, c, h, w]),
+            self.images.view().slice(0, start, count).materialize(),
             self.labels[start..start + count].to_vec(),
         )
     }
@@ -275,8 +277,8 @@ impl SyntheticConfig {
                             0.0
                         };
                         if let Some((amp, cy, cx, sigma)) = clutter {
-                            let r2 = (y as f64 - cy as f64).powi(2)
-                                + (x as f64 - cx as f64).powi(2);
+                            let r2 =
+                                (y as f64 - cy as f64).powi(2) + (x as f64 - cx as f64).powi(2);
                             v += amp * (-r2 / (2.0 * sigma * sigma)).exp();
                         }
                         v += d.pixel_noise * normal(&mut rng);
@@ -299,11 +301,11 @@ fn smooth_pattern(rng: &mut StdRng, s: usize, channels: usize) -> Tensor {
     let bumps: Vec<(f64, f64, f64, f64, f64)> = (0..4)
         .map(|_| {
             (
-                rng.gen_range(-1.5..1.5),              // amplitude
-                rng.gen_range(0.0..s as f64),          // cy
-                rng.gen_range(0.0..s as f64),          // cx
-                rng.gen_range(1.0..(s as f64) / 2.5),  // sigma
-                rng.gen_range(0.0..1.0),               // channel phase
+                rng.gen_range(-1.5..1.5),             // amplitude
+                rng.gen_range(0.0..s as f64),         // cy
+                rng.gen_range(0.0..s as f64),         // cx
+                rng.gen_range(1.0..(s as f64) / 2.5), // sigma
+                rng.gen_range(0.0..1.0),              // channel phase
             )
         })
         .collect();
@@ -355,7 +357,10 @@ mod tests {
         assert_eq!(tr1.images, tr2.images);
         assert_eq!(tr1.labels, tr2.labels);
         let (tr3, _) = cfg.generate(8);
-        assert!(tr1.images.max_abs_diff(&tr3.images) > 1e-6, "seeds must differ");
+        assert!(
+            tr1.images.max_abs_diff(&tr3.images) > 1e-6,
+            "seeds must differ"
+        );
     }
 
     #[test]
@@ -385,10 +390,7 @@ mod tests {
         let (images, labels) = tr.batch(10, 5);
         assert_eq!(images.shape(), &[5, 1, 12, 12]);
         assert_eq!(labels, tr.labels[10..15]);
-        assert_eq!(
-            images.as_slice()[0],
-            tr.images.as_slice()[10 * 144]
-        );
+        assert_eq!(images.as_slice()[0], tr.images.as_slice()[10 * 144]);
     }
 
     #[test]
@@ -407,9 +409,8 @@ mod tests {
         // Image/label pairing preserved: find sample 0 of tr inside sh.
         let stride = 144;
         let target = &tr.images.as_slice()[..stride];
-        let found = (0..sh.len()).find(|&i| {
-            sh.images.as_slice()[i * stride..(i + 1) * stride] == *target
-        });
+        let found =
+            (0..sh.len()).find(|&i| sh.images.as_slice()[i * stride..(i + 1) * stride] == *target);
         let idx = found.expect("shuffled set must contain original sample");
         assert_eq!(sh.labels[idx], tr.labels[0]);
     }
@@ -442,8 +443,16 @@ mod tests {
             let img = &te.images.as_slice()[i * stride..(i + 1) * stride];
             let best = (0..te.num_classes)
                 .min_by(|&a, &b| {
-                    let da: f64 = img.iter().zip(&means[a]).map(|(x, m)| (x - m) * (x - m)).sum();
-                    let db: f64 = img.iter().zip(&means[b]).map(|(x, m)| (x - m) * (x - m)).sum();
+                    let da: f64 = img
+                        .iter()
+                        .zip(&means[a])
+                        .map(|(x, m)| (x - m) * (x - m))
+                        .sum();
+                    let db: f64 = img
+                        .iter()
+                        .zip(&means[b])
+                        .map(|(x, m)| (x - m) * (x - m))
+                        .sum();
                     da.partial_cmp(&db).unwrap()
                 })
                 .unwrap();
@@ -482,10 +491,16 @@ mod tests {
                 let img = &te.images.as_slice()[i * stride..(i + 1) * stride];
                 let best = (0..te.num_classes)
                     .min_by(|&a, &b| {
-                        let da: f64 =
-                            img.iter().zip(&means[a]).map(|(x, m)| (x - m) * (x - m)).sum();
-                        let db: f64 =
-                            img.iter().zip(&means[b]).map(|(x, m)| (x - m) * (x - m)).sum();
+                        let da: f64 = img
+                            .iter()
+                            .zip(&means[a])
+                            .map(|(x, m)| (x - m) * (x - m))
+                            .sum();
+                        let db: f64 = img
+                            .iter()
+                            .zip(&means[b])
+                            .map(|(x, m)| (x - m) * (x - m))
+                            .sum();
                         da.partial_cmp(&db).unwrap()
                     })
                     .unwrap();

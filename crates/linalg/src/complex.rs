@@ -5,9 +5,11 @@
 //! needs: a `Copy` scalar type with the usual field operations, and a dense
 //! row-major matrix with products, adjoints and unitarity diagnostics.
 
+use adept_tensor::matmul_into;
 use adept_tensor::Tensor;
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub};
+use std::sync::Arc;
 
 /// A complex number with `f64` components.
 ///
@@ -157,7 +159,17 @@ impl fmt::Display for C64 {
     }
 }
 
-/// A dense row-major complex matrix.
+/// A dense row-major complex matrix with planar, shared storage.
+///
+/// # Storage model
+///
+/// The real and imaginary planes live back-to-back in **one**
+/// `Arc<Vec<f64>>` allocation: `[re(0,0) … re(r-1,c-1) | im(0,0) …]`.
+/// [`CMatrix::re`] and [`CMatrix::im`] therefore return *zero-copy*
+/// [`Tensor`] windows over that allocation — the hot path that feeds
+/// transfer-matrix constants onto the autodiff tape never copies a plane.
+/// Mutation ([`CMatrix::set`], [`CMatrix::scale_inplace`]) is copy-on-write
+/// through the shared `Arc`, so extracted planes are never invalidated.
 ///
 /// # Examples
 ///
@@ -166,12 +178,21 @@ impl fmt::Display for C64 {
 ///
 /// let id = CMatrix::identity(4);
 /// assert!(id.is_unitary(1e-12));
+/// // Planes window one allocation.
+/// assert!(id.re().shares_storage(&id.im()));
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct CMatrix {
     rows: usize,
     cols: usize,
-    data: Vec<C64>,
+    /// `[re plane | im plane]`, each `rows * cols` elements.
+    storage: Arc<Vec<f64>>,
+}
+
+impl PartialEq for CMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows && self.cols == other.cols && *self.storage == *other.storage
+    }
 }
 
 impl CMatrix {
@@ -180,7 +201,7 @@ impl CMatrix {
         Self {
             rows,
             cols,
-            data: vec![C64::ZERO; rows * cols],
+            storage: Arc::new(vec![0.0; 2 * rows * cols]),
         }
     }
 
@@ -188,7 +209,7 @@ impl CMatrix {
     pub fn identity(n: usize) -> Self {
         let mut m = Self::zeros(n, n);
         for i in 0..n {
-            m[(i, i)] = C64::ONE;
+            m.set(i, i, C64::ONE);
         }
         m
     }
@@ -200,7 +221,17 @@ impl CMatrix {
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(data: Vec<C64>, rows: usize, cols: usize) -> Self {
         assert_eq!(data.len(), rows * cols, "element count mismatch");
-        Self { rows, cols, data }
+        let plane = rows * cols;
+        let mut storage = vec![0.0; 2 * plane];
+        for (i, z) in data.iter().enumerate() {
+            storage[i] = z.re;
+            storage[plane + i] = z.im;
+        }
+        Self {
+            rows,
+            cols,
+            storage: Arc::new(storage),
+        }
     }
 
     /// Creates a diagonal matrix from complex diagonal entries.
@@ -208,7 +239,7 @@ impl CMatrix {
         let n = diag.len();
         let mut m = Self::zeros(n, n);
         for (i, &d) in diag.iter().enumerate() {
-            m[(i, i)] = d;
+            m.set(i, i, d);
         }
         m
     }
@@ -222,23 +253,31 @@ impl CMatrix {
         assert_eq!(re.rank(), 2, "re must be a matrix");
         assert_eq!(re.shape(), im.shape(), "re/im shape mismatch");
         let (rows, cols) = (re.shape()[0], re.shape()[1]);
-        let data = re
-            .as_slice()
-            .iter()
-            .zip(im.as_slice())
-            .map(|(&r, &i)| C64::new(r, i))
-            .collect();
-        Self { rows, cols, data }
+        let plane = rows * cols;
+        let mut storage = vec![0.0; 2 * plane];
+        storage[..plane].copy_from_slice(re.as_slice());
+        storage[plane..].copy_from_slice(im.as_slice());
+        Self {
+            rows,
+            cols,
+            storage: Arc::new(storage),
+        }
     }
 
-    /// Real parts as a tensor.
+    /// Real plane as a tensor — zero-copy window into this matrix's
+    /// allocation.
     pub fn re(&self) -> Tensor {
-        Tensor::from_vec(self.data.iter().map(|c| c.re).collect(), &[self.rows, self.cols])
+        Tensor::from_shared(Arc::clone(&self.storage), 0, &[self.rows, self.cols])
     }
 
-    /// Imaginary parts as a tensor.
+    /// Imaginary plane as a tensor — zero-copy window into this matrix's
+    /// allocation.
     pub fn im(&self) -> Tensor {
-        Tensor::from_vec(self.data.iter().map(|c| c.im).collect(), &[self.rows, self.cols])
+        Tensor::from_shared(
+            Arc::clone(&self.storage),
+            self.rows * self.cols,
+            &[self.rows, self.cols],
+        )
     }
 
     /// Row count.
@@ -251,26 +290,86 @@ impl CMatrix {
         self.cols
     }
 
-    /// Matrix product.
+    fn plane(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Element at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds coordinates.
+    pub fn at(&self, i: usize, j: usize) -> C64 {
+        assert!(i < self.rows && j < self.cols, "({i},{j}) out of bounds");
+        let off = i * self.cols + j;
+        C64::new(self.storage[off], self.storage[self.plane() + off])
+    }
+
+    /// Writes element `(i, j)` (copy-on-write).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds coordinates.
+    pub fn set(&mut self, i: usize, j: usize, v: C64) {
+        assert!(i < self.rows && j < self.cols, "({i},{j}) out of bounds");
+        let off = i * self.cols + j;
+        let plane = self.plane();
+        let data = Arc::make_mut(&mut self.storage);
+        data[off] = v.re;
+        data[plane + off] = v.im;
+    }
+
+    /// Applies `f` to element `(i, j)` in place (copy-on-write).
+    pub fn update(&mut self, i: usize, j: usize, f: impl FnOnce(C64) -> C64) {
+        let v = self.at(i, j);
+        self.set(i, j, f(v));
+    }
+
+    /// Mutable access to the real and imaginary planes at once — a single
+    /// copy-on-write detach, for kernels that rewrite many elements (the
+    /// Clements rotation loops use this instead of per-element
+    /// [`CMatrix::set`]).
+    pub fn planes_mut(&mut self) -> (&mut [f64], &mut [f64]) {
+        let plane = self.plane();
+        Arc::make_mut(&mut self.storage).split_at_mut(plane)
+    }
+
+    /// Matrix product, computed as four real GEMMs over the planar
+    /// storage (reusing the threaded real kernel).
     ///
     /// # Panics
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, rhs: &CMatrix) -> CMatrix {
         assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
-        let mut out = CMatrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for p in 0..self.cols {
-                let a = self[(i, p)];
-                if a == C64::ZERO {
-                    continue;
-                }
-                for j in 0..rhs.cols {
-                    out[(i, j)] += a * rhs[(p, j)];
-                }
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let plane = m * n;
+        let a_re = &self.storage[..m * k];
+        let a_im = &self.storage[m * k..];
+        let b_re = &rhs.storage[..k * n];
+        let b_im = &rhs.storage[k * n..];
+        let mut storage = vec![0.0; 2 * plane];
+        let mut tmp = vec![0.0; plane];
+        {
+            let (out_re, out_im) = storage.split_at_mut(plane);
+            // re = a_re·b_re − a_im·b_im.
+            matmul_into(a_re, b_re, out_re, m, k, n);
+            matmul_into(a_im, b_im, &mut tmp, m, k, n);
+            for (o, t) in out_re.iter_mut().zip(&tmp) {
+                *o -= t;
+            }
+            // im = a_re·b_im + a_im·b_re.
+            matmul_into(a_re, b_im, out_im, m, k, n);
+            matmul_into(a_im, b_re, &mut tmp, m, k, n);
+            for (o, t) in out_im.iter_mut().zip(&tmp) {
+                *o += t;
             }
         }
-        out
+        CMatrix {
+            rows: m,
+            cols: n,
+            storage: Arc::new(storage),
+        }
     }
 
     /// Matrix–vector product.
@@ -283,8 +382,8 @@ impl CMatrix {
         (0..self.rows)
             .map(|i| {
                 let mut s = C64::ZERO;
-                for j in 0..self.cols {
-                    s += self[(i, j)] * v[j];
+                for (j, &x) in v.iter().enumerate() {
+                    s += self.at(i, j) * x;
                 }
                 s
             })
@@ -294,9 +393,14 @@ impl CMatrix {
     /// Conjugate transpose.
     pub fn adjoint(&self) -> CMatrix {
         let mut out = CMatrix::zeros(self.cols, self.rows);
+        let plane = self.plane();
+        let data = Arc::make_mut(&mut out.storage);
         for i in 0..self.rows {
             for j in 0..self.cols {
-                out[(j, i)] = self[(i, j)].conj();
+                let src = i * self.cols + j;
+                let dst = j * self.rows + i;
+                data[dst] = self.storage[src];
+                data[plane + dst] = -self.storage[plane + src];
             }
         }
         out
@@ -309,10 +413,10 @@ impl CMatrix {
     /// Panics on shape mismatch.
     pub fn fro_dist(&self, other: &CMatrix) -> f64 {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        self.data
+        self.storage
             .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (*a - *b).norm_sqr())
+            .zip(other.storage.iter())
+            .map(|(a, b)| (a - b) * (a - b))
             .sum::<f64>()
             .sqrt()
     }
@@ -338,24 +442,16 @@ impl CMatrix {
         self.unitarity_error() <= tol
     }
 
-    /// Multiplies every element by a complex scalar in place.
+    /// Multiplies every element by a complex scalar in place
+    /// (copy-on-write).
     pub fn scale_inplace(&mut self, s: C64) {
-        for x in &mut self.data {
-            *x = *x * s;
+        let plane = self.plane();
+        let data = Arc::make_mut(&mut self.storage);
+        for off in 0..plane {
+            let z = C64::new(data[off], data[plane + off]) * s;
+            data[off] = z.re;
+            data[plane + off] = z.im;
         }
-    }
-}
-
-impl std::ops::Index<(usize, usize)> for CMatrix {
-    type Output = C64;
-    fn index(&self, (i, j): (usize, usize)) -> &C64 {
-        &self.data[i * self.cols + j]
-    }
-}
-
-impl std::ops::IndexMut<(usize, usize)> for CMatrix {
-    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut C64 {
-        &mut self.data[i * self.cols + j]
     }
 }
 
@@ -424,7 +520,7 @@ mod tests {
         );
         assert!(dc.is_unitary(1e-12));
         let mut not_unitary = dc.clone();
-        not_unitary[(0, 0)] = C64::new(0.9, 0.0);
+        not_unitary.set(0, 0, C64::new(0.9, 0.0));
         assert!(!not_unitary.is_unitary(1e-6));
     }
 
@@ -442,7 +538,12 @@ mod tests {
     #[test]
     fn matvec_matches_matmul() {
         let m = CMatrix::from_vec(
-            vec![C64::new(1.0, 0.0), C64::I, C64::new(0.0, -1.0), C64::new(2.0, 1.0)],
+            vec![
+                C64::new(1.0, 0.0),
+                C64::I,
+                C64::new(0.0, -1.0),
+                C64::new(2.0, 1.0),
+            ],
             2,
             2,
         );
@@ -450,7 +551,7 @@ mod tests {
         let got = m.matvec(&v);
         let as_mat = CMatrix::from_vec(v.clone(), 2, 1);
         let want = m.matmul(&as_mat);
-        assert!((got[0] - want[(0, 0)]).abs() < 1e-14);
-        assert!((got[1] - want[(1, 0)]).abs() < 1e-14);
+        assert!((got[0] - want.at(0, 0)).abs() < 1e-14);
+        assert!((got[1] - want.at(1, 0)).abs() < 1e-14);
     }
 }

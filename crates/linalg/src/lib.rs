@@ -26,6 +26,6 @@ mod permutation;
 mod svd;
 
 pub use assignment::{max_weight_permutation, min_cost_assignment};
-pub use complex::{C64, CMatrix};
+pub use complex::{CMatrix, C64};
 pub use permutation::{ParsePermutationError, Permutation};
 pub use svd::{polar_orthogonal, svd, Svd};

@@ -21,7 +21,12 @@ pub struct ParsePermutationError {
 
 impl fmt::Display for ParsePermutationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "vector {:?} is not a permutation of 0..{}", self.image, self.image.len())
+        write!(
+            f,
+            "vector {:?} is not a permutation of 0..{}",
+            self.image,
+            self.image.len()
+        )
     }
 }
 
@@ -216,9 +221,7 @@ impl Permutation {
 
     /// Whether `m` is a permutation matrix within tolerance `tol`.
     pub fn matrix_is_permutation(m: &Tensor, tol: f64) -> bool {
-        m.rank() == 2
-            && m.shape()[0] == m.shape()[1]
-            && Self::try_from_matrix(m, tol).is_ok()
+        m.rank() == 2 && m.shape()[0] == m.shape()[1] && Self::try_from_matrix(m, tol).is_ok()
     }
 }
 
@@ -268,7 +271,10 @@ mod tests {
     #[test]
     fn crossing_counts() {
         assert_eq!(Permutation::identity(8).crossing_count(), 0);
-        assert_eq!(Permutation::from_vec(vec![1, 0]).unwrap().crossing_count(), 1);
+        assert_eq!(
+            Permutation::from_vec(vec![1, 0]).unwrap().crossing_count(),
+            1
+        );
         // Full reversal of n elements needs n(n-1)/2 crossings.
         let rev = Permutation::from_vec((0..6).rev().collect()).unwrap();
         assert_eq!(rev.crossing_count(), 15);

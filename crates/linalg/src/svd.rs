@@ -87,17 +87,19 @@ pub fn svd(a: &Tensor) -> Svd {
                 let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
                 let c = 1.0 / (1.0 + t * t).sqrt();
                 let s = c * t;
+                let wd = w.as_mut_slice();
                 for i in 0..m {
-                    let wp = w.as_slice()[i * n + p];
-                    let wq = w.as_slice()[i * n + q];
-                    w.as_mut_slice()[i * n + p] = c * wp - s * wq;
-                    w.as_mut_slice()[i * n + q] = s * wp + c * wq;
+                    let wp = wd[i * n + p];
+                    let wq = wd[i * n + q];
+                    wd[i * n + p] = c * wp - s * wq;
+                    wd[i * n + q] = s * wp + c * wq;
                 }
+                let vd = v.as_mut_slice();
                 for i in 0..n {
-                    let vp = v.as_slice()[i * n + p];
-                    let vq = v.as_slice()[i * n + q];
-                    v.as_mut_slice()[i * n + p] = c * vp - s * vq;
-                    v.as_mut_slice()[i * n + q] = s * vp + c * vq;
+                    let vp = vd[i * n + p];
+                    let vq = vd[i * n + q];
+                    vd[i * n + p] = c * vp - s * vq;
+                    vd[i * n + q] = s * vp + c * vq;
                 }
             }
         }

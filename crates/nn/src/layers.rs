@@ -114,7 +114,13 @@ pub struct Linear {
 
 impl Linear {
     /// Registers a Kaiming-initialized linear layer.
-    pub fn new(store: &mut ParamStore, name: &str, in_features: usize, out_features: usize, seed: u64) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_features: usize,
+        out_features: usize,
+        seed: u64,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let w = Tensor::kaiming_uniform(&mut rng, &[out_features, in_features], in_features);
         Self {
@@ -177,7 +183,13 @@ impl Layer for Conv2d {
         let cols = im2col_var(x, self.geom);
         let y = w.matmul(cols); // [OC, N·OH·OW]
         let n = x.shape()[0];
-        let y = cols_to_nchw(y, n, self.out_channels, self.geom.out_h(), self.geom.out_w());
+        let y = cols_to_nchw(
+            y,
+            n,
+            self.out_channels,
+            self.geom.out_h(),
+            self.geom.out_w(),
+        );
         let b3 = b.reshape(&[self.out_channels, 1, 1]);
         y.add(b3)
     }
@@ -210,7 +222,9 @@ pub fn cols_to_nchw<'g>(y: Var<'g>, n: usize, oc: usize, oh: usize, ow: usize) -
             }
         }
     }
-    y.reshape(&[oc * n * p]).gather(&positions).reshape(&[n, oc, oh, ow])
+    y.reshape(&[oc * n * p])
+        .gather(&positions)
+        .reshape(&[n, oc, oh, ow])
 }
 
 /// Differentiable batch normalization primitive over NCHW input.
@@ -405,7 +419,10 @@ impl Layer for AvgPool2d {
         assert_eq!(v.rank(), 4, "AvgPool2d expects NCHW");
         let (n, c, h, w) = (v.shape()[0], v.shape()[1], v.shape()[2], v.shape()[3]);
         let k = self.kernel;
-        assert!(h >= k && w >= k, "pool window {k} larger than input {h}x{w}");
+        assert!(
+            h >= k && w >= k,
+            "pool window {k} larger than input {h}x{w}"
+        );
         let (oh, ow) = (h / k, w / k);
         let mut out = Tensor::zeros(&[n, c, oh, ow]);
         for ni in 0..n {
@@ -473,7 +490,10 @@ impl Layer for MaxPool2d {
         assert_eq!(v.rank(), 4, "MaxPool2d expects NCHW");
         let (n, c, h, w) = (v.shape()[0], v.shape()[1], v.shape()[2], v.shape()[3]);
         let k = self.kernel;
-        assert!(h >= k && w >= k, "pool window {k} larger than input {h}x{w}");
+        assert!(
+            h >= k && w >= k,
+            "pool window {k} larger than input {h}x{w}"
+        );
         let (oh, ow) = (h / k, w / k);
         let mut out = Tensor::zeros(&[n, c, oh, ow]);
         let mut argmax = vec![0usize; n * c * oh * ow];

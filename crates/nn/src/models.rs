@@ -9,7 +9,9 @@
 //! profiles shrink channel counts so the reproduction runs on CPU in
 //! reasonable time; the structure is unchanged.
 
-use crate::layers::{AvgPool2d, BatchNorm2d, Conv2d, Flatten, Layer, Linear, MaxPool2d, Relu, Sequential};
+use crate::layers::{
+    AvgPool2d, BatchNorm2d, Conv2d, Flatten, Layer, Linear, MaxPool2d, Relu, Sequential,
+};
 use crate::onn::{MziConv2d, MziLinear, OnnConv2d, OnnLinear};
 use crate::param::ParamStore;
 use adept_photonics::BlockMeshTopology;
@@ -217,7 +219,11 @@ pub fn vgg8(
         for rep in 0..2 {
             let g = geom(c, h, w, 3, 1);
             m.push(backend.conv(store, &format!("s{stage}c{rep}"), g, width, seed));
-            m.push(Box::new(BatchNorm2d::new(store, &format!("s{stage}b{rep}"), width)));
+            m.push(Box::new(BatchNorm2d::new(
+                store,
+                &format!("s{stage}b{rep}"),
+                width,
+            )));
             m.push(Box::new(Relu));
             c = width;
             h = g.out_h();
@@ -239,7 +245,13 @@ pub fn vgg8(
 }
 
 /// A small dense-only MLP (electronic reference, used by fast tests).
-pub fn mlp(store: &mut ParamStore, in_features: usize, hidden: usize, classes: usize, seed: u64) -> Sequential {
+pub fn mlp(
+    store: &mut ParamStore,
+    in_features: usize,
+    hidden: usize,
+    classes: usize,
+    seed: u64,
+) -> Sequential {
     let mut m = Sequential::new();
     m.push(Box::new(Linear::new(store, "h", in_features, hidden, seed)));
     m.push(Box::new(Relu));
@@ -266,7 +278,13 @@ pub fn proxy_cnn_electronic(
     let fh = g1.out_h() / pool;
     let fw = g1.out_w() / pool;
     m.push(Box::new(Flatten));
-    m.push(Box::new(Linear::new(store, "fc", channels * fh * fw, classes, seed + 2)));
+    m.push(Box::new(Linear::new(
+        store,
+        "fc",
+        channels * fh * fw,
+        classes,
+        seed + 2,
+    )));
     m
 }
 
@@ -277,10 +295,20 @@ mod tests {
     use adept_autodiff::Graph;
     use adept_tensor::Tensor;
 
-    fn forward_shape(model: &mut Sequential, store: &ParamStore, input: InputShape, n: usize) -> Vec<usize> {
+    fn forward_shape(
+        model: &mut Sequential,
+        store: &ParamStore,
+        input: InputShape,
+        n: usize,
+    ) -> Vec<usize> {
         let graph = Graph::new();
         let ctx = ForwardCtx::new(&graph, store, false, 0);
-        let x = graph.constant(Tensor::ones(&[n, input.channels, input.height, input.width]));
+        let x = graph.constant(Tensor::ones(&[
+            n,
+            input.channels,
+            input.height,
+            input.width,
+        ]));
         model.forward(&ctx, x).shape()
     }
 
@@ -290,7 +318,10 @@ mod tests {
         let input = InputShape::new(1, 12, 12);
         let mut m = proxy_cnn(&mut store, input, 4, 10, &Backend::butterfly(4), 0);
         assert_eq!(forward_shape(&mut m, &store, input, 2), vec![2, 10]);
-        assert!(m.device_count().is_some(), "photonic layer must report a PTC");
+        assert!(
+            m.device_count().is_some(),
+            "photonic layer must report a PTC"
+        );
     }
 
     #[test]

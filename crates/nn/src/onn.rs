@@ -13,7 +13,7 @@
 
 use crate::layers::{cols_to_nchw, im2col_var, Layer};
 use crate::param::{ForwardCtx, ParamId, ParamStore};
-use adept_autodiff::{assemble_blocks, Var};
+use adept_autodiff::{batched_tile_product, Var};
 use adept_linalg::{svd, CMatrix, C64};
 use adept_photonics::clements::decompose;
 use adept_photonics::{BlockMeshTopology, DeviceCount, PhaseNoise};
@@ -107,7 +107,10 @@ impl PtcWeight {
         topo_v: BlockMeshTopology,
         seed: u64,
     ) -> Self {
-        assert!(in_features > 0 && out_features > 0, "features must be positive");
+        assert!(
+            in_features > 0 && out_features > 0,
+            "features must be positive"
+        );
         assert_eq!(topo_u.k(), topo_v.k(), "U and V topologies must share k");
         let k = topo_u.k();
         let grid_rows = out_features.div_ceil(k);
@@ -122,12 +125,22 @@ impl PtcWeight {
         for tile in 0..grid_rows * grid_cols {
             phases_u.push(store.register(
                 format!("{name}.u{tile}"),
-                Tensor::rand_uniform(&mut rng, &[bu, k], -std::f64::consts::PI, std::f64::consts::PI),
+                Tensor::rand_uniform(
+                    &mut rng,
+                    &[bu, k],
+                    -std::f64::consts::PI,
+                    std::f64::consts::PI,
+                ),
                 1e-4,
             ));
             phases_v.push(store.register(
                 format!("{name}.v{tile}"),
-                Tensor::rand_uniform(&mut rng, &[bv, k], -std::f64::consts::PI, std::f64::consts::PI),
+                Tensor::rand_uniform(
+                    &mut rng,
+                    &[bv, k],
+                    -std::f64::consts::PI,
+                    std::f64::consts::PI,
+                ),
                 1e-4,
             ));
             sigma.push(store.register(
@@ -172,15 +185,24 @@ impl PtcWeight {
     }
 
     /// Materializes the `[out_features, in_features]` weight on the tape.
+    ///
+    /// All `P×Q` tile products `Re(UΣ·V)` run as two batched GEMM sweeps
+    /// (`(UΣ)_re·V_re` and `(UΣ)_im·V_im`) over stacked `[T, K, K]` factor
+    /// buffers, followed by one strided tile-assembly node — no per-tile
+    /// matmul nodes and no per-tile block extraction.
     pub fn build<'g>(&self, ctx: &ForwardCtx<'g, '_>) -> Var<'g> {
         let k = self.k;
-        let mut tiles = Vec::with_capacity(self.grid_rows * self.grid_cols);
+        let n_tiles = self.grid_rows * self.grid_cols;
         let noise = if self.phase_noise_std > 0.0 {
             Some(PhaseNoise::new(self.phase_noise_std))
         } else {
             None
         };
-        for tile in 0..self.grid_rows * self.grid_cols {
+        let mut us_re_tiles = Vec::with_capacity(n_tiles);
+        let mut us_im_tiles = Vec::with_capacity(n_tiles);
+        let mut v_re_tiles = Vec::with_capacity(n_tiles);
+        let mut v_im_tiles = Vec::with_capacity(n_tiles);
+        for tile in 0..n_tiles {
             let mut pu = ctx.param(self.phases_u[tile]);
             let mut pv = ctx.param(self.phases_v[tile]);
             if let Some(n) = &noise {
@@ -206,13 +228,20 @@ impl PtcWeight {
             let (u_re, u_im) = tile_unitary(ctx, &self.topo_u, pu);
             let (v_re, v_im) = tile_unitary(ctx, &self.topo_v, pv);
             let sig = ctx.param(self.sigma[tile]); // [K] broadcasts over U's columns
-            let us_re = u_re.mul(sig);
-            let us_im = u_im.mul(sig);
-            // Re(UΣ · V) = (UΣ)_re·V_re − (UΣ)_im·V_im.
-            let w_tile = us_re.matmul(v_re).sub(us_im.matmul(v_im));
-            tiles.push(w_tile);
+            us_re_tiles.push(u_re.mul(sig));
+            us_im_tiles.push(u_im.mul(sig));
+            v_re_tiles.push(v_re);
+            v_im_tiles.push(v_im);
         }
-        let full = assemble_blocks(&tiles, self.grid_rows, self.grid_cols);
+        // Re(UΣ · V) = (UΣ)_re·V_re − (UΣ)_im·V_im, batched over all tiles.
+        let full = batched_tile_product(
+            &us_re_tiles,
+            &us_im_tiles,
+            &v_re_tiles,
+            &v_im_tiles,
+            self.grid_rows,
+            self.grid_cols,
+        );
         if self.grid_rows * k == self.out_features && self.grid_cols * k == self.in_features {
             full
         } else {
@@ -313,7 +342,13 @@ impl Layer for OnnConv2d {
         let cols = im2col_var(x, self.geom);
         let y = w.matmul(cols);
         let n = x.shape()[0];
-        let y = cols_to_nchw(y, n, self.out_channels, self.geom.out_h(), self.geom.out_w());
+        let y = cols_to_nchw(
+            y,
+            n,
+            self.out_channels,
+            self.geom.out_h(),
+            self.geom.out_w(),
+        );
         let b = ctx.param(self.bias).reshape(&[self.out_channels, 1, 1]);
         y.add(b)
     }
@@ -436,7 +471,7 @@ impl MziLinear {
             let mut us = un;
             for j in 0..k {
                 for i in 0..k {
-                    us[(i, j)] = us[(i, j)] * s[j];
+                    us.update(i, j, |z| z * s[j]);
                 }
             }
             let tile = us.matmul(&vn).re();
@@ -524,7 +559,13 @@ impl Layer for MziConv2d {
         let cols = im2col_var(x, self.geom);
         let y = w.matmul(cols);
         let n = x.shape()[0];
-        let y = cols_to_nchw(y, n, self.out_channels, self.geom.out_h(), self.geom.out_w());
+        let y = cols_to_nchw(
+            y,
+            n,
+            self.out_channels,
+            self.geom.out_h(),
+            self.geom.out_w(),
+        );
         y.add(b.reshape(&[self.out_channels, 1, 1]))
     }
 
@@ -622,7 +663,10 @@ mod tests {
                 any += 1;
             }
         }
-        assert!(any >= 6, "gradients must reach phase/sigma params, got {any}");
+        assert!(
+            any >= 6,
+            "gradients must reach phase/sigma params, got {any}"
+        );
     }
 
     #[test]
@@ -639,7 +683,11 @@ mod tests {
         let grads = graph.backward(loss);
         let updates = ctx.into_param_grads(&grads);
         store.accumulate_many(&updates);
-        let total: f64 = layer.param_ids().iter().map(|&id| store.grad(id).norm()).sum();
+        let total: f64 = layer
+            .param_ids()
+            .iter()
+            .map(|&id| store.grad(id).norm())
+            .sum();
         assert!(total > 1e-9, "some gradient must flow");
     }
 
@@ -662,7 +710,10 @@ mod tests {
         let noisy1 = run(&mut layer, &store, 1);
         let noisy2 = run(&mut layer, &store, 2);
         assert!(noisy1.max_abs_diff(&clean1) > 1e-6);
-        assert!(noisy1.max_abs_diff(&noisy2) > 1e-9, "different seeds differ");
+        assert!(
+            noisy1.max_abs_diff(&noisy2) > 1e-9,
+            "different seeds differ"
+        );
     }
 
     #[test]

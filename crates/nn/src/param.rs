@@ -49,7 +49,12 @@ impl ParamStore {
     }
 
     /// Registers a parameter, returning its handle.
-    pub fn register(&mut self, name: impl Into<String>, value: Tensor, weight_decay: f64) -> ParamId {
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        value: Tensor,
+        weight_decay: f64,
+    ) -> ParamId {
         let grad = Tensor::zeros(value.shape());
         self.slots.push(ParamSlot {
             name: name.into(),
@@ -255,8 +260,8 @@ mod tests {
         let graph = Graph::new();
         let c1 = ForwardCtx::new(&graph, &store, true, 42);
         let c2 = ForwardCtx::new(&graph, &store, true, 42);
-        let x1: f64 = c1.with_rng(|r| rand::Rng::gen(r));
-        let x2: f64 = c2.with_rng(|r| rand::Rng::gen(r));
+        let x1: f64 = c1.with_rng(rand::Rng::gen);
+        let x2: f64 = c2.with_rng(rand::Rng::gen);
         assert_eq!(x1, x2);
     }
 }

@@ -117,7 +117,12 @@ pub fn train_classifier(
 
 /// Classification accuracy of `model` on `data` (eval mode, no parameter
 /// updates).
-pub fn evaluate(model: &mut dyn Layer, store: &ParamStore, data: &Dataset, batch_size: usize) -> f64 {
+pub fn evaluate(
+    model: &mut dyn Layer,
+    store: &ParamStore,
+    data: &Dataset,
+    batch_size: usize,
+) -> f64 {
     evaluate_seeded(model, store, data, batch_size, 0)
 }
 
@@ -255,7 +260,13 @@ mod tests {
         let mut model = crate::layers::Sequential::new();
         model.push(Box::new(crate::layers::Flatten));
         model.push(Box::new(crate::onn::OnnLinear::new(
-            &mut store, "fc", 4, 2, topo.clone(), topo, 1,
+            &mut store,
+            "fc",
+            4,
+            2,
+            topo.clone(),
+            topo,
+            1,
         )));
         let cfg = TrainConfig {
             epochs: 4,
@@ -268,7 +279,10 @@ mod tests {
         // After training, evaluation must be deterministic (noise off).
         let a = evaluate_seeded(&mut model, &store, &test, 10, 1);
         let b = evaluate_seeded(&mut model, &store, &test, 10, 99);
-        assert_eq!(a, b, "noise must be disabled after variation-aware training");
+        assert_eq!(
+            a, b,
+            "noise must be disabled after variation-aware training"
+        );
     }
 
     #[test]

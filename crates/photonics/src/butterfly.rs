@@ -37,7 +37,10 @@ pub fn riffle_image(m: usize) -> Vec<usize> {
 ///
 /// Panics unless `k` is a power of two and the stage fits (`2^{s+1} ≤ k`).
 pub fn butterfly_stage_permutation(k: usize, stage: usize) -> Permutation {
-    assert!(k.is_power_of_two() && k >= 2, "k must be a power of two ≥ 2");
+    assert!(
+        k.is_power_of_two() && k >= 2,
+        "k must be a power of two ≥ 2"
+    );
     let m = 1usize << (stage + 1);
     assert!(m <= k, "stage {stage} too large for k = {k}");
     let mut image = Vec::with_capacity(k);
@@ -64,7 +67,10 @@ pub fn butterfly_stage_crossings(k: usize, stage: usize) -> usize {
 ///
 /// Panics unless `k` is a power of two of at least 2.
 pub fn butterfly_topology(k: usize) -> BlockMeshTopology {
-    assert!(k.is_power_of_two() && k >= 2, "k must be a power of two ≥ 2");
+    assert!(
+        k.is_power_of_two() && k >= 2,
+        "k must be a power of two ≥ 2"
+    );
     let stages = k.trailing_zeros() as usize;
     // In a PS→DC→CR block the crossing network follows the couplers, so each
     // block's riffle prepares the *next* block's coupler pairs. Input-side
@@ -124,7 +130,11 @@ mod tests {
     /// (two unitaries).
     #[test]
     fn ptc_counts_match_paper_tables() {
-        for (k, cr, dc, blk) in [(8usize, 16usize, 24usize, 6usize), (16, 88, 64, 8), (32, 416, 160, 10)] {
+        for (k, cr, dc, blk) in [
+            (8usize, 16usize, 24usize, 6usize),
+            (16, 88, 64, 8),
+            (32, 416, 160, 10),
+        ] {
             let topo = butterfly_topology(k);
             let ptc = topo.ptc_device_count(&topo);
             assert_eq!(ptc.cr, cr, "k={k} crossings");
@@ -170,9 +180,9 @@ mod tests {
         let phases = vec![vec![0.0; 8]; 3];
         let u = topo.unitary(&phases);
         for j in 0..8 {
-            let col_energy: f64 = (0..8).map(|i| u[(i, j)].norm_sqr()).sum();
+            let col_energy: f64 = (0..8).map(|i| u.at(i, j).norm_sqr()).sum();
             assert!((col_energy - 1.0).abs() < 1e-10);
-            let nonzero = (0..8).filter(|&i| u[(i, j)].abs() > 1e-9).count();
+            let nonzero = (0..8).filter(|&i| u.at(i, j).abs() > 1e-9).count();
             assert!(nonzero == 8, "column {j} touches {nonzero} outputs");
         }
     }

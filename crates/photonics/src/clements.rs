@@ -9,7 +9,7 @@
 //! reconstruction. The robustness experiments (Fig. 4) perturb the rotation
 //! phases to model per-MZI phase drift.
 
-use adept_linalg::{C64, CMatrix};
+use adept_linalg::{CMatrix, C64};
 
 /// One adjacent 2×2 rotation acting on waveguides `(wire, wire+1)`,
 /// parametrized by a mixing angle `θ` and a relative phase `φ` — the two
@@ -44,10 +44,10 @@ impl AdjacentRotation {
         let mut m = CMatrix::identity(n);
         let r = self.matrix2();
         let (a, b) = (self.wire, self.wire + 1);
-        m[(a, a)] = r[0][0];
-        m[(a, b)] = r[0][1];
-        m[(b, a)] = r[1][0];
-        m[(b, b)] = r[1][1];
+        m.set(a, a, r[0][0]);
+        m.set(a, b, r[0][1]);
+        m.set(b, a, r[1][0]);
+        m.set(b, b, r[1][1]);
         m
     }
 }
@@ -73,14 +73,20 @@ impl MeshDecomposition {
     pub fn reconstruct(&self) -> CMatrix {
         let n = self.n;
         let mut m = CMatrix::from_diag(&self.phases);
+        let (re, im) = m.planes_mut();
         for r in self.rotations.iter().rev() {
             let g = r.matrix2();
             let (a, b) = (r.wire, r.wire + 1);
             for j in 0..n {
-                let top = m[(a, j)];
-                let bot = m[(b, j)];
-                m[(a, j)] = g[0][0] * top + g[0][1] * bot;
-                m[(b, j)] = g[1][0] * top + g[1][1] * bot;
+                let (ta, tb) = (a * n + j, b * n + j);
+                let top = C64::new(re[ta], im[ta]);
+                let bot = C64::new(re[tb], im[tb]);
+                let na = g[0][0] * top + g[0][1] * bot;
+                let nb = g[1][0] * top + g[1][1] * bot;
+                re[ta] = na.re;
+                im[ta] = na.im;
+                re[tb] = nb.re;
+                im[tb] = nb.im;
             }
         }
         m
@@ -144,8 +150,8 @@ pub fn decompose(u: &CMatrix) -> MeshDecomposition {
     let mut applied: Vec<AdjacentRotation> = Vec::with_capacity(n * (n - 1) / 2);
     for col in 0..n.saturating_sub(1) {
         for row in ((col + 1)..n).rev() {
-            let x = w[(row - 1, col)];
-            let y = w[(row, col)];
+            let x = w.at(row - 1, col);
+            let y = w.at(row, col);
             if y.abs() < 1e-300 {
                 // Record an identity rotation to keep the mesh shape fixed.
                 applied.push(AdjacentRotation {
@@ -164,11 +170,17 @@ pub fn decompose(u: &CMatrix) -> MeshDecomposition {
             let (s, c) = theta.sin_cos();
             let g_top = [C64::new(c, 0.0), C64::cis(-phi) * s];
             let g_bot = [-C64::cis(phi) * s, C64::new(c, 0.0)];
+            let (re, im) = w.planes_mut();
             for j in 0..n {
-                let top = w[(row - 1, j)];
-                let bot = w[(row, j)];
-                w[(row - 1, j)] = g_top[0] * top + g_top[1] * bot;
-                w[(row, j)] = g_bot[0] * top + g_bot[1] * bot;
+                let (ta, tb) = ((row - 1) * n + j, row * n + j);
+                let top = C64::new(re[ta], im[ta]);
+                let bot = C64::new(re[tb], im[tb]);
+                let na = g_top[0] * top + g_top[1] * bot;
+                let nb = g_bot[0] * top + g_bot[1] * bot;
+                re[ta] = na.re;
+                im[ta] = na.im;
+                re[tb] = nb.re;
+                im[tb] = nb.im;
             }
             applied.push(AdjacentRotation {
                 wire: row - 1,
@@ -178,7 +190,7 @@ pub fn decompose(u: &CMatrix) -> MeshDecomposition {
         }
     }
     // w is now diagonal (unit modulus). U = G₁ᴴ·G₂ᴴ·…·G_mᴴ·D.
-    let phases: Vec<C64> = (0..n).map(|i| w[(i, i)]).collect();
+    let phases: Vec<C64> = (0..n).map(|i| w.at(i, i)).collect();
     // Gᴴ for G(θ, φ) is the rotation [[c, -e^{-jφ}s], [e^{jφ}s, c]] — our
     // AdjacentRotation::matrix2 with the same (θ, φ).
     let rotations = applied
@@ -207,7 +219,9 @@ mod tests {
     /// rotations and phases (sufficient for reconstruction tests).
     fn random_unitary(rng: &mut StdRng, n: usize) -> CMatrix {
         let mut m = CMatrix::from_diag(
-            &(0..n).map(|_| C64::cis(rng.gen_range(-3.0..3.0))).collect::<Vec<_>>(),
+            &(0..n)
+                .map(|_| C64::cis(rng.gen_range(-3.0..3.0)))
+                .collect::<Vec<_>>(),
         );
         for _ in 0..(3 * n * n) {
             let r = AdjacentRotation {
@@ -257,7 +271,7 @@ mod tests {
         let p = Permutation::random(&mut rng, 6);
         let mut u = CMatrix::zeros(6, 6);
         for (i, &j) in p.as_slice().iter().enumerate() {
-            u[(i, j)] = C64::ONE;
+            u.set(i, j, C64::ONE);
         }
         let d = decompose(&u);
         assert!(d.reconstruct().fro_dist(&u) < 1e-9);

@@ -117,10 +117,19 @@ mod tests {
     fn mzi_footprints_match_paper_tables() {
         let amf = Pdk::amf();
         assert_eq!(DeviceCount::mzi_ptc(8).footprint_kum2(&amf).round(), 1909.0);
-        assert_eq!(DeviceCount::mzi_ptc(16).footprint_kum2(&amf).round(), 7683.0);
-        assert_eq!(DeviceCount::mzi_ptc(32).footprint_kum2(&amf).round(), 30829.0);
+        assert_eq!(
+            DeviceCount::mzi_ptc(16).footprint_kum2(&amf).round(),
+            7683.0
+        );
+        assert_eq!(
+            DeviceCount::mzi_ptc(32).footprint_kum2(&amf).round(),
+            30829.0
+        );
         let aim = Pdk::aim();
-        assert_eq!(DeviceCount::mzi_ptc(16).footprint_kum2(&aim).round(), 4480.0);
+        assert_eq!(
+            DeviceCount::mzi_ptc(16).footprint_kum2(&aim).round(),
+            4480.0
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! * an MZI is two 50:50 couplers with two phase shifters and realizes an
 //!   arbitrary 2-D unitary rotation (up to external phases).
 
-use adept_linalg::{C64, CMatrix, Permutation};
+use adept_linalg::{CMatrix, Permutation, C64};
 
 /// Transmission coefficient of a 50:50 directional coupler, `√2/2`.
 pub const DC_50_50_T: f64 = std::f64::consts::FRAC_1_SQRT_2;
@@ -24,8 +24,8 @@ pub const DC_50_50_T: f64 = std::f64::consts::FRAC_1_SQRT_2;
 /// use adept_photonics::phase_column;
 ///
 /// let r = phase_column(&[0.0, std::f64::consts::PI]);
-/// assert!((r[(0, 0)].re - 1.0).abs() < 1e-12);
-/// assert!((r[(1, 1)].re + 1.0).abs() < 1e-12);
+/// assert!((r.at(0, 0).re - 1.0).abs() < 1e-12);
+/// assert!((r.at(1, 1).re + 1.0).abs() < 1e-12);
 /// ```
 pub fn phase_column(phases: &[f64]) -> CMatrix {
     let diag: Vec<C64> = phases.iter().map(|&p| C64::cis(-p)).collect();
@@ -57,7 +57,7 @@ pub fn crossing_matrix(perm: &Permutation) -> CMatrix {
     let n = perm.len();
     let mut m = CMatrix::zeros(n, n);
     for (i, &j) in perm.as_slice().iter().enumerate() {
-        m[(i, j)] = C64::ONE;
+        m.set(i, j, C64::ONE);
     }
     m
 }
@@ -84,14 +84,14 @@ mod tests {
         let r = phase_column(&[0.1, -0.7, 2.4, 0.0]);
         assert!(r.is_unitary(1e-12));
         // Magnitude of each diagonal entry is 1, off-diagonals are 0.
-        assert!((r[(2, 2)].abs() - 1.0).abs() < 1e-12);
-        assert_eq!(r[(0, 1)], C64::ZERO);
+        assert!((r.at(2, 2).abs() - 1.0).abs() < 1e-12);
+        assert_eq!(r.at(0, 1), C64::ZERO);
     }
 
     #[test]
     fn phase_column_applies_negative_phase() {
         let r = phase_column(&[0.5]);
-        assert!((r[(0, 0)].arg() + 0.5).abs() < 1e-12);
+        assert!((r.at(0, 0).arg() + 0.5).abs() < 1e-12);
     }
 
     #[test]

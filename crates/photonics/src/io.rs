@@ -29,7 +29,11 @@ pub struct ParseTopologyError {
 
 impl fmt::Display for ParseTopologyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "topology parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "topology parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -61,7 +65,11 @@ pub fn to_text(topo: &BlockMeshTopology) -> String {
     out.push_str(&format!("k {}\n", topo.k()));
     out.push_str(&format!("blocks {}\n", topo.blocks().len()));
     for b in topo.blocks() {
-        let couplers: String = b.couplers.iter().map(|&c| if c { '1' } else { '0' }).collect();
+        let couplers: String = b
+            .couplers
+            .iter()
+            .map(|&c| if c { '1' } else { '0' })
+            .collect();
         let perm: Vec<String> = b.perm.as_slice().iter().map(|v| v.to_string()).collect();
         out.push_str(&format!(
             "block dc_start={} couplers={} perm={}\n",
@@ -213,18 +221,22 @@ mod tests {
         assert!(from_text("").is_err());
         assert!(from_text("adept-topology v1\nk x\nblocks 0\n").is_err());
         assert!(from_text("adept-topology v1\nk 4\nblocks 1\n").is_err());
-        let bad_perm = "adept-topology v1\nk 4\nblocks 1\nblock dc_start=0 couplers=11 perm=0,0,1,2\n";
+        let bad_perm =
+            "adept-topology v1\nk 4\nblocks 1\nblock dc_start=0 couplers=11 perm=0,0,1,2\n";
         let e = from_text(bad_perm).unwrap_err();
         assert!(e.to_string().contains("illegal permutation"));
-        let bad_flags = "adept-topology v1\nk 4\nblocks 1\nblock dc_start=0 couplers=1 perm=0,1,2,3\n";
+        let bad_flags =
+            "adept-topology v1\nk 4\nblocks 1\nblock dc_start=0 couplers=1 perm=0,1,2,3\n";
         assert!(from_text(bad_flags).is_err());
-        let wrong_count = "adept-topology v1\nk 4\nblocks 2\nblock dc_start=0 couplers=11 perm=0,1,2,3\n";
+        let wrong_count =
+            "adept-topology v1\nk 4\nblocks 2\nblock dc_start=0 couplers=11 perm=0,1,2,3\n";
         assert!(from_text(wrong_count).is_err());
     }
 
     #[test]
     fn unknown_field_rejected() {
-        let text = "adept-topology v1\nk 4\nblocks 1\nblock dc_start=0 couplers=11 perm=0,1,2,3 foo=1\n";
+        let text =
+            "adept-topology v1\nk 4\nblocks 1\nblock dc_start=0 couplers=11 perm=0,1,2,3 foo=1\n";
         let e = from_text(text).unwrap_err();
         assert!(e.to_string().contains("unknown field"));
     }

@@ -21,9 +21,9 @@
 
 pub mod butterfly;
 pub mod clements;
-pub mod io;
 mod cost;
 pub mod devices;
+pub mod io;
 mod noise;
 mod pdk;
 mod topology;

@@ -110,7 +110,10 @@ mod tests {
         let amf = Pdk::amf();
         assert_eq!((amf.ps_um2, amf.dc_um2, amf.cr_um2), (6800.0, 1500.0, 64.0));
         let aim = Pdk::aim();
-        assert_eq!((aim.ps_um2, aim.dc_um2, aim.cr_um2), (2500.0, 4000.0, 4900.0));
+        assert_eq!(
+            (aim.ps_um2, aim.dc_um2, aim.cr_um2),
+            (2500.0, 4000.0, 4900.0)
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::cost::DeviceCount;
 use crate::devices::{phase_column, DC_50_50_T};
-use adept_linalg::{C64, CMatrix, Permutation};
+use adept_linalg::{CMatrix, Permutation, C64};
 use rand::Rng;
 
 /// One PS→DC→CR block of a [`BlockMeshTopology`].
@@ -57,10 +57,10 @@ impl MeshBlock {
             }
             let a = self.dc_start + 2 * i;
             let b = a + 1;
-            m[(a, a)] = C64::new(t, 0.0);
-            m[(b, b)] = C64::new(t, 0.0);
-            m[(a, b)] = C64::new(0.0, kappa);
-            m[(b, a)] = C64::new(0.0, kappa);
+            m.set(a, a, C64::new(t, 0.0));
+            m.set(b, b, C64::new(t, 0.0));
+            m.set(a, b, C64::new(0.0, kappa));
+            m.set(b, a, C64::new(0.0, kappa));
         }
         m
     }
@@ -166,7 +166,11 @@ impl BlockMeshTopology {
     ///
     /// Panics unless `phases` holds `blocks().len()` columns of `k` phases.
     pub fn unitary(&self, phases: &[Vec<f64>]) -> CMatrix {
-        assert_eq!(phases.len(), self.blocks.len(), "one phase column per block");
+        assert_eq!(
+            phases.len(),
+            self.blocks.len(),
+            "one phase column per block"
+        );
         let mut m = CMatrix::identity(self.k);
         // Rightmost factor first: iterate blocks from last to first,
         // multiplying on the left.
@@ -225,10 +229,10 @@ mod tests {
         let u = topo.unitary(&[vec![0.0; 4]]);
         // One full coupler column at offset 0: block-diag of 2 couplers.
         let t = DC_50_50_T;
-        assert!((u[(0, 0)].re - t).abs() < 1e-12);
-        assert!((u[(0, 1)].im - t).abs() < 1e-12);
-        assert!((u[(2, 3)].im - t).abs() < 1e-12);
-        assert_eq!(u[(0, 2)], C64::ZERO);
+        assert!((u.at(0, 0).re - t).abs() < 1e-12);
+        assert!((u.at(0, 1).im - t).abs() < 1e-12);
+        assert!((u.at(2, 3).im - t).abs() < 1e-12);
+        assert_eq!(u.at(0, 2), C64::ZERO);
     }
 
     #[test]

@@ -197,16 +197,20 @@ mod tests {
         // Direct sliding-window conv must equal weight-matrix times im2col.
         let g = geom(2, 5, 5, 3, 1, 1);
         let x = Tensor::from_vec(
-            (0..50).map(|i| ((i * 17 % 23) as f64 - 11.0) / 7.0).collect(),
+            (0..50)
+                .map(|i| ((i * 17 % 23) as f64 - 11.0) / 7.0)
+                .collect(),
             &[1, 2, 5, 5],
         );
         let wt = Tensor::from_vec(
-            (0..2 * 2 * 9).map(|i| ((i * 13 % 19) as f64 - 9.0) / 5.0).collect(),
+            (0..2 * 2 * 9)
+                .map(|i| ((i * 13 % 19) as f64 - 9.0) / 5.0)
+                .collect(),
             &[2, 18],
         );
         let cols = im2col(&x, &g);
         let y = wt.matmul(&cols); // [2, 25]
-        // Direct computation for a few output pixels.
+                                  // Direct computation for a few output pixels.
         let direct = |oc: usize, oy: usize, ox: usize| -> f64 {
             let mut s = 0.0;
             for ci in 0..2 {
@@ -238,7 +242,9 @@ mod tests {
         // property the conv backward pass relies on.
         let g = geom(2, 6, 6, 3, 2, 1);
         let x = Tensor::from_vec(
-            (0..72).map(|i| ((i * 29 % 31) as f64 - 15.0) / 9.0).collect(),
+            (0..72)
+                .map(|i| ((i * 29 % 31) as f64 - 15.0) / 9.0)
+                .collect(),
             &[1, 2, 6, 6],
         );
         let cols = im2col(&x, &g);
@@ -251,7 +257,10 @@ mod tests {
         let lhs = cols.dot(&y);
         let back = col2im(&y, &g, 1);
         let rhs = x.dot(&back);
-        assert!((lhs - rhs).abs() < 1e-9, "adjoint identity violated: {lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-9,
+            "adjoint identity violated: {lhs} vs {rhs}"
+        );
     }
 
     #[test]

@@ -1,9 +1,26 @@
-//! Dense `f64` tensor kernel for the ADEPT reproduction.
+//! Dense `f64` tensor substrate for the ADEPT reproduction.
 //!
-//! This crate is the numeric substrate everything else builds on: an owned,
-//! row-major, dynamically shaped tensor with the operations the ADEPT stack
-//! needs — elementwise maps, axis reductions, a threaded GEMM, transposes and
-//! `im2col`/`col2im` for convolution lowering.
+//! This crate is the numeric foundation everything else builds on. Since the
+//! zero-copy refactor it is organized around three ideas:
+//!
+//! * **Shared, copy-on-write storage** — a [`Tensor`] is a contiguous
+//!   window into an `Arc<Vec<f64>>`. Clones, reshapes, row extraction,
+//!   batch items ([`Tensor::subtensor`]) and autodiff tape reads are all
+//!   reference-count bumps; the first mutation of a shared tensor detaches
+//!   it onto exclusive storage. Aliasing is therefore never observable
+//!   through writes.
+//! * **Strided views** — a [`View`] is an offset + per-axis strides window
+//!   over the same storage. Slicing, transposition and `K×K` tile
+//!   extraction are pure stride arithmetic; [`View::materialize`] is
+//!   zero-copy when the view is contiguous.
+//! * **Batched, strided kernels** — [`matmul_into`] (threaded GEMM with
+//!   row- or column-partitioning), [`matmul_view`] (GEMM straight off view
+//!   strides) and [`batched_matmul_into`] (all PTC tiles of a layer in one
+//!   sweep, addressed by [`Tile`] descriptors) avoid materializing
+//!   operands entirely.
+//!
+//! Elementwise maps, axis reductions and `im2col`/`col2im` for convolution
+//! lowering round out the API.
 //!
 //! # Examples
 //!
@@ -14,6 +31,10 @@
 //! let b = Tensor::eye(2);
 //! let c = a.matmul(&b);
 //! assert!(c.allclose(&a, 1e-12));
+//!
+//! // Views slice and transpose without copying.
+//! let t = a.t_view();
+//! assert_eq!(t.at(&[0, 1]), 3.0);
 //! ```
 
 mod conv;
@@ -22,11 +43,13 @@ mod ops;
 mod random;
 mod shape;
 mod tensor;
+mod view;
 
 pub use conv::{col2im, im2col, Conv2dGeometry};
-pub use matmul::{matmul_into, set_gemm_threads};
+pub use matmul::{batched_matmul_into, matmul_into, matmul_view, set_gemm_threads, Tile};
 pub use shape::{broadcast_shapes, Shape};
 pub use tensor::Tensor;
+pub use view::View;
 
 #[cfg(test)]
 mod tests {
@@ -37,5 +60,16 @@ mod tests {
         let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
         let b = Tensor::eye(2);
         assert!(a.matmul(&b).allclose(&a, 1e-12));
+    }
+
+    #[test]
+    fn views_and_cow_interact() {
+        let a = Tensor::linspace(0.0, 8.0, 9).reshape(&[3, 3]);
+        let v = a.block_view(0, 0, 2, 2);
+        let mut b = a.clone();
+        *b.at_mut(&[0, 0]) = 100.0;
+        // The view still reads the original storage.
+        assert_eq!(v.at(&[0, 0]), 0.0);
+        assert_eq!(b.at(&[0, 0]), 100.0);
     }
 }

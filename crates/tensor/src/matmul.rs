@@ -1,7 +1,9 @@
-//! Matrix multiplication: cache-friendly serial kernel plus a scoped-thread
-//! parallel path for large problems.
+//! Matrix multiplication: cache-friendly serial kernel, a scoped-thread
+//! parallel path, and strided/batched variants that consume [`View`]s so
+//! tile extraction and assembly never materialize operands.
 
 use crate::tensor::Tensor;
+use crate::view::View;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 static GEMM_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -29,11 +31,125 @@ fn gemm_threads() -> usize {
     })
 }
 
+/// Work threshold (in floating-point operations) below which GEMMs stay on
+/// the calling thread.
+const PAR_FLOP_THRESHOLD: f64 = 2.0e6;
+
+/// Placement of one `m×k`/`k×n`/`m×n` operand inside a flat buffer:
+/// element `(i, j)` lives at `offset + i·row_stride + j·col_stride`.
+///
+/// This is how [`batched_matmul_into`] addresses PTC tiles inside a large
+/// weight matrix (offset = tile corner, `row_stride` = full matrix width)
+/// and transposed operands (`row_stride`/`col_stride` swapped) without any
+/// copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tile {
+    /// Flat offset of element `(0, 0)`.
+    pub offset: usize,
+    /// Elements between vertically adjacent entries.
+    pub row_stride: usize,
+    /// Elements between horizontally adjacent entries.
+    pub col_stride: usize,
+}
+
+impl Tile {
+    /// A dense row-major operand of width `cols` starting at `offset`.
+    pub fn contiguous(offset: usize, cols: usize) -> Tile {
+        Tile {
+            offset,
+            row_stride: cols,
+            col_stride: 1,
+        }
+    }
+
+    /// The rank-2 placement of a [`View`] (offset + row/col strides).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view is not rank 2.
+    pub fn of_view(v: &View) -> Tile {
+        assert_eq!(v.rank(), 2, "Tile::of_view expects a rank-2 view");
+        Tile {
+            offset: v.storage_offset(),
+            row_stride: v.strides()[0],
+            col_stride: v.strides()[1],
+        }
+    }
+
+    fn max_index(&self, rows: usize, cols: usize) -> usize {
+        if rows == 0 || cols == 0 {
+            return self.offset;
+        }
+        self.offset + (rows - 1) * self.row_stride + (cols - 1) * self.col_stride
+    }
+}
+
+/// One strided tile GEMM: `C_tile = A_tile · B_tile`, overwriting `C_tile`.
+///
+/// # Safety
+///
+/// `c` must be valid for writes over the tile's index set and no other
+/// thread may concurrently touch those indices. Bounds are checked against
+/// `c_len` via debug assertions only.
+unsafe fn gemm_tile_raw(
+    a: &[f64],
+    at: Tile,
+    b: &[f64],
+    bt: Tile,
+    c: *mut f64,
+    c_len: usize,
+    ct: Tile,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert!(at.max_index(m, k) < a.len().max(1) || m * k == 0);
+    debug_assert!(bt.max_index(k, n) < b.len().max(1) || k * n == 0);
+    debug_assert!(ct.max_index(m, n) < c_len.max(1) || m * n == 0);
+    let fast = bt.col_stride == 1 && ct.col_stride == 1;
+    for i in 0..m {
+        let c_row = ct.offset + i * ct.row_stride;
+        for j in 0..n {
+            *c.add(c_row + j * ct.col_stride) = 0.0;
+        }
+        for p in 0..k {
+            let aip = a[at.offset + i * at.row_stride + p * at.col_stride];
+            if aip == 0.0 {
+                continue;
+            }
+            let b_row = bt.offset + p * bt.row_stride;
+            if fast {
+                // Unit-stride inner loop: stream B and C rows.
+                let b_slice = &b[b_row..b_row + n];
+                for (j, &bj) in b_slice.iter().enumerate() {
+                    *c.add(c_row + j) += aip * bj;
+                }
+            } else {
+                for j in 0..n {
+                    *c.add(c_row + j * ct.col_stride) += aip * b[b_row + j * bt.col_stride];
+                }
+            }
+        }
+    }
+}
+
+/// Raw mutable pointer that may cross scoped-thread boundaries. The GEMM
+/// partitioners guarantee the index sets written through it are disjoint.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f64);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
 /// `C = A · B` for row-major slices: `a` is `m×k`, `b` is `k×n`, `c` is `m×n`.
 ///
 /// `c` is fully overwritten. The kernel uses the i-k-j loop order so the
-/// inner loop streams both `b` and `c` rows; above a work threshold the rows
-/// of `c` are partitioned across scoped threads.
+/// inner loop streams both `b` and `c` rows. Above a work threshold the
+/// output is partitioned across scoped threads — by rows when there are
+/// enough of them, by *columns* otherwise, so wide single-row GEMMs (common
+/// for im2col'd convolutions with one output row) still parallelize.
+///
+/// Every output element is accumulated in the same k-order regardless of
+/// partitioning, so results are bit-identical across thread counts.
 ///
 /// # Panics
 ///
@@ -42,46 +158,234 @@ pub fn matmul_into(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: u
     assert_eq!(a.len(), m * k, "lhs buffer length mismatch");
     assert_eq!(b.len(), k * n, "rhs buffer length mismatch");
     assert_eq!(c.len(), m * n, "out buffer length mismatch");
+    gemm_dispatch(
+        a,
+        Tile::contiguous(0, k),
+        b,
+        Tile::contiguous(0, n),
+        c,
+        Tile::contiguous(0, n),
+        m,
+        k,
+        n,
+    );
+}
+
+/// One strided GEMM over [`Tile`] operands, serial below the work threshold
+/// and partitioned across scoped threads (by rows when there are enough of
+/// them, by columns otherwise) above it. Every output element accumulates
+/// in the same k-order regardless of partitioning, so results are
+/// bit-identical across thread counts.
+fn gemm_dispatch(
+    a: &[f64],
+    at: Tile,
+    b: &[f64],
+    bt: Tile,
+    c: &mut [f64],
+    ct: Tile,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     let flops = 2.0 * m as f64 * n as f64 * k as f64;
     let threads = gemm_threads();
-    if threads <= 1 || flops < 2.0e6 || m < 2 {
-        serial_block(a, b, c, k, n, 0, m);
+    let c_len = c.len();
+    let c_ptr = SendPtr(c.as_mut_ptr());
+    if threads <= 1 || flops < PAR_FLOP_THRESHOLD || m * n == 0 {
+        unsafe {
+            gemm_tile_raw(a, at, b, bt, c_ptr.0, c_len, ct, m, k, n);
+        }
         return;
     }
-    let threads = threads.min(m);
-    let rows_per = m.div_ceil(threads);
+    if m >= threads || m >= n {
+        // Row partition: thread t owns rows [r0, r0 + take).
+        let threads = threads.min(m);
+        let rows_per = m.div_ceil(threads);
+        std::thread::scope(|scope| {
+            let mut row0 = 0;
+            while row0 < m {
+                let take = rows_per.min(m - row0);
+                let at_chunk = Tile {
+                    offset: at.offset + row0 * at.row_stride,
+                    ..at
+                };
+                let ct_chunk = Tile {
+                    offset: ct.offset + row0 * ct.row_stride,
+                    ..ct
+                };
+                scope.spawn(move || unsafe {
+                    let c_ptr = c_ptr;
+                    gemm_tile_raw(a, at_chunk, b, bt, c_ptr.0, c_len, ct_chunk, take, k, n);
+                });
+                row0 += take;
+            }
+        });
+    } else {
+        // Column partition: thread t owns columns [c0, c0 + take) of every
+        // row — the only way to spread a 1×n GEMM over cores.
+        let threads = threads.min(n);
+        let cols_per = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            let mut col0 = 0;
+            while col0 < n {
+                let take = cols_per.min(n - col0);
+                let bt_chunk = Tile {
+                    offset: bt.offset + col0 * bt.col_stride,
+                    ..bt
+                };
+                let ct_chunk = Tile {
+                    offset: ct.offset + col0 * ct.col_stride,
+                    ..ct
+                };
+                scope.spawn(move || unsafe {
+                    let c_ptr = c_ptr;
+                    gemm_tile_raw(a, at, b, bt_chunk, c_ptr.0, c_len, ct_chunk, m, k, take);
+                });
+                col0 += take;
+            }
+        });
+    }
+}
+
+/// Batched strided GEMM: for every `t`, `C[t] = A[t] · B[t]` where all
+/// operands are `m×k` / `k×n` / `m×n` tiles addressed by [`Tile`]
+/// descriptors into flat buffers.
+///
+/// This is the kernel that multiplies all `P×Q` PTC tiles of a layer in one
+/// sweep: the per-tile descriptors point straight into the stacked factor
+/// buffers (or into a large weight matrix), so no tile is ever copied out.
+/// Tiles are partitioned across scoped threads when the total work is large
+/// enough; each output element is accumulated in the same k-order as the
+/// serial loop, so results are bit-identical to per-tile [`matmul_into`].
+///
+/// For the common contiguous cases prefer the safe wrappers
+/// [`Tensor::batched_matmul`] / [`Tensor::batched_matmul_opt`], which
+/// construct disjoint descriptors by design.
+///
+/// # Safety
+///
+/// The index sets the `c_tiles` descriptors address must be pairwise
+/// disjoint. Overlapping output tiles would be written concurrently from
+/// different threads on the parallel path — a data race. Grid assembly and
+/// stacked batches satisfy disjointness by construction.
+///
+/// # Panics
+///
+/// Panics if the descriptor counts differ or any tile indexes out of
+/// bounds.
+pub unsafe fn batched_matmul_into(
+    a: &[f64],
+    a_tiles: &[Tile],
+    b: &[f64],
+    b_tiles: &[Tile],
+    c: &mut [f64],
+    c_tiles: &[Tile],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a_tiles.len(), b_tiles.len(), "tile count mismatch (a vs b)");
+    assert_eq!(a_tiles.len(), c_tiles.len(), "tile count mismatch (a vs c)");
+    let batch = a_tiles.len();
+    if batch == 0 || m * n == 0 {
+        return;
+    }
+    for t in 0..batch {
+        assert!(
+            a_tiles[t].max_index(m, k) < a.len(),
+            "a tile {t} out of bounds"
+        );
+        assert!(
+            b_tiles[t].max_index(k, n) < b.len(),
+            "b tile {t} out of bounds"
+        );
+        assert!(
+            c_tiles[t].max_index(m, n) < c.len(),
+            "c tile {t} out of bounds"
+        );
+    }
+    let threads = gemm_threads();
+    let flops = 2.0 * batch as f64 * m as f64 * n as f64 * k as f64;
+    let c_len = c.len();
+    let c_ptr = SendPtr(c.as_mut_ptr());
+    if threads <= 1 || flops < PAR_FLOP_THRESHOLD || batch == 1 {
+        for t in 0..batch {
+            unsafe {
+                gemm_tile_raw(
+                    a, a_tiles[t], b, b_tiles[t], c_ptr.0, c_len, c_tiles[t], m, k, n,
+                );
+            }
+        }
+        return;
+    }
+    let threads = threads.min(batch);
+    let per = batch.div_ceil(threads);
     std::thread::scope(|scope| {
-        let mut rest = c;
-        let mut row0 = 0;
-        while row0 < m {
-            let take = rows_per.min(m - row0);
-            let (chunk, tail) = rest.split_at_mut(take * n);
-            rest = tail;
-            let r0 = row0;
+        let mut t0 = 0;
+        while t0 < batch {
+            let take = per.min(batch - t0);
+            let (ats, bts, cts) = (
+                &a_tiles[t0..t0 + take],
+                &b_tiles[t0..t0 + take],
+                &c_tiles[t0..t0 + take],
+            );
             scope.spawn(move || {
-                serial_block(a, b, chunk, k, n, r0, take);
+                let c_ptr = c_ptr;
+                for t in 0..take {
+                    unsafe {
+                        gemm_tile_raw(a, ats[t], b, bts[t], c_ptr.0, c_len, cts[t], m, k, n);
+                    }
+                }
             });
-            row0 += take;
+            t0 += take;
         }
     });
 }
 
-/// Multiplies `rows` rows of A (starting at `row0`) into `c_chunk`.
-fn serial_block(a: &[f64], b: &[f64], c_chunk: &mut [f64], k: usize, n: usize, row0: usize, rows: usize) {
-    c_chunk.fill(0.0);
-    for i in 0..rows {
-        let a_row = &a[(row0 + i) * k..(row0 + i + 1) * k];
-        let c_row = &mut c_chunk[i * n..(i + 1) * n];
-        for (p, &aip) in a_row.iter().enumerate() {
-            if aip == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (cj, &bj) in c_row.iter_mut().zip(b_row.iter()) {
-                *cj += aip * bj;
-            }
-        }
-    }
+/// Matrix product of two rank-2 views.
+///
+/// Transposed, sliced and tiled operands run straight off their strides and
+/// share the threaded row/column partitioner with [`matmul_into`]. One
+/// exception: above the parallel work threshold a column-strided `b` (e.g.
+/// a transposed view) is materialized once so the inner loop can stream
+/// rows; small products stay allocation-free.
+///
+/// # Panics
+///
+/// Panics on rank or inner-dimension mismatch.
+pub fn matmul_view(a: &View, b: &View) -> Tensor {
+    assert_eq!(a.rank(), 2, "matmul_view lhs must be rank 2");
+    assert_eq!(b.rank(), 2, "matmul_view rhs must be rank 2");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(
+        k, k2,
+        "matmul_view inner dimension mismatch: {m}x{k} vs {k2}x{n}"
+    );
+    let mut out = Tensor::zeros(&[m, n]);
+    let flops = 2.0 * m as f64 * n as f64 * k as f64;
+    let b_mat;
+    let (b_slice, b_tile) = if b.strides()[1] != 1 && flops >= PAR_FLOP_THRESHOLD {
+        // Column-strided rhs (e.g. a transposed view) above the parallel
+        // threshold: one O(k·n) materialization buys the streaming inner
+        // loop for the O(m·k·n) product. Small products stay copy-free.
+        b_mat = b.materialize();
+        (b_mat.as_slice(), Tile::contiguous(0, n))
+    } else {
+        (b.storage_slice(), Tile::of_view(b))
+    };
+    gemm_dispatch(
+        a.storage_slice(),
+        Tile::of_view(a),
+        b_slice,
+        b_tile,
+        out.as_mut_slice(),
+        Tile::contiguous(0, n),
+        m,
+        k,
+        n,
+    );
+    out
 }
 
 impl Tensor {
@@ -116,6 +420,82 @@ impl Tensor {
         out
     }
 
+    /// Batched matrix product of rank-3 tensors:
+    /// `[T, m, k] · [T, k, n] → [T, m, n]`.
+    ///
+    /// Runs all `T` products in one [`batched_matmul_into`] sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank, batch or inner-dimension mismatch.
+    pub fn batched_matmul(&self, rhs: &Tensor) -> Tensor {
+        self.batched_matmul_opt(rhs, false, false)
+    }
+
+    /// Batched matrix product with optional per-item transposes:
+    /// `out[t] = opA(self[t]) · opB(rhs[t])` where `op` transposes when the
+    /// corresponding flag is set.
+    ///
+    /// Transposes are pure stride swaps in the tile descriptors — nothing
+    /// is materialized. This is what makes the batched autodiff backward
+    /// pass (`dA[t] = dC[t]·B[t]ᵀ`, `dB[t] = A[t]ᵀ·dC[t]`) allocation-free
+    /// apart from the gradient buffers themselves.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank, batch or inner-dimension mismatch.
+    pub fn batched_matmul_opt(&self, rhs: &Tensor, trans_a: bool, trans_b: bool) -> Tensor {
+        assert_eq!(self.rank(), 3, "batched_matmul lhs must be rank 3");
+        assert_eq!(rhs.rank(), 3, "batched_matmul rhs must be rank 3");
+        let (t, ar, ac) = (self.shape()[0], self.shape()[1], self.shape()[2]);
+        let (t2, br, bc) = (rhs.shape()[0], rhs.shape()[1], rhs.shape()[2]);
+        assert_eq!(t, t2, "batch size mismatch: {t} vs {t2}");
+        let (m, k) = if trans_a { (ac, ar) } else { (ar, ac) };
+        let (k2, n) = if trans_b { (bc, br) } else { (br, bc) };
+        assert_eq!(k, k2, "batched inner dimension mismatch");
+        let a_tile = |i: usize| {
+            if trans_a {
+                Tile {
+                    offset: i * ar * ac,
+                    row_stride: 1,
+                    col_stride: ac,
+                }
+            } else {
+                Tile::contiguous(i * ar * ac, ac)
+            }
+        };
+        let b_tile = |i: usize| {
+            if trans_b {
+                Tile {
+                    offset: i * br * bc,
+                    row_stride: 1,
+                    col_stride: bc,
+                }
+            } else {
+                Tile::contiguous(i * br * bc, bc)
+            }
+        };
+        let a_tiles: Vec<Tile> = (0..t).map(a_tile).collect();
+        let b_tiles: Vec<Tile> = (0..t).map(b_tile).collect();
+        let c_tiles: Vec<Tile> = (0..t).map(|i| Tile::contiguous(i * m * n, n)).collect();
+        let mut out = Tensor::zeros(&[t, m, n]);
+        // SAFETY: c_tiles are non-overlapping contiguous [m, n] slabs.
+        unsafe {
+            batched_matmul_into(
+                self.as_slice(),
+                &a_tiles,
+                rhs.as_slice(),
+                &b_tiles,
+                out.as_mut_slice(),
+                &c_tiles,
+                m,
+                k,
+                n,
+            );
+        }
+        out
+    }
+
     /// Matrix–vector product `self · v`.
     ///
     /// # Panics
@@ -127,10 +507,13 @@ impl Tensor {
         let (m, k) = (self.shape()[0], self.shape()[1]);
         assert_eq!(k, v.len(), "matvec dimension mismatch");
         let mut out = Tensor::zeros(&[m]);
-        for i in 0..m {
-            out.as_mut_slice()[i] = self.as_slice()[i * k..(i + 1) * k]
+        let lhs = self.as_slice();
+        let rhs = v.as_slice();
+        let dst = out.as_mut_slice();
+        for (i, slot) in dst.iter_mut().enumerate() {
+            *slot = lhs[i * k..(i + 1) * k]
                 .iter()
-                .zip(v.as_slice())
+                .zip(rhs)
                 .map(|(a, b)| a * b)
                 .sum();
         }
@@ -141,6 +524,17 @@ impl Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// Tests that override the process-global GEMM thread count must not
+    /// interleave, or the partition paths they exercise go untested.
+    static THREAD_OVERRIDE: Mutex<()> = Mutex::new(());
+
+    fn thread_override_lock() -> std::sync::MutexGuard<'static, ()> {
+        THREAD_OVERRIDE
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
 
     fn naive(a: &Tensor, b: &Tensor) -> Tensor {
         let (m, k) = (a.shape()[0], a.shape()[1]);
@@ -179,14 +573,71 @@ mod tests {
         let k = 64;
         let n = 80;
         let a = Tensor::from_vec(
-            (0..m * k).map(|i| ((i * 37 % 101) as f64 - 50.0) / 25.0).collect(),
+            (0..m * k)
+                .map(|i| ((i * 37 % 101) as f64 - 50.0) / 25.0)
+                .collect(),
             &[m, k],
         );
         let b = Tensor::from_vec(
-            (0..k * n).map(|i| ((i * 53 % 97) as f64 - 48.0) / 24.0).collect(),
+            (0..k * n)
+                .map(|i| ((i * 53 % 97) as f64 - 48.0) / 24.0)
+                .collect(),
             &[k, n],
         );
         assert!(a.matmul(&b).allclose(&naive(&a, &b), 1e-9));
+    }
+
+    #[test]
+    fn single_row_wide_gemm_uses_column_partition() {
+        // m = 1 with n·k far above the parallel threshold: the column
+        // partition must produce bit-identical results to the serial path.
+        let k = 700;
+        let n = 2400;
+        let a = Tensor::from_vec(
+            (0..k)
+                .map(|i| ((i * 37 % 101) as f64 - 50.0) / 25.0)
+                .collect(),
+            &[1, k],
+        );
+        let b = Tensor::from_vec(
+            (0..k * n)
+                .map(|i| ((i * 53 % 97) as f64 - 48.0) / 24.0)
+                .collect(),
+            &[k, n],
+        );
+        let _guard = thread_override_lock();
+        set_gemm_threads(4);
+        let par = a.matmul(&b);
+        set_gemm_threads(1);
+        let ser = a.matmul(&b);
+        set_gemm_threads(0);
+        assert_eq!(par.as_slice(), ser.as_slice(), "must be bit-identical");
+    }
+
+    #[test]
+    fn two_row_gemm_still_partitions_columns() {
+        // m = 2 < threads: wide GEMMs with few rows take the column path.
+        let k = 600;
+        let n = 1500;
+        let a = Tensor::from_vec(
+            (0..2 * k)
+                .map(|i| ((i * 31 % 89) as f64 - 44.0) / 22.0)
+                .collect(),
+            &[2, k],
+        );
+        let b = Tensor::from_vec(
+            (0..k * n)
+                .map(|i| ((i * 41 % 83) as f64 - 41.0) / 21.0)
+                .collect(),
+            &[k, n],
+        );
+        let _guard = thread_override_lock();
+        set_gemm_threads(6);
+        let par = a.matmul(&b);
+        set_gemm_threads(1);
+        let ser = a.matmul(&b);
+        set_gemm_threads(0);
+        assert_eq!(par.as_slice(), ser.as_slice());
     }
 
     #[test]
@@ -207,11 +658,128 @@ mod tests {
 
     #[test]
     fn thread_override_roundtrip() {
+        let _guard = thread_override_lock();
         set_gemm_threads(2);
         let a = Tensor::ones(&[64, 64]);
         let b = Tensor::ones(&[64, 64]);
         let c = a.matmul(&b);
         assert!((c.at(&[0, 0]) - 64.0).abs() < 1e-12);
         set_gemm_threads(0);
+    }
+
+    #[test]
+    fn matmul_view_handles_transposes_and_tiles() {
+        let a = Tensor::linspace(-1.0, 1.0, 12).reshape(&[3, 4]);
+        let b = Tensor::linspace(0.0, 1.0, 12).reshape(&[3, 4]);
+        // aᵀ · b without materializing aᵀ.
+        let got = matmul_view(&a.t_view(), &b.view());
+        let want = naive(&a.block(0, 0, 3, 4).t_view().materialize(), &b);
+        assert!(got.allclose(&want, 1e-12));
+        // Tile × tile straight out of the parents.
+        let big = Tensor::linspace(0.0, 35.0, 36).reshape(&[6, 6]);
+        let t1 = big.block_view(1, 1, 2, 3);
+        let t2 = big.block_view(2, 0, 3, 2);
+        let got = matmul_view(&t1, &t2);
+        let want = naive(&t1.materialize(), &t2.materialize());
+        assert!(got.allclose(&want, 1e-12));
+    }
+
+    #[test]
+    fn batched_matches_looped_bitwise() {
+        let t = 5;
+        let (m, k, n) = (4, 6, 3);
+        let a = Tensor::from_vec(
+            (0..t * m * k)
+                .map(|i| ((i * 29 % 31) as f64 - 15.0) / 9.0)
+                .collect(),
+            &[t, m, k],
+        );
+        let b = Tensor::from_vec(
+            (0..t * k * n)
+                .map(|i| ((i * 17 % 23) as f64 - 11.0) / 7.0)
+                .collect(),
+            &[t, k, n],
+        );
+        let batched = a.batched_matmul(&b);
+        for ti in 0..t {
+            let looped = a.subtensor(ti).matmul(&b.subtensor(ti));
+            assert_eq!(
+                batched.subtensor(ti).as_slice(),
+                looped.as_slice(),
+                "tile {ti} must match bit-for-bit"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_transpose_flags_match_materialized() {
+        let t = 3;
+        let a = Tensor::linspace(-1.0, 1.0, t * 2 * 4).reshape(&[t, 2, 4]);
+        let b = Tensor::linspace(0.0, 2.0, t * 2 * 5).reshape(&[t, 2, 5]);
+        // aᵀ·b per batch: [4,2]·[2,5] → [4,5].
+        let got = a.batched_matmul_opt(&b, true, false);
+        for ti in 0..t {
+            let want = a.subtensor(ti).transpose().matmul(&b.subtensor(ti));
+            assert_eq!(got.subtensor(ti).as_slice(), want.as_slice());
+        }
+        // a·bᵀ per batch with b as [t, 5, 4].
+        let b2 = Tensor::linspace(0.0, 2.0, t * 5 * 4).reshape(&[t, 5, 4]);
+        let got = a.batched_matmul_opt(&b2, false, true);
+        for ti in 0..t {
+            let want = a.subtensor(ti).matmul(&b2.subtensor(ti).transpose());
+            assert_eq!(got.subtensor(ti).as_slice(), want.as_slice());
+        }
+    }
+
+    #[test]
+    fn batched_tiles_address_into_large_matrices() {
+        // Extract two 2x2 tiles of a 4x4 matrix, multiply each by its own
+        // rhs, and scatter into a 2x4 output — all through descriptors.
+        let big = Tensor::linspace(0.0, 15.0, 16).reshape(&[4, 4]);
+        let rhs = Tensor::linspace(1.0, 8.0, 8).reshape(&[2, 2, 2]);
+        let mut out = Tensor::zeros(&[2, 4]);
+        let a_tiles = [
+            Tile {
+                offset: 0,
+                row_stride: 4,
+                col_stride: 1,
+            },
+            Tile {
+                offset: 10,
+                row_stride: 4,
+                col_stride: 1,
+            },
+        ];
+        let b_tiles = [Tile::contiguous(0, 2), Tile::contiguous(4, 2)];
+        let c_tiles = [
+            Tile {
+                offset: 0,
+                row_stride: 4,
+                col_stride: 1,
+            },
+            Tile {
+                offset: 2,
+                row_stride: 4,
+                col_stride: 1,
+            },
+        ];
+        // SAFETY: the two c tiles address disjoint halves of the output.
+        unsafe {
+            batched_matmul_into(
+                big.as_slice(),
+                &a_tiles,
+                rhs.as_slice(),
+                &b_tiles,
+                out.as_mut_slice(),
+                &c_tiles,
+                2,
+                2,
+                2,
+            );
+        }
+        let want0 = big.block(0, 0, 2, 2).matmul(&rhs.subtensor(0));
+        let want1 = big.block(2, 2, 2, 2).matmul(&rhs.subtensor(1));
+        assert_eq!(out.block(0, 0, 2, 2), want0);
+        assert_eq!(out.block(0, 2, 2, 2), want1);
     }
 }

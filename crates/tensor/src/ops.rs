@@ -7,15 +7,15 @@ use std::ops::{Add, Div, Mul, Neg, Sub};
 impl Tensor {
     /// Applies `f` to every element, producing a new tensor.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
-        Tensor {
-            data: self.data.iter().map(|&x| f(x)).collect(),
-            shape: self.shape.clone(),
-        }
+        Tensor::from_parts(
+            self.as_slice().iter().map(|&x| f(x)).collect(),
+            self.shape.clone(),
+        )
     }
 
-    /// Applies `f` to every element in place.
+    /// Applies `f` to every element in place (copy-on-write).
     pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
-        for x in &mut self.data {
+        for x in self.as_mut_slice() {
             *x = f(*x);
         }
     }
@@ -28,15 +28,12 @@ impl Tensor {
     pub fn zip_broadcast(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64) -> Tensor {
         if self.shape == other.shape {
             let data = self
-                .data
+                .as_slice()
                 .iter()
-                .zip(other.data.iter())
+                .zip(other.as_slice())
                 .map(|(&a, &b)| f(a, b))
                 .collect();
-            return Tensor {
-                data,
-                shape: self.shape.clone(),
-            };
+            return Tensor::from_parts(data, self.shape.clone());
         }
         let out_dims = broadcast_shapes(self.shape(), other.shape()).unwrap_or_else(|| {
             panic!(
@@ -53,7 +50,10 @@ impl Tensor {
         let b_dims = pad_dims(other.shape(), rank);
         let a_strides = padded_strides(self.shape(), rank);
         let b_strides = padded_strides(other.shape(), rank);
-        for flat in 0..out.len() {
+        let lhs = self.as_slice();
+        let rhs = other.as_slice();
+        let dst = out.as_mut_slice();
+        for (flat, slot) in dst.iter_mut().enumerate() {
             let mut a_off = 0;
             let mut b_off = 0;
             for d in 0..rank {
@@ -65,14 +65,14 @@ impl Tensor {
                     b_off += i * b_strides[d];
                 }
             }
-            out.data[flat] = f(self.data[a_off], other.data[b_off]);
+            *slot = f(lhs[a_off], rhs[b_off]);
         }
         out
     }
 
     /// Sum of all elements.
     pub fn sum(&self) -> f64 {
-        self.data.iter().sum()
+        self.as_slice().iter().sum()
     }
 
     /// Mean of all elements.
@@ -92,7 +92,10 @@ impl Tensor {
     /// Panics on an empty tensor.
     pub fn max(&self) -> f64 {
         assert!(!self.is_empty(), "max of empty tensor");
-        self.data.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        self.as_slice()
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Minimum element.
@@ -102,7 +105,10 @@ impl Tensor {
     /// Panics on an empty tensor.
     pub fn min(&self) -> f64 {
         assert!(!self.is_empty(), "min of empty tensor");
-        self.data.iter().cloned().fold(f64::INFINITY, f64::min)
+        self.as_slice()
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Index of the maximum element (ties resolve to the first).
@@ -112,9 +118,10 @@ impl Tensor {
     /// Panics on an empty tensor.
     pub fn argmax(&self) -> usize {
         assert!(!self.is_empty(), "argmax of empty tensor");
+        let data = self.as_slice();
         let mut best = 0;
-        for i in 1..self.data.len() {
-            if self.data[i] > self.data[best] {
+        for i in 1..data.len() {
+            if data[i] > data[best] {
                 best = i;
             }
         }
@@ -131,38 +138,32 @@ impl Tensor {
         assert_eq!(self.rank(), 2, "sum_axis expects a matrix");
         assert!(axis < 2, "axis must be 0 or 1");
         let (r, c) = (self.shape()[0], self.shape()[1]);
+        let data = self.as_slice();
         if axis == 0 {
             let mut out = vec![0.0; c];
             for i in 0..r {
                 for j in 0..c {
-                    out[j] += self.data[i * c + j];
+                    out[j] += data[i * c + j];
                 }
             }
             Tensor::from_vec(out, &[c])
         } else {
             let mut out = vec![0.0; r];
-            for i in 0..r {
-                out[i] = self.data[i * c..(i + 1) * c].iter().sum();
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = data[i * c..(i + 1) * c].iter().sum();
             }
             Tensor::from_vec(out, &[r])
         }
     }
 
-    /// Transposes a matrix.
+    /// Transposes a matrix (materialized; see [`Tensor::t_view`] for the
+    /// zero-copy variant).
     ///
     /// # Panics
     ///
     /// Panics if the tensor is not rank 2.
     pub fn transpose(&self) -> Tensor {
-        assert_eq!(self.rank(), 2, "transpose expects a matrix");
-        let (r, c) = (self.shape()[0], self.shape()[1]);
-        let mut out = Tensor::zeros(&[c, r]);
-        for i in 0..r {
-            for j in 0..c {
-                out.data[j * r + i] = self.data[i * c + j];
-            }
-        }
-        out
+        self.t_view().materialize()
     }
 
     /// Adds `scale * other` into `self` in place (same shape).
@@ -172,14 +173,17 @@ impl Tensor {
     /// Panics if the shapes differ.
     pub fn axpy(&mut self, scale: f64, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "axpy shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+        // Copy-on-write detaches `self` first, so even a storage-sharing
+        // `other` is read from the untouched original allocation.
+        let dst = self.as_mut_slice();
+        for (a, &b) in dst.iter_mut().zip(other.as_slice()) {
             *a += scale * b;
         }
     }
 
-    /// Multiplies every element by `s` in place.
+    /// Multiplies every element by `s` in place (copy-on-write).
     pub fn scale_inplace(&mut self, s: f64) {
-        for x in &mut self.data {
+        for x in self.as_mut_slice() {
             *x *= s;
         }
     }
@@ -211,7 +215,7 @@ impl Tensor {
 
     /// Squared Frobenius norm (sum of squares).
     pub fn sq_norm(&self) -> f64 {
-        self.data.iter().map(|x| x * x).sum()
+        self.as_slice().iter().map(|x| x * x).sum()
     }
 
     /// Frobenius / Euclidean norm.
@@ -226,9 +230,9 @@ impl Tensor {
     /// Panics if the lengths differ.
     pub fn dot(&self, other: &Tensor) -> f64 {
         assert_eq!(self.len(), other.len(), "dot length mismatch");
-        self.data
+        self.as_slice()
             .iter()
-            .zip(other.data.iter())
+            .zip(other.as_slice())
             .map(|(a, b)| a * b)
             .sum()
     }

@@ -13,7 +13,12 @@ impl Tensor {
     }
 
     /// Fills a new tensor with `N(mean, std²)` samples (Box–Muller).
-    pub fn rand_normal<R: Rng + ?Sized>(rng: &mut R, shape: &[usize], mean: f64, std: f64) -> Tensor {
+    pub fn rand_normal<R: Rng + ?Sized>(
+        rng: &mut R,
+        shape: &[usize],
+        mean: f64,
+        std: f64,
+    ) -> Tensor {
         let n: usize = shape.iter().product();
         let mut data = Vec::with_capacity(n);
         while data.len() < n {

@@ -1,14 +1,32 @@
-//! The core dense tensor type.
+//! The core dense tensor type: Arc-backed, copy-on-write storage.
 
 use crate::shape::Shape;
+use crate::view::View;
 use std::fmt;
+use std::sync::Arc;
 
-/// A dense, row-major, dynamically shaped `f64` tensor.
+/// A dense, row-major, dynamically shaped `f64` tensor backed by shared,
+/// copy-on-write storage.
 ///
-/// `Tensor` is deliberately simple: owned storage, no views, no reference
-/// counting. Everything in the ADEPT stack (autodiff, photonic meshes, neural
-/// layers) is built from explicit copies of these, which keeps gradient
-/// bookkeeping straightforward and makes numerical bugs reproducible.
+/// # Storage model
+///
+/// A `Tensor` is a *contiguous window* `[offset, offset + len)` into an
+/// `Arc<Vec<f64>>` buffer. Cloning a tensor, reshaping it, extracting a
+/// [`Tensor::row`], or taking a value off an autodiff tape never copies the
+/// buffer — only the `Arc` reference count moves. The first mutating call
+/// (`as_mut_slice`, `at_mut`, `set_block`, `axpy`, …) on a tensor whose
+/// buffer is shared (or windowed) detaches it onto a fresh exclusive
+/// allocation first, so writers can never be observed through other handles.
+///
+/// # Aliasing rules
+///
+/// * Readers may alias freely: `clone`, `reshape`, `row` and
+///   [`Tensor::view`] all share storage.
+/// * A mutated tensor never aliases anything: copy-on-write guarantees that
+///   after any `&mut self` operation the storage is exclusively owned.
+/// * [`View`] handles non-contiguous windows (strided slices, transposes,
+///   tiles); [`View::materialize`] is zero-copy exactly when the view is
+///   contiguous.
 ///
 /// # Examples
 ///
@@ -18,11 +36,39 @@ use std::fmt;
 /// let t = Tensor::zeros(&[2, 3]);
 /// assert_eq!(t.shape(), &[2, 3]);
 /// assert_eq!(t.len(), 6);
+///
+/// // Clones share storage until one side writes.
+/// let mut u = t.clone();
+/// assert!(t.shares_storage(&u));
+/// u.as_mut_slice()[0] = 1.0;
+/// assert!(!t.shares_storage(&u));
+/// assert_eq!(t.as_slice()[0], 0.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone)]
 pub struct Tensor {
-    pub(crate) data: Vec<f64>,
+    pub(crate) data: Arc<Vec<f64>>,
+    pub(crate) offset: usize,
     pub(crate) shape: Shape,
+}
+
+impl Default for Tensor {
+    /// An empty rank-1 tensor (`shape [0]`, zero elements).
+    ///
+    /// The rank-0 `Shape::default()` would claim one element against empty
+    /// storage, so the default shape must be explicitly zero-length.
+    fn default() -> Self {
+        Self {
+            data: Arc::new(Vec::new()),
+            offset: 0,
+            shape: Shape::new(&[0]),
+        }
+    }
+}
+
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        self.shape == other.shape && self.as_slice() == other.as_slice()
+    }
 }
 
 impl Tensor {
@@ -39,13 +85,52 @@ impl Tensor {
             "data length {} does not match shape {shape}",
             data.len()
         );
-        Self { data, shape }
+        Self {
+            data: Arc::new(data),
+            offset: 0,
+            shape,
+        }
+    }
+
+    pub(crate) fn from_parts(data: Vec<f64>, shape: Shape) -> Self {
+        debug_assert_eq!(data.len(), shape.len());
+        Self {
+            data: Arc::new(data),
+            offset: 0,
+            shape,
+        }
+    }
+
+    /// Creates a tensor windowing `storage` at `offset` without copying.
+    ///
+    /// This is the zero-copy bridge other crates use to share one allocation
+    /// between several tensors (e.g. the real/imaginary planes of a complex
+    /// matrix). Copy-on-write keeps the sharing invisible to writers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window `[offset, offset + shape.len())` exceeds the
+    /// storage length.
+    pub fn from_shared(storage: Arc<Vec<f64>>, offset: usize, shape: &[usize]) -> Self {
+        let shape = Shape::new(shape);
+        assert!(
+            offset + shape.len() <= storage.len(),
+            "window [{offset}, {}) exceeds storage of {} elements",
+            offset + shape.len(),
+            storage.len()
+        );
+        Self {
+            data: storage,
+            offset,
+            shape,
+        }
     }
 
     /// Creates a scalar (rank-0) tensor.
     pub fn scalar(value: f64) -> Self {
         Self {
-            data: vec![value],
+            data: Arc::new(vec![value]),
+            offset: 0,
             shape: Shape::scalar(),
         }
     }
@@ -54,7 +139,8 @@ impl Tensor {
     pub fn zeros(shape: &[usize]) -> Self {
         let shape = Shape::new(shape);
         Self {
-            data: vec![0.0; shape.len()],
+            data: Arc::new(vec![0.0; shape.len()]),
+            offset: 0,
             shape,
         }
     }
@@ -68,18 +154,19 @@ impl Tensor {
     pub fn full(shape: &[usize], value: f64) -> Self {
         let shape = Shape::new(shape);
         Self {
-            data: vec![value; shape.len()],
+            data: Arc::new(vec![value; shape.len()]),
+            offset: 0,
             shape,
         }
     }
 
     /// Creates the `n`×`n` identity matrix.
     pub fn eye(n: usize) -> Self {
-        let mut t = Self::zeros(&[n, n]);
+        let mut data = vec![0.0; n * n];
         for i in 0..n {
-            t.data[i * n + i] = 1.0;
+            data[i * n + i] = 1.0;
         }
-        t
+        Self::from_parts(data, Shape::new(&[n, n]))
     }
 
     /// Creates a 1-D tensor with `n` evenly spaced samples over
@@ -104,11 +191,12 @@ impl Tensor {
     pub fn from_diag(diag: &Tensor) -> Self {
         assert_eq!(diag.rank(), 1, "from_diag expects a vector");
         let n = diag.len();
-        let mut t = Self::zeros(&[n, n]);
+        let src = diag.as_slice();
+        let mut data = vec![0.0; n * n];
         for i in 0..n {
-            t.data[i * n + i] = diag.data[i];
+            data[i * n + i] = src[i];
         }
-        t
+        Self::from_parts(data, Shape::new(&[n, n]))
     }
 
     /// Dimension extents.
@@ -128,27 +216,63 @@ impl Tensor {
 
     /// Total element count.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.shape.len()
     }
 
     /// Whether the tensor holds zero elements.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len() == 0
     }
 
-    /// Immutable view of the backing storage (row-major).
+    /// Whether both tensors are windows into the same allocation.
+    pub fn shares_storage(&self, other: &Tensor) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// The backing storage (shared; for zero-copy plumbing and tests).
+    pub fn storage(&self) -> Arc<Vec<f64>> {
+        Arc::clone(&self.data)
+    }
+
+    /// This tensor's window offset into [`Tensor::storage`].
+    pub fn storage_offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Immutable view of the backing storage window (row-major).
     pub fn as_slice(&self) -> &[f64] {
-        &self.data
+        &self.data[self.offset..self.offset + self.len()]
     }
 
-    /// Mutable view of the backing storage (row-major).
+    /// Detaches this tensor onto exclusively owned, offset-0 storage.
+    ///
+    /// No-op when the tensor already owns its full buffer exclusively; the
+    /// single copy here is what makes every `&mut self` method copy-on-write.
+    fn make_exclusive(&mut self) {
+        let len = self.len();
+        if self.offset == 0 && self.data.len() == len && Arc::get_mut(&mut self.data).is_some() {
+            return;
+        }
+        let detached: Vec<f64> = self.data[self.offset..self.offset + len].to_vec();
+        self.data = Arc::new(detached);
+        self.offset = 0;
+    }
+
+    /// Mutable view of the backing storage (row-major). Copy-on-write:
+    /// detaches from shared storage first.
     pub fn as_mut_slice(&mut self) -> &mut [f64] {
-        &mut self.data
+        self.make_exclusive();
+        Arc::get_mut(&mut self.data).expect("storage exclusive after make_exclusive")
     }
 
-    /// Consumes the tensor, returning the backing storage.
-    pub fn into_vec(self) -> Vec<f64> {
-        self.data
+    /// Consumes the tensor, returning the backing storage (copying only if
+    /// it is shared or windowed).
+    pub fn into_vec(mut self) -> Vec<f64> {
+        self.make_exclusive();
+        match Arc::try_unwrap(self.data) {
+            Ok(v) => v,
+            Err(arc) => arc[..].to_vec(),
+        }
     }
 
     /// Element at a multi-dimensional index.
@@ -157,20 +281,22 @@ impl Tensor {
     ///
     /// Panics on rank mismatch or out-of-bounds coordinates.
     pub fn at(&self, index: &[usize]) -> f64 {
-        self.data[self.shape.offset(index)]
+        self.data[self.offset + self.shape.offset(index)]
     }
 
-    /// Mutable element at a multi-dimensional index.
+    /// Mutable element at a multi-dimensional index (copy-on-write).
     ///
     /// # Panics
     ///
     /// Panics on rank mismatch or out-of-bounds coordinates.
     pub fn at_mut(&mut self, index: &[usize]) -> &mut f64 {
         let off = self.shape.offset(index);
-        &mut self.data[off]
+        &mut self.as_mut_slice()[off]
     }
 
     /// Returns the tensor reinterpreted with a new shape of equal length.
+    ///
+    /// Zero-copy: the result shares this tensor's storage.
     ///
     /// # Panics
     ///
@@ -184,9 +310,15 @@ impl Tensor {
             self.len()
         );
         Tensor {
-            data: self.data.clone(),
+            data: Arc::clone(&self.data),
+            offset: self.offset,
             shape: new_shape,
         }
+    }
+
+    /// A strided [`View`] of the whole tensor (zero-copy).
+    pub fn view(&self) -> View {
+        View::of(self)
     }
 
     /// The single value of a scalar or one-element tensor.
@@ -195,17 +327,22 @@ impl Tensor {
     ///
     /// Panics if the tensor has more than one element.
     pub fn item(&self) -> f64 {
-        assert_eq!(self.len(), 1, "item() on tensor with {} elements", self.len());
-        self.data[0]
+        assert_eq!(
+            self.len(),
+            1,
+            "item() on tensor with {} elements",
+            self.len()
+        );
+        self.as_slice()[0]
     }
 
     /// Elementwise approximate equality within absolute tolerance `tol`.
     pub fn allclose(&self, other: &Tensor, tol: f64) -> bool {
         self.shape == other.shape
             && self
-                .data
+                .as_slice()
                 .iter()
-                .zip(other.data.iter())
+                .zip(other.as_slice())
                 .all(|(a, b)| (a - b).abs() <= tol)
     }
 
@@ -216,14 +353,17 @@ impl Tensor {
     /// Panics if the shapes differ.
     pub fn max_abs_diff(&self, other: &Tensor) -> f64 {
         assert_eq!(self.shape, other.shape, "shape mismatch in max_abs_diff");
-        self.data
+        self.as_slice()
             .iter()
-            .zip(other.data.iter())
+            .zip(other.as_slice())
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f64::max)
     }
 
     /// Extracts row `r` of a matrix as a vector tensor.
+    ///
+    /// Zero-copy: rows of a row-major matrix are contiguous, so the result
+    /// is a window sharing this tensor's storage.
     ///
     /// # Panics
     ///
@@ -232,10 +372,14 @@ impl Tensor {
         assert_eq!(self.rank(), 2, "row() expects a matrix");
         let (rows, cols) = (self.shape()[0], self.shape()[1]);
         assert!(r < rows, "row {r} out of bounds for {rows} rows");
-        Tensor::from_vec(self.data[r * cols..(r + 1) * cols].to_vec(), &[cols])
+        Tensor {
+            data: Arc::clone(&self.data),
+            offset: self.offset + r * cols,
+            shape: Shape::new(&[cols]),
+        }
     }
 
-    /// Extracts column `c` of a matrix as a vector tensor.
+    /// Extracts column `c` of a matrix as a vector tensor (strided copy).
     ///
     /// # Panics
     ///
@@ -244,12 +388,35 @@ impl Tensor {
         assert_eq!(self.rank(), 2, "col() expects a matrix");
         let (rows, cols) = (self.shape()[0], self.shape()[1]);
         assert!(c < cols, "col {c} out of bounds for {cols} cols");
-        let data = (0..rows).map(|r| self.data[r * cols + c]).collect();
+        let src = self.as_slice();
+        let data = (0..rows).map(|r| src[r * cols + c]).collect();
         Tensor::from_vec(data, &[rows])
     }
 
+    /// The contiguous sub-tensor at index `i` of the leading axis.
+    ///
+    /// Zero-copy: `[T, …rest]` at index `i` is the window `[…rest]` starting
+    /// at `i · rest.len()`. This is how batched operations hand out per-item
+    /// tensors without copying.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a rank-0 tensor or an out-of-bounds index.
+    pub fn subtensor(&self, i: usize) -> Tensor {
+        assert!(self.rank() >= 1, "subtensor() needs rank >= 1");
+        let n = self.shape()[0];
+        assert!(i < n, "index {i} out of bounds for leading axis of {n}");
+        let rest = &self.shape()[1..];
+        let stride: usize = rest.iter().product();
+        Tensor {
+            data: Arc::clone(&self.data),
+            offset: self.offset + i * stride,
+            shape: Shape::new(rest),
+        }
+    }
+
     /// Writes `block` into `self` (a matrix) with its top-left corner at
-    /// `(r0, c0)`.
+    /// `(r0, c0)`. Copy-on-write on `self`.
     ///
     /// # Panics
     ///
@@ -263,38 +430,58 @@ impl Tensor {
             r0 + br <= rows && c0 + bc <= cols,
             "block {br}x{bc} at ({r0},{c0}) exceeds {rows}x{cols}"
         );
+        // Copy-on-write detaches `self` first, so a storage-sharing `block`
+        // keeps reading the untouched original allocation.
+        let dst = self.as_mut_slice();
+        let src = block.as_slice();
         for i in 0..br {
-            let src = &block.data[i * bc..(i + 1) * bc];
             let dst_off = (r0 + i) * cols + c0;
-            self.data[dst_off..dst_off + bc].copy_from_slice(src);
+            dst[dst_off..dst_off + bc].copy_from_slice(&src[i * bc..(i + 1) * bc]);
         }
     }
 
     /// Copies the `rows`×`cols` block whose top-left corner is `(r0, c0)`.
     ///
+    /// For a zero-copy handle to the same region use
+    /// [`Tensor::block_view`].
+    ///
     /// # Panics
     ///
     /// Panics if the tensor is not rank 2 or the block exceeds bounds.
     pub fn block(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> Tensor {
-        assert_eq!(self.rank(), 2, "block() expects a matrix");
+        self.block_view(r0, c0, rows, cols).materialize()
+    }
+
+    /// A zero-copy strided view of the `rows`×`cols` block at `(r0, c0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or the block exceeds bounds.
+    pub fn block_view(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> View {
+        assert_eq!(self.rank(), 2, "block_view() expects a matrix");
         let (nr, nc) = (self.shape()[0], self.shape()[1]);
         assert!(
             r0 + rows <= nr && c0 + cols <= nc,
             "block {rows}x{cols} at ({r0},{c0}) exceeds {nr}x{nc}"
         );
-        let mut out = Tensor::zeros(&[rows, cols]);
-        for i in 0..rows {
-            let src_off = (r0 + i) * nc + c0;
-            out.data[i * cols..(i + 1) * cols]
-                .copy_from_slice(&self.data[src_off..src_off + cols]);
-        }
-        out
+        self.view().slice(0, r0, rows).slice(1, c0, cols)
+    }
+
+    /// A zero-copy transposed view of a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn t_view(&self) -> View {
+        assert_eq!(self.rank(), 2, "t_view() expects a matrix");
+        self.view().transpose()
     }
 }
 
 impl fmt::Display for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Tensor{} ", self.shape)?;
+        let data = self.as_slice();
         if self.rank() == 2 {
             let (r, c) = (self.shape()[0], self.shape()[1]);
             writeln!(f, "[")?;
@@ -304,7 +491,7 @@ impl fmt::Display for Tensor {
                     if j > 0 {
                         write!(f, ", ")?;
                     }
-                    write!(f, "{:9.4}", self.data[i * c + j])?;
+                    write!(f, "{:9.4}", data[i * c + j])?;
                 }
                 if c > 8 {
                     write!(f, ", …")?;
@@ -317,7 +504,7 @@ impl fmt::Display for Tensor {
             write!(f, "]")
         } else {
             let n = self.len().min(16);
-            write!(f, "{:?}", &self.data[..n])?;
+            write!(f, "{:?}", &data[..n])?;
             if self.len() > 16 {
                 write!(f, "…")?;
             }
@@ -390,5 +577,79 @@ mod tests {
         assert!(a.allclose(&b, 1e-8));
         assert!(!a.allclose(&b, 1e-10));
         assert!((a.max_abs_diff(&b) - 1e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn clone_shares_then_cow_detaches() {
+        let a = Tensor::linspace(0.0, 5.0, 6).reshape(&[2, 3]);
+        let mut b = a.clone();
+        assert!(a.shares_storage(&b));
+        // Reshape and row extraction also share.
+        assert!(a.shares_storage(&a.reshape(&[6])));
+        assert!(a.shares_storage(&a.row(1)));
+        // First write detaches; the source is untouched.
+        *b.at_mut(&[0, 0]) = 99.0;
+        assert!(!a.shares_storage(&b));
+        assert_eq!(a.at(&[0, 0]), 0.0);
+        assert_eq!(b.at(&[0, 0]), 99.0);
+    }
+
+    #[test]
+    fn windowed_row_cow_is_isolated() {
+        let m = Tensor::from_vec((0..6).map(|x| x as f64).collect(), &[2, 3]);
+        let mut r = m.row(1);
+        assert_eq!(r.storage_offset(), 3);
+        r.as_mut_slice()[0] = -1.0;
+        // The row detached; the matrix is unchanged.
+        assert_eq!(m.at(&[1, 0]), 3.0);
+        assert_eq!(r.as_slice(), &[-1.0, 4.0, 5.0]);
+        assert_eq!(r.storage_offset(), 0);
+    }
+
+    #[test]
+    fn subtensor_windows_leading_axis() {
+        let t = Tensor::linspace(0.0, 23.0, 24).reshape(&[2, 3, 4]);
+        let s1 = t.subtensor(1);
+        assert_eq!(s1.shape(), &[3, 4]);
+        assert!(s1.shares_storage(&t));
+        assert_eq!(s1.at(&[0, 0]), 12.0);
+        assert_eq!(s1.at(&[2, 3]), 23.0);
+    }
+
+    #[test]
+    fn set_block_with_aliasing_source() {
+        // Writing a block of a tensor into itself must read pre-write data.
+        let mut m = Tensor::from_vec((0..9).map(|x| x as f64).collect(), &[3, 3]);
+        let b = m.block(0, 0, 2, 2);
+        m.set_block(1, 1, &b);
+        assert_eq!(m.at(&[1, 1]), 0.0);
+        assert_eq!(m.at(&[2, 2]), 4.0);
+    }
+
+    #[test]
+    fn from_shared_windows_one_allocation() {
+        let storage = Arc::new((0..8).map(|x| x as f64).collect::<Vec<_>>());
+        let a = Tensor::from_shared(Arc::clone(&storage), 0, &[2, 2]);
+        let b = Tensor::from_shared(storage, 4, &[2, 2]);
+        assert!(a.shares_storage(&b));
+        assert_eq!(a.as_slice(), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(b.as_slice(), &[4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn default_is_consistent_empty_tensor() {
+        let t = Tensor::default();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.as_slice(), &[] as &[f64]);
+        assert_eq!(t, t.clone());
+    }
+
+    #[test]
+    fn into_vec_handles_shared_and_windowed() {
+        let a = Tensor::linspace(0.0, 3.0, 4).reshape(&[2, 2]);
+        let keep = a.clone();
+        assert_eq!(a.into_vec(), vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(keep.row(1).into_vec(), vec![2.0, 3.0]);
     }
 }

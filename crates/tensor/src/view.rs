@@ -1,0 +1,317 @@
+//! Strided, zero-copy views into tensor storage.
+//!
+//! A [`View`] is an offset + per-axis strides window into the same
+//! `Arc<Vec<f64>>` buffer a [`Tensor`] owns. Views express slicing,
+//! transposition and tile extraction without touching the data; they
+//! materialize back into contiguous tensors only when (and if) a kernel
+//! needs contiguity — and even then [`View::materialize`] is zero-copy for
+//! views that are already contiguous.
+
+use crate::tensor::Tensor;
+use std::sync::Arc;
+
+/// A non-owning, possibly non-contiguous window into tensor storage.
+///
+/// # Examples
+///
+/// ```
+/// use adept_tensor::Tensor;
+///
+/// let m = Tensor::from_vec((0..12).map(|x| x as f64).collect(), &[3, 4]);
+/// let t = m.view().transpose();          // zero-copy transpose
+/// assert_eq!(t.shape(), &[4, 3]);
+/// assert_eq!(t.at(&[1, 2]), m.at(&[2, 1]));
+/// let tile = m.block_view(1, 1, 2, 2);   // zero-copy tile
+/// assert_eq!(tile.materialize().as_slice(), &[5.0, 6.0, 9.0, 10.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct View {
+    data: Arc<Vec<f64>>,
+    offset: usize,
+    dims: Vec<usize>,
+    strides: Vec<usize>,
+}
+
+impl View {
+    /// Views the whole of `t` with its natural row-major strides.
+    pub fn of(t: &Tensor) -> View {
+        View {
+            data: t.storage(),
+            offset: t.storage_offset(),
+            dims: t.shape().to_vec(),
+            strides: t.shape_obj().strides(),
+        }
+    }
+
+    /// Dimension extents.
+    pub fn shape(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Per-axis strides in elements.
+    pub fn strides(&self) -> &[usize] {
+        &self.strides
+    }
+
+    /// Offset of the first element within the backing storage.
+    pub fn storage_offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Whether the view holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether this view and `t` share one allocation.
+    pub fn shares_storage(&self, t: &Tensor) -> bool {
+        Arc::ptr_eq(&self.data, &t.storage())
+    }
+
+    /// Whether the elements are laid out contiguously in row-major order.
+    pub fn is_contiguous(&self) -> bool {
+        let mut expect = 1;
+        for (d, s) in self.dims.iter().zip(&self.strides).rev() {
+            if *d != 1 && *s != expect {
+                return false;
+            }
+            expect *= d;
+        }
+        true
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or out-of-bounds coordinates.
+    pub fn at(&self, index: &[usize]) -> f64 {
+        assert_eq!(index.len(), self.rank(), "index rank mismatch");
+        let mut off = self.offset;
+        for (d, (&i, (&n, &s))) in index
+            .iter()
+            .zip(self.dims.iter().zip(&self.strides))
+            .enumerate()
+        {
+            assert!(i < n, "index {i} out of bounds for dim {d} of extent {n}");
+            off += i * s;
+        }
+        self.data[off]
+    }
+
+    /// Restricts axis `axis` to `[start, start + len)` (zero-copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the axis or range is out of bounds.
+    pub fn slice(&self, axis: usize, start: usize, len: usize) -> View {
+        assert!(axis < self.rank(), "axis {axis} out of bounds");
+        assert!(
+            start + len <= self.dims[axis],
+            "slice [{start}, {}) exceeds extent {}",
+            start + len,
+            self.dims[axis]
+        );
+        let mut out = self.clone();
+        out.offset += start * self.strides[axis];
+        out.dims[axis] = len;
+        out
+    }
+
+    /// Swaps the last two axes (zero-copy transpose).
+    ///
+    /// # Panics
+    ///
+    /// Panics on views of rank < 2.
+    pub fn transpose(&self) -> View {
+        assert!(self.rank() >= 2, "transpose needs rank >= 2");
+        let mut out = self.clone();
+        let r = out.dims.len();
+        out.dims.swap(r - 2, r - 1);
+        out.strides.swap(r - 2, r - 1);
+        out
+    }
+
+    /// Drops a leading axis of extent 1 (zero-copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the leading axis has extent 1.
+    pub fn squeeze0(&self) -> View {
+        assert!(
+            self.rank() >= 1 && self.dims[0] == 1,
+            "squeeze0 needs a leading axis of extent 1"
+        );
+        let mut out = self.clone();
+        out.dims.remove(0);
+        out.strides.remove(0);
+        out
+    }
+
+    /// The sub-view at index `i` of the leading axis (zero-copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank-0 views or out-of-bounds `i`.
+    pub fn index0(&self, i: usize) -> View {
+        self.slice(0, i, 1).squeeze0()
+    }
+
+    /// Copies the view's elements in row-major order into `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst.len() != self.len()`.
+    pub fn copy_into(&self, dst: &mut [f64]) {
+        assert_eq!(dst.len(), self.len(), "destination length mismatch");
+        if self.is_empty() {
+            return;
+        }
+        // Fast path: the innermost axis is unit-stride, copy row slabs.
+        let rank = self.rank();
+        if rank == 0 {
+            dst[0] = self.data[self.offset];
+            return;
+        }
+        let inner = self.dims[rank - 1];
+        let inner_contig = self.strides[rank - 1] == 1 && inner > 0;
+        let outer: usize = self.dims[..rank - 1].iter().product();
+        let mut idx = vec![0usize; rank - 1];
+        for o in 0..outer {
+            let mut off = self.offset;
+            for (d, &i) in idx.iter().enumerate() {
+                off += i * self.strides[d];
+            }
+            let row = &mut dst[o * inner..(o + 1) * inner];
+            if inner_contig {
+                row.copy_from_slice(&self.data[off..off + inner]);
+            } else {
+                let s = self.strides[rank - 1];
+                for (j, out) in row.iter_mut().enumerate() {
+                    *out = self.data[off + j * s];
+                }
+            }
+            // Odometer increment over the outer axes.
+            for d in (0..rank - 1).rev() {
+                idx[d] += 1;
+                if idx[d] < self.dims[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+    }
+
+    /// Converts to a contiguous [`Tensor`].
+    ///
+    /// Zero-copy when the view is already contiguous (the tensor windows the
+    /// same storage); otherwise performs one tight strided copy.
+    pub fn materialize(&self) -> Tensor {
+        if self.is_contiguous() {
+            return Tensor::from_shared(Arc::clone(&self.data), self.offset, &self.dims);
+        }
+        let mut out = vec![0.0; self.len()];
+        self.copy_into(&mut out);
+        Tensor::from_vec(out, &self.dims)
+    }
+
+    pub(crate) fn storage_slice(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m34() -> Tensor {
+        Tensor::from_vec((0..12).map(|x| x as f64).collect(), &[3, 4])
+    }
+
+    #[test]
+    fn full_view_is_contiguous_and_zero_copy() {
+        let m = m34();
+        let v = m.view();
+        assert!(v.is_contiguous());
+        assert!(v.shares_storage(&m));
+        let back = v.materialize();
+        assert!(back.shares_storage(&m));
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn transpose_view_matches_elementwise() {
+        let m = m34();
+        let t = m.view().transpose();
+        assert_eq!(t.shape(), &[4, 3]);
+        assert!(!t.is_contiguous());
+        for i in 0..4 {
+            for j in 0..3 {
+                assert_eq!(t.at(&[i, j]), m.at(&[j, i]));
+            }
+        }
+        let mat = t.materialize();
+        assert!(!mat.shares_storage(&m));
+        assert_eq!(mat.at(&[2, 1]), m.at(&[1, 2]));
+    }
+
+    #[test]
+    fn slices_and_tiles() {
+        let m = m34();
+        let rows = m.view().slice(0, 1, 2);
+        assert_eq!(rows.shape(), &[2, 4]);
+        assert!(rows.is_contiguous());
+        assert_eq!(rows.at(&[0, 0]), 4.0);
+        let tile = m.block_view(1, 1, 2, 2);
+        assert_eq!(tile.shape(), &[2, 2]);
+        assert!(!tile.is_contiguous());
+        assert_eq!(tile.materialize().as_slice(), &[5.0, 6.0, 9.0, 10.0]);
+    }
+
+    #[test]
+    fn row_slices_of_matrix_are_contiguous_windows() {
+        let m = m34();
+        let r = m.view().slice(0, 2, 1);
+        assert!(r.is_contiguous());
+        let mat = r.materialize();
+        assert!(mat.shares_storage(&m));
+        assert_eq!(mat.shape(), &[1, 4]);
+        assert_eq!(mat.as_slice(), &[8.0, 9.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn index0_walks_batches() {
+        let t = Tensor::linspace(0.0, 23.0, 24).reshape(&[2, 3, 4]);
+        let b1 = t.view().index0(1);
+        assert_eq!(b1.shape(), &[3, 4]);
+        assert_eq!(b1.at(&[0, 0]), 12.0);
+        let mat = b1.materialize();
+        assert!(mat.shares_storage(&t), "contiguous batch item is zero-copy");
+    }
+
+    #[test]
+    fn copy_into_strided() {
+        let m = m34();
+        let t = m.view().transpose();
+        let mut dst = vec![0.0; 12];
+        t.copy_into(&mut dst);
+        assert_eq!(dst[..4], [0.0, 4.0, 8.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds extent")]
+    fn slice_bounds_checked() {
+        let m = m34();
+        let _ = m.view().slice(1, 2, 3);
+    }
+}

@@ -1,0 +1,257 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `black_box` and the `criterion_group!`/`criterion_main!` macros — with a
+//! simple adaptive timing loop. Results are printed per benchmark and, on
+//! exit, appended as JSON to `BENCH_<binary>.json` in the working directory
+//! so speedups are tracked across PRs.
+
+use std::fmt::Display;
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One measured benchmark: median nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Fully qualified benchmark name (`group/id`).
+    pub name: String,
+    /// Median time per iteration in nanoseconds.
+    pub ns_per_iter: f64,
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<Measurement>,
+    /// Target measurement budget per benchmark.
+    budget: Option<Duration>,
+}
+
+impl Criterion {
+    /// Creates a harness with the default time budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn budget(&self) -> Duration {
+        self.budget.unwrap_or(Duration::from_millis(300))
+    }
+
+    /// Benchmarks a closure under `name`.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let budget = self.budget();
+        let m = run_one(name, budget, &mut f);
+        self.results.push(m);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// All measurements recorded so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Writes accumulated results to `BENCH_<binary>.json`.
+    pub fn export_json(&self) {
+        let binary = std::env::args()
+            .next()
+            .map(|p| {
+                let base = std::path::Path::new(&p)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| "bench".to_string());
+                // Strip the cargo content hash suffix (e.g. kernels-0ab12f…).
+                match base.rsplit_once('-') {
+                    Some((stem, hash)) if hash.len() == 16 => stem.to_string(),
+                    _ => base,
+                }
+            })
+            .unwrap_or_else(|| "bench".to_string());
+        let path = format!("BENCH_{binary}.json");
+        let mut out = String::from("{\n");
+        for (i, m) in self.results.iter().enumerate() {
+            let comma = if i + 1 < self.results.len() { "," } else { "" };
+            out.push_str(&format!(
+                "  \"{}\": {{\"ns_per_iter\": {:.1}}}{}\n",
+                m.name.replace('"', "'"),
+                m.ns_per_iter,
+                comma
+            ));
+        }
+        out.push_str("}\n");
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            println!("wrote {path}");
+        }
+    }
+}
+
+fn run_one<F>(name: &str, budget: Duration, f: &mut F) -> Measurement
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warmup + calibration pass.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let iters = (budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+    // Three measured samples; keep the median.
+    let mut samples = Vec::with_capacity(3);
+    for _ in 0..3 {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() * 1e9 / iters as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let ns = samples[1];
+    println!("bench {name:<52} {:>12.1} ns/iter", ns);
+    Measurement {
+        name: name.to_string(),
+        ns_per_iter: ns,
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the (ignored) sample count — kept for API compatibility; the
+    /// shim's time budget governs iteration counts instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a closure under `group/id`.
+    pub fn bench_function<F, I: Display>(&mut self, id: I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id);
+        let budget = self.criterion.budget();
+        let mut f = f;
+        let m = run_one(&name, budget, &mut f);
+        self.criterion.results.push(m);
+        self
+    }
+
+    /// Benchmarks a closure that receives `input` by reference.
+    pub fn bench_with_input<F, I, D: Display>(&mut self, id: D, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; runs the timing loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Benchmark id helper mirroring criterion's.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` id.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self(format!("{name}/{parameter}"))
+    }
+
+    /// Id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Bundles benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::new();
+            $($target(&mut criterion);)+
+            criterion.export_json();
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion {
+            budget: Some(Duration::from_millis(5)),
+            ..Criterion::default()
+        };
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+        assert_eq!(c.measurements().len(), 2);
+        assert!(c.measurements().iter().all(|m| m.ns_per_iter >= 0.0));
+        assert_eq!(c.measurements()[1].name, "grp/4");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("gemm", 64).to_string(), "gemm/64");
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+    }
+}

@@ -21,7 +21,10 @@ fn main() {
     cfg.seed = 42;
     let outcome = search(&cfg);
 
-    println!("analytic block bounds (Eq. 16): B ∈ [{}, {}]", outcome.b_min, outcome.b_max);
+    println!(
+        "analytic block bounds (Eq. 16): B ∈ [{}, {}]",
+        outcome.b_min, outcome.b_max
+    );
     let d = &outcome.design;
     println!(
         "searched design: {} blocks, #CR={}, #DC={}, #PS={}",
@@ -54,7 +57,10 @@ fn main() {
         &settings,
         42,
     );
-    println!("\nretrained proxy-CNN accuracy: {:.1}%", result.accuracy_pct);
+    println!(
+        "\nretrained proxy-CNN accuracy: {:.1}%",
+        result.accuracy_pct
+    );
 
     // 4. Compare against the hand-designed FFT-ONN butterfly at its own
     //    (fixed) footprint.

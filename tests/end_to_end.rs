@@ -48,7 +48,10 @@ fn pipeline_search_export_retrain() {
     // Legal permutations everywhere.
     for topo in [&out.design.topo_u, &out.design.topo_v] {
         for b in topo.blocks() {
-            assert!(Permutation::matrix_is_permutation(&b.perm.to_matrix(), 1e-9));
+            assert!(Permutation::matrix_is_permutation(
+                &b.perm.to_matrix(),
+                1e-9
+            ));
         }
     }
     // Retrain a fresh ONN with the design.

@@ -67,7 +67,7 @@ fn drift_and_faults_compose() {
     assert!(u.is_unitary(1e-9));
     // Energy conservation: column power stays 1 (passive optics).
     for j in 0..12 {
-        let power: f64 = (0..12).map(|i| u[(i, j)].norm_sqr()).sum();
+        let power: f64 = (0..12).map(|i| u.at(i, j).norm_sqr()).sum();
         assert!((power - 1.0).abs() < 1e-9);
     }
 }

@@ -16,9 +16,27 @@ struct BaselineCell {
 #[test]
 fn table1_mzi_rows_exact() {
     let rows = [
-        BaselineCell { k: 8, cr: 0, dc: 112, blocks: 32, footprint_amf: 1909.0 },
-        BaselineCell { k: 16, cr: 0, dc: 480, blocks: 64, footprint_amf: 7683.0 },
-        BaselineCell { k: 32, cr: 0, dc: 1984, blocks: 128, footprint_amf: 30829.0 },
+        BaselineCell {
+            k: 8,
+            cr: 0,
+            dc: 112,
+            blocks: 32,
+            footprint_amf: 1909.0,
+        },
+        BaselineCell {
+            k: 16,
+            cr: 0,
+            dc: 480,
+            blocks: 64,
+            footprint_amf: 7683.0,
+        },
+        BaselineCell {
+            k: 32,
+            cr: 0,
+            dc: 1984,
+            blocks: 128,
+            footprint_amf: 30829.0,
+        },
     ];
     for row in rows {
         let c = DeviceCount::mzi_ptc(row.k);
@@ -38,9 +56,27 @@ fn table1_mzi_rows_exact() {
 #[test]
 fn table1_fft_rows_exact() {
     let rows = [
-        BaselineCell { k: 8, cr: 16, dc: 24, blocks: 6, footprint_amf: 363.0 },
-        BaselineCell { k: 16, cr: 88, dc: 64, blocks: 8, footprint_amf: 972.0 },
-        BaselineCell { k: 32, cr: 416, dc: 160, blocks: 10, footprint_amf: 2443.0 },
+        BaselineCell {
+            k: 8,
+            cr: 16,
+            dc: 24,
+            blocks: 6,
+            footprint_amf: 363.0,
+        },
+        BaselineCell {
+            k: 16,
+            cr: 88,
+            dc: 64,
+            blocks: 8,
+            footprint_amf: 972.0,
+        },
+        BaselineCell {
+            k: 32,
+            cr: 416,
+            dc: 160,
+            blocks: 10,
+            footprint_amf: 2443.0,
+        },
     ];
     for row in rows {
         let t = butterfly_topology(row.k);

@@ -6,7 +6,7 @@ use adept_photonics::{BlockMeshTopology, DeviceCount, Pdk};
 use adept_tensor::{broadcast_shapes, Tensor};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn perm_strategy(n: usize) -> impl Strategy<Value = Permutation> {
     Just(n).prop_perturb(move |n, mut rng| {
@@ -58,6 +58,62 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let t = Tensor::rand_uniform(&mut rng, &[rows, cols], -2.0, 2.0);
         prop_assert_eq!(t.transpose().transpose(), t);
+    }
+
+    #[test]
+    fn cow_mutated_clone_never_aliases_source(
+        rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let src = Tensor::rand_uniform(&mut rng, &[rows, cols], -2.0, 2.0);
+        let before = src.as_slice().to_vec();
+        let mut cloned = src.clone();
+        prop_assert!(src.shares_storage(&cloned), "clones share until written");
+        let (i, j) = (rng.gen_range(0..rows), rng.gen_range(0..cols));
+        *cloned.at_mut(&[i, j]) += 1.0;
+        prop_assert!(!src.shares_storage(&cloned), "write must detach");
+        prop_assert_eq!(src.as_slice(), &before[..], "source unchanged");
+        // Windowed handles (rows, reshapes) detach the same way.
+        let mut row = src.row(rng.gen_range(0..rows));
+        row.as_mut_slice()[0] += 1.0;
+        prop_assert_eq!(src.as_slice(), &before[..], "row write must not leak");
+    }
+
+    #[test]
+    fn transposed_views_equal_materialized_transposes(
+        rows in 1usize..7, cols in 1usize..7, seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Tensor::rand_uniform(&mut rng, &[rows, cols], -2.0, 2.0);
+        let view = t.t_view();
+        let materialized = t.transpose();
+        prop_assert_eq!(view.shape(), materialized.shape());
+        prop_assert_eq!(view.materialize(), materialized.clone());
+        for i in 0..cols {
+            for j in 0..rows {
+                prop_assert_eq!(view.at(&[i, j]), materialized.at(&[i, j]));
+            }
+        }
+        // Transposing the view again round-trips to the original, zero-copy.
+        let back = view.transpose().materialize();
+        prop_assert!(back.shares_storage(&t));
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn batched_matmul_matches_looped_bitwise(
+        batch in 1usize..5, m in 1usize..5, k in 1usize..5, n in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::rand_uniform(&mut rng, &[batch, m, k], -2.0, 2.0);
+        let b = Tensor::rand_uniform(&mut rng, &[batch, k, n], -2.0, 2.0);
+        let batched = a.batched_matmul(&b);
+        for t in 0..batch {
+            // `matmul` lowers to `matmul_into`; equality must be bit-exact.
+            let looped = a.subtensor(t).matmul(&b.subtensor(t));
+            prop_assert_eq!(batched.subtensor(t).as_slice(), looped.as_slice());
+        }
     }
 
     #[test]
