@@ -34,12 +34,14 @@
 
 mod gradcheck;
 mod graph;
+mod ops_batched;
 mod ops_elementwise;
 mod ops_matrix;
 mod ops_nn;
 
 pub use gradcheck::{check_gradients, GradCheckError};
 pub use graph::{BackwardFn, Gradients, Graph, Var};
+pub use ops_batched::{batched_permute_rows, batched_phase_rotate, batched_tile_product_grid};
 pub use ops_matrix::{assemble_blocks, assemble_tiles, batched_tile_product, stack};
 
 /// Convenience re-export so downstream crates need only one `use`.

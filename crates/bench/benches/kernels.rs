@@ -1,10 +1,14 @@
 //! Microbenchmarks of the numeric substrate: GEMM, im2col, SVD,
 //! permutation algebra and the Clements decomposition.
 
+use adept_autodiff::Graph;
 use adept_linalg::{polar_orthogonal, svd, Permutation};
+use adept_nn::onn::PtcWeight;
+use adept_nn::{ForwardCtx, ParamStore};
 use adept_photonics::clements::decompose;
 use adept_photonics::devices::crossing_matrix;
-use adept_tensor::{batched_matmul_into, im2col, Conv2dGeometry, Tensor, Tile};
+use adept_photonics::BlockMeshTopology;
+use adept_tensor::{batched_matmul_into, im2col, im2col_into, Conv2dGeometry, Tensor, Tile};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -146,6 +150,62 @@ fn bench_tile_assembly(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-tile vs batched PTC *unitary construction*: the acceptance benchmark
+/// of the batched builder. Both paths materialize the full 64x64 K=8
+/// `PtcWeight` (64 tiles, FFT butterfly topology) on a fresh tape; the
+/// per-tile path records one `tile_unitary` node chain per tile, the
+/// batched path walks the mesh blocks once over stacked `[T, K, K]`
+/// buffers.
+fn bench_unitary_build(c: &mut Criterion) {
+    let mut store = ParamStore::new();
+    let topo = BlockMeshTopology::butterfly(8);
+    let w = PtcWeight::new(&mut store, "w", 64, 64, topo.clone(), topo, 8);
+    let mut group = c.benchmark_group("unitary_build");
+    group.bench_function("per_tile", |b| {
+        b.iter(|| {
+            let graph = Graph::new();
+            let ctx = ForwardCtx::new(&graph, &store, false, 0);
+            black_box(w.build_per_tile(&ctx).value())
+        });
+    });
+    group.bench_function("batched", |b| {
+        b.iter(|| {
+            let graph = Graph::new();
+            let ctx = ForwardCtx::new(&graph, &store, false, 0);
+            black_box(w.build(&ctx).value())
+        });
+    });
+    group.finish();
+}
+
+/// Fresh-allocation vs scratch-reusing `im2col`: the per-step patch matrix
+/// was the training loop's largest allocation before the reuse path.
+fn bench_im2col_reuse(c: &mut Criterion) {
+    let geom = Conv2dGeometry {
+        in_channels: 8,
+        in_h: 12,
+        in_w: 12,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+    let mut rng = StdRng::seed_from_u64(9);
+    let x = Tensor::rand_uniform(&mut rng, &[16, 8, 12, 12], -1.0, 1.0);
+    let mut group = c.benchmark_group("im2col_reuse");
+    group.bench_function("fresh", |b| {
+        b.iter(|| black_box(im2col(&x, &geom)));
+    });
+    let mut scratch = Tensor::default();
+    im2col_into(&x, &geom, &mut scratch);
+    group.bench_function("reused", |b| {
+        b.iter(|| {
+            im2col_into(&x, &geom, &mut scratch);
+            black_box(scratch.at(&[0, 0]))
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_gemm,
@@ -154,6 +214,8 @@ criterion_group!(
     bench_polar,
     bench_crossing_count,
     bench_clements,
-    bench_tile_assembly
+    bench_tile_assembly,
+    bench_unitary_build,
+    bench_im2col_reuse
 );
 criterion_main!(benches);

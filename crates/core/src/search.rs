@@ -16,7 +16,7 @@ use crate::spl;
 use crate::supermesh::{build_mesh_frame, ArchSample, MeshFrame, SuperMeshHandles, SuperPtcWeight};
 use adept_autodiff::{Graph, Var};
 use adept_datasets::{DatasetKind, SyntheticConfig};
-use adept_nn::layers::{cols_to_nchw, im2col_var, BatchNorm2d, Layer};
+use adept_nn::layers::{cols_to_nchw, im2col_var_scratch, BatchNorm2d, Layer};
 use adept_nn::optim::{Adam, CosineLr};
 use adept_nn::{ForwardCtx, ParamId, ParamStore};
 use adept_photonics::{block_count_bounds, Pdk};
@@ -204,6 +204,9 @@ struct SearchModel {
     g2: Conv2dGeometry,
     pool: usize,
     channels: usize,
+    /// Patch-matrix scratch buffers reused across search steps.
+    cols1: Tensor,
+    cols2: Tensor,
 }
 
 impl SearchModel {
@@ -275,6 +278,8 @@ impl SearchModel {
             g2,
             pool,
             channels: cfg.channels,
+            cols1: Tensor::default(),
+            cols2: Tensor::default(),
         }
     }
 
@@ -305,14 +310,14 @@ impl SearchModel {
         let n = x.shape()[0];
         // conv1 → bn → relu
         let w1 = self.conv1.build(ctx, &fu, &fv);
-        let cols = im2col_var(x, self.g1);
+        let cols = im2col_var_scratch(x, self.g1, &mut self.cols1);
         let y = w1.matmul(cols);
         let y = cols_to_nchw(y, n, self.channels, self.g1.out_h(), self.g1.out_w());
         let y = y.add(ctx.param(self.b1).reshape(&[self.channels, 1, 1]));
         let y = self.bn1.forward(ctx, y).relu();
         // conv2 → bn → relu
         let w2 = self.conv2.build(ctx, &fu, &fv);
-        let cols = im2col_var(y, self.g2);
+        let cols = im2col_var_scratch(y, self.g2, &mut self.cols2);
         let y = w2.matmul(cols);
         let y = cols_to_nchw(y, n, self.channels, self.g2.out_h(), self.g2.out_w());
         let y = y.add(ctx.param(self.b2).reshape(&[self.channels, 1, 1]));

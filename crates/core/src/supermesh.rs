@@ -6,7 +6,9 @@
 //! a two-way architecture logit deciding *skip vs execute* through a
 //! Gumbel-softmax gate. Phases and Σ are ordinary per-tile weights.
 
-use adept_autodiff::{batched_tile_product, Var};
+use adept_autodiff::{
+    batched_phase_rotate, batched_tile_product, batched_tile_product_grid, stack, Var,
+};
 use adept_nn::{ForwardCtx, ParamId, ParamStore};
 use adept_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -350,6 +352,10 @@ fn coupler_column_vars<'g>(
 /// variable: `U = Π_b (m_{b,1}·I + m_{b,2}·P̃_b·T_b·R(Φ_b))`, followed by
 /// stabilizing ℓ2 normalization (`rows` selects row- vs column-wise, used
 /// for `U` and `V` respectively).
+///
+/// This is the **scalar reference implementation** (one node chain per
+/// tile); the search inner loop uses [`batched_super_unitary`], which is
+/// pinned bit-equivalent.
 pub fn super_unitary<'g>(
     ctx: &ForwardCtx<'g, '_>,
     frame: &MeshFrame<'g>,
@@ -389,6 +395,77 @@ pub fn super_unitary<'g>(
         (m_re.div(norms), m_im.div(norms))
     } else {
         let norms = sq.sum_axis(0).sqrt().add_scalar(1e-12); // [K] over columns
+        (m_re.div(norms), m_im.div(norms))
+    }
+}
+
+/// Builds the super-mesh unitaries of **all** `T` tiles at once from one
+/// frame and a stacked `[T, n_blocks, K]` phase variable, returning
+/// `(re, im)` stacks of shape `[T, K, K]`.
+///
+/// One walk over the super blocks updates every tile's running product:
+/// the phase rotation is a two-node batched row broadcast, the shared
+/// (differentiable) coupler and relaxed-permutation factors are broadcast-
+/// left GEMM sweeps whose backward pass *sums* the per-tile gradients into
+/// the shared block parameters, and the Gumbel gate mixes the whole stack
+/// through two scalar broadcasts. The tape holds `O(n_blocks)` nodes
+/// regardless of `T`; values are bit-identical to per-tile
+/// [`super_unitary`] calls.
+///
+/// # Panics
+///
+/// Panics if the phase variable shape does not match the frame.
+pub fn batched_super_unitary<'g>(
+    ctx: &ForwardCtx<'g, '_>,
+    frame: &MeshFrame<'g>,
+    phases: Var<'g>,
+    normalize_rows: bool,
+) -> (Var<'g>, Var<'g>) {
+    let k = frame.k;
+    let n = frame.blocks.len();
+    let shape = phases.shape();
+    assert_eq!(shape.len(), 3, "phases must be [T, n_blocks, K]");
+    assert_eq!(&shape[1..], &[n, k], "phases must be [T, n_blocks, K]");
+    let t = shape[0];
+    let mut m_re = ctx.constant(Tensor::eye_batched(t, k));
+    let mut m_im = ctx.constant(Tensor::zeros(&[t, k, k]));
+    for (bi, block) in frame.blocks.iter().enumerate().rev() {
+        // R(Φ_b) on the whole stack.
+        let phi = phases.index_axis1(bi);
+        let (r_re, r_im) = batched_phase_rotate(phi, m_re, m_im);
+        // T_b: one differentiable coupler column shared across tiles.
+        let (t_re, t_im) = coupler_column_vars(ctx, block, k);
+        let tr_re = t_re
+            .matmul_bcast_left(r_re)
+            .sub(t_im.matmul_bcast_left(r_im));
+        let tr_im = t_re
+            .matmul_bcast_left(r_im)
+            .add(t_im.matmul_bcast_left(r_re));
+        // P̃_b (real, relaxed — a dense matrix, not a permutation).
+        let e_re = block.p_relaxed.matmul_bcast_left(tr_re);
+        let e_im = block.p_relaxed.matmul_bcast_left(tr_im);
+        // Gate: M ← m1·M + m2·(P̃TR·M), broadcast over the stack.
+        let m1 = block.gate.gather(&[0]);
+        let m2 = block.gate.gather(&[1]);
+        m_re = m1.mul(m_re).add(m2.mul(e_re));
+        m_im = m1.mul(m_im).add(m2.mul(e_im));
+    }
+    // Stabilizing ℓ2 normalization (paper §3.3.2), batched per tile.
+    let sq = m_re.square().add(m_im.square());
+    if normalize_rows {
+        let norms = sq
+            .reshape(&[t * k, k])
+            .sum_axis(1)
+            .sqrt()
+            .add_scalar(1e-12)
+            .reshape(&[t, k, 1]);
+        (m_re.div(norms), m_im.div(norms))
+    } else {
+        // Column sums as a ones-row broadcast GEMM: Σ_i sq[t, i, j]
+        // accumulates in the same i-order as `sum_axis(0)`, keeping the
+        // batched values bit-identical to the scalar reference.
+        let ones = ctx.constant(Tensor::ones(&[1, k]));
+        let norms = ones.matmul_bcast_left(sq).sqrt().add_scalar(1e-12); // [T, 1, K]
         (m_re.div(norms), m_im.div(norms))
     }
 }
@@ -466,11 +543,46 @@ impl SuperPtcWeight {
 
     /// Materializes the `[out, in]` weight under the given frames.
     ///
-    /// Like `adept_nn::onn::PtcWeight::build`, all tile products run as two
-    /// batched GEMM sweeps over stacked `[T, K, K]` factors plus one strided
-    /// assembly node — the stage-2 search inner loop never extracts or
-    /// copies an individual tile.
+    /// Like `adept_nn::onn::PtcWeight::build`, the whole construction is
+    /// batched over the tile axis: all tiles' phases are stacked into
+    /// `[T, B, K]`, both unitaries come from one [`batched_super_unitary`]
+    /// walk each (`O(B)` tape nodes, independent of `T`), and every tile
+    /// product lands in its grid cell — edge tiles cropped in place —
+    /// through one ragged batched GEMM sweep. The stage-2 search inner loop
+    /// never extracts or copies an individual tile; values are pinned
+    /// bit-equal to [`SuperPtcWeight::build_per_tile`].
     pub fn build<'g>(
+        &self,
+        ctx: &ForwardCtx<'g, '_>,
+        frame_u: &MeshFrame<'g>,
+        frame_v: &MeshFrame<'g>,
+    ) -> Var<'g> {
+        let k = self.k;
+        let n_tiles = self.grid_rows * self.grid_cols;
+        let pu: Vec<Var<'g>> = self.phases_u.iter().map(|&id| ctx.param(id)).collect();
+        let pv: Vec<Var<'g>> = self.phases_v.iter().map(|&id| ctx.param(id)).collect();
+        let (u_re, u_im) = batched_super_unitary(ctx, frame_u, stack(&pu), true);
+        let (v_re, v_im) = batched_super_unitary(ctx, frame_v, stack(&pv), false);
+        let sigs: Vec<Var<'g>> = self.sigma.iter().map(|&id| ctx.param(id)).collect();
+        let sig = stack(&sigs).reshape(&[n_tiles, 1, k]);
+        let us_re = u_re.mul(sig);
+        let us_im = u_im.mul(sig);
+        batched_tile_product_grid(
+            us_re,
+            us_im,
+            v_re,
+            v_im,
+            self.grid_rows,
+            self.grid_cols,
+            self.out_features,
+            self.in_features,
+        )
+    }
+
+    /// The per-tile reference build (one [`super_unitary`] chain per tile).
+    /// Kept for bit-equivalence tests; hot paths use
+    /// [`SuperPtcWeight::build`].
+    pub fn build_per_tile<'g>(
         &self,
         ctx: &ForwardCtx<'g, '_>,
         frame_u: &MeshFrame<'g>,
@@ -689,6 +801,80 @@ mod tests {
         assert!(im.value().norm() < 1e-6);
         // Execute probability reflects theta.
         assert!(frame.blocks[0].exec_prob.value().item() < 1e-8);
+    }
+
+    #[test]
+    fn batched_super_unitary_is_bit_equal_to_scalar_reference() {
+        let k = 6;
+        let (mut store, h) = setup(k, 3, 1);
+        let mut rng = StdRng::seed_from_u64(31);
+        let tiles = 4;
+        let phases_t = Tensor::rand_uniform(&mut rng, &[tiles, 3, k], -2.0, 2.0);
+        let phases = store.register("phi", phases_t.clone(), 0.0);
+        let gumbel: Vec<[f64; 2]> = (0..3).map(|b| [0.1 * b as f64, -0.2]).collect();
+        for normalize_rows in [true, false] {
+            let graph = Graph::new();
+            let ctx = ForwardCtx::new(&graph, &store, true, 0);
+            let frame = build_mesh_frame(&ctx, &h.u, k, &gumbel, 0.7);
+            let (re, im) = batched_super_unitary(&ctx, &frame, ctx.param(phases), normalize_rows);
+            assert_eq!(re.shape(), vec![tiles, k, k]);
+            for t in 0..tiles {
+                let (sre, sim) = super_unitary(
+                    &ctx,
+                    &frame,
+                    ctx.constant(phases_t.subtensor(t)),
+                    normalize_rows,
+                );
+                assert_eq!(
+                    re.value().subtensor(t).as_slice(),
+                    sre.value().as_slice(),
+                    "tile {t} (rows={normalize_rows}) real part must match bitwise"
+                );
+                assert_eq!(
+                    im.value().subtensor(t).as_slice(),
+                    sim.value().as_slice(),
+                    "tile {t} (rows={normalize_rows}) imaginary part must match bitwise"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_super_build_matches_per_tile_bitwise_and_in_gradients() {
+        let (mut store, h) = setup(4, 2, 1);
+        // 6×5 on K=4 → ragged edge tiles join the batched sweep.
+        let w = SuperPtcWeight::new(&mut store, "w", 6, 5, 4, 2, 7);
+        let run = |batched: bool, store: &ParamStore| {
+            let graph = Graph::new();
+            let ctx = ForwardCtx::new(&graph, store, true, 0);
+            let fu = build_mesh_frame(&ctx, &h.u, 4, &[[0.1, -0.2], [0.0, 0.0]], 1.0);
+            let fv = build_mesh_frame(&ctx, &h.v, 4, &[[0.3, 0.1], [0.0, 0.0]], 1.0);
+            let built = if batched {
+                w.build(&ctx, &fu, &fv)
+            } else {
+                w.build_per_tile(&ctx, &fu, &fv)
+            };
+            let value = built.value();
+            let grads = graph.backward(built.square().sum());
+            let mut per_param: Vec<(String, Tensor)> = ctx
+                .into_param_grads(&grads)
+                .into_iter()
+                .map(|(id, g)| (store.name(id).to_string(), g))
+                .collect();
+            per_param.sort_by(|a, b| a.0.cmp(&b.0));
+            (value, per_param)
+        };
+        let (vb, gb) = run(true, &store);
+        let (vp, gp) = run(false, &store);
+        assert_eq!(vb.as_slice(), vp.as_slice(), "values must be bit-identical");
+        assert_eq!(gb.len(), gp.len(), "same parameters must receive grads");
+        for ((name, b), (_, p)) in gb.iter().zip(&gp) {
+            assert!(
+                b.allclose(p, 1e-9),
+                "gradient of {name} diverges: max diff {}",
+                b.max_abs_diff(p)
+            );
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::param::{ForwardCtx, ParamId, ParamStore};
 use adept_autodiff::Var;
 use adept_photonics::DeviceCount;
-use adept_tensor::{col2im, im2col, Conv2dGeometry, Tensor};
+use adept_tensor::{col2im, Conv2dGeometry, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -148,6 +148,8 @@ pub struct Conv2d {
     b: ParamId,
     geom: Conv2dGeometry,
     out_channels: usize,
+    /// Patch-matrix scratch reused across training steps.
+    scratch: Tensor,
 }
 
 impl Conv2d {
@@ -167,6 +169,7 @@ impl Conv2d {
             b: store.register(format!("{name}.b"), Tensor::zeros(&[out_channels]), 0.0),
             geom,
             out_channels,
+            scratch: Tensor::default(),
         }
     }
 
@@ -180,7 +183,7 @@ impl Layer for Conv2d {
     fn forward<'g>(&mut self, ctx: &ForwardCtx<'g, '_>, x: Var<'g>) -> Var<'g> {
         let w = ctx.param(self.w);
         let b = ctx.param(self.b);
-        let cols = im2col_var(x, self.geom);
+        let cols = im2col_var_scratch(x, self.geom, &mut self.scratch);
         let y = w.matmul(cols); // [OC, N·OH·OW]
         let n = x.shape()[0];
         let y = cols_to_nchw(
@@ -201,9 +204,25 @@ impl Layer for Conv2d {
 
 /// Differentiable `im2col` node (backward is `col2im`).
 pub fn im2col_var<'g>(x: Var<'g>, geom: Conv2dGeometry) -> Var<'g> {
+    let mut fresh = Tensor::default();
+    im2col_var_scratch(x, geom, &mut fresh)
+}
+
+/// Differentiable `im2col` node writing into a reusable `scratch` buffer.
+///
+/// The unrolled patch matrix is the largest per-step allocation of a
+/// convolution layer. Each layer keeps one scratch tensor across training
+/// steps: the tape's handle from step `n` is dropped with the graph, so by
+/// step `n+1` the scratch owns its buffer exclusively again and
+/// [`adept_tensor::im2col_into`] fills it in place without allocating.
+/// After the call, `scratch` and the tape node share the same storage
+/// (a refcount bump, not a copy).
+pub fn im2col_var_scratch<'g>(x: Var<'g>, geom: Conv2dGeometry, scratch: &mut Tensor) -> Var<'g> {
     let input = x.value();
     let n = input.shape()[0];
-    let cols = im2col(&input, &geom);
+    let mut cols = std::mem::take(scratch);
+    adept_tensor::im2col_into(&input, &geom, &mut cols);
+    *scratch = cols.clone();
     x.graph().custom(
         &[x],
         cols,
@@ -536,6 +555,7 @@ impl Layer for MaxPool2d {
 mod tests {
     use super::*;
     use adept_autodiff::{check_gradients, Graph};
+    use adept_tensor::im2col;
 
     #[test]
     fn linear_forward_shape_and_grad() {

@@ -8,8 +8,12 @@
 //!   Linear, Flatten) lowered onto the tape;
 //! * [`onn`] — photonic layers: [`onn::PtcWeight`] materializes a weight
 //!   matrix from `K×K` tiles `Re(U·Σ·V)` with block-mesh unitaries
-//!   (paper Eq. 1–2), [`onn::OnnLinear`]/[`onn::OnnConv2d`] use it, and
-//!   [`onn::MziLinear`] is the universal MZI-ONN baseline with
+//!   (paper Eq. 1–2) built by [`onn::batched_tile_unitary`] — all `T`
+//!   tiles' phases stacked into `[T, B, K]` and every mesh block applied
+//!   to the whole `[T, K, K]` stack at once, so the tape holds `O(B)`
+//!   nodes per mesh instead of `O(T·B)` per-tile chains;
+//!   [`onn::OnnLinear`]/[`onn::OnnConv2d`] use it, and [`onn::MziLinear`]
+//!   is the universal MZI-ONN baseline with
 //!   decompose–perturb–reconstruct phase-noise simulation;
 //! * [`models`] — the paper's proxy 2-layer CNN, LeNet-5 and VGG-8, all
 //!   parametrized by a photonic backend;

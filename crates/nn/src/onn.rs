@@ -10,10 +10,24 @@
 //! expressiveness of an SVD-parametrized Clements mesh) and simulates phase
 //! drift by decomposing each tile into MZI rotations, perturbing them and
 //! reconstructing.
+//!
+//! # The batched unitary builder
+//!
+//! [`batched_tile_unitary`] stacks every tile's phases into one `[T, B, K]`
+//! tensor and walks the `B` mesh blocks *once*, carrying a `[T, K, K]`
+//! running product for all `T` tiles: the phase rotation is a two-node
+//! row-broadcast, the constant coupler column one strided GEMM sweep shared
+//! across the batch, the crossing network a row gather. The tape therefore
+//! holds `O(B)` nodes per unitary instead of the `O(T·B)` chains
+//! [`tile_unitary`] records — the scalar builder is kept as the reference
+//! implementation and the batched path is pinned bit-equal to it.
 
-use crate::layers::{cols_to_nchw, im2col_var, Layer};
+use crate::layers::{cols_to_nchw, im2col_var_scratch, Layer};
 use crate::param::{ForwardCtx, ParamId, ParamStore};
-use adept_autodiff::{batched_tile_product, Var};
+use adept_autodiff::{
+    batched_permute_rows, batched_phase_rotate, batched_tile_product, batched_tile_product_grid,
+    stack, Var,
+};
 use adept_linalg::{svd, CMatrix, C64};
 use adept_photonics::clements::decompose;
 use adept_photonics::{BlockMeshTopology, DeviceCount, PhaseNoise};
@@ -27,6 +41,10 @@ use std::cell::RefCell;
 ///
 /// The construction applies `U = Π_b P_b·T_b·R(Φ_b)` right-to-left with
 /// structured products, all differentiable with respect to the phases.
+///
+/// This is the **scalar reference implementation**: it records one node
+/// chain per tile, so building `T` tiles costs `O(T·B)` tape nodes. Hot
+/// paths use [`batched_tile_unitary`], which is pinned bit-equivalent.
 ///
 /// # Panics
 ///
@@ -68,6 +86,65 @@ pub fn tile_unitary<'g>(
             let p = ctx.constant(block.perm.to_matrix());
             m_re = p.matmul(m_re);
             m_im = p.matmul(m_im);
+        }
+    }
+    (m_re, m_im)
+}
+
+/// Builds the complex unitaries of **all** `T` tiles at once from a fixed
+/// topology and a stacked `[T, B, K]` phase variable, returning
+/// `(re, im)` stacks of shape `[T, K, K]`.
+///
+/// One walk over the `B` mesh blocks updates every tile's running product:
+/// `R(Φ_b)` is a two-node batched row-broadcast
+/// ([`batched_phase_rotate`]), the constant coupler column a shared-left
+/// strided GEMM sweep ([`Var::matmul_bcast_left`]) and the crossing
+/// permutation a row gather ([`batched_permute_rows`]). The tape holds
+/// `O(B)` nodes regardless of `T`, and every value is bit-identical to the
+/// per-tile [`tile_unitary`] chain.
+///
+/// # Panics
+///
+/// Panics if the phase variable shape does not match the topology.
+pub fn batched_tile_unitary<'g>(
+    ctx: &ForwardCtx<'g, '_>,
+    topo: &BlockMeshTopology,
+    phases: Var<'g>,
+) -> (Var<'g>, Var<'g>) {
+    let k = topo.k();
+    let b = topo.blocks().len();
+    let shape = phases.shape();
+    assert_eq!(shape.len(), 3, "phases must be [T, B, K]");
+    assert_eq!(&shape[1..], &[b, k], "phases must be [T, B, K]");
+    let t = shape[0];
+    let mut m_re = ctx.constant(Tensor::eye_batched(t, k));
+    let mut m_im = ctx.constant(Tensor::zeros(&[t, k, k]));
+    // Rightmost block acts first: iterate blocks in reverse.
+    for (bi, block) in topo.blocks().iter().enumerate().rev() {
+        // R(Φ_b): one [T, K] phase column scales the rows of every tile.
+        let phi = phases.index_axis1(bi);
+        let (new_re, new_im) = batched_phase_rotate(phi, m_re, m_im);
+        m_re = new_re;
+        m_im = new_im;
+        // T_b: the constant coupler column, shared across the batch.
+        if block.dc_count() > 0 {
+            let tmat = block.coupler_column_matrix(k);
+            let t_re = ctx.constant(tmat.re());
+            let t_im = ctx.constant(tmat.im());
+            let new_re = t_re
+                .matmul_bcast_left(m_re)
+                .sub(t_im.matmul_bcast_left(m_im));
+            let new_im = t_re
+                .matmul_bcast_left(m_im)
+                .add(t_im.matmul_bcast_left(m_re));
+            m_re = new_re;
+            m_im = new_im;
+        }
+        // P_b: crossing permutation as a batched row gather.
+        if !block.perm.is_identity() {
+            let src = block.perm.as_slice();
+            m_re = batched_permute_rows(m_re, src);
+            m_im = batched_permute_rows(m_im, src);
         }
     }
     (m_re, m_im)
@@ -184,13 +261,74 @@ impl PtcWeight {
             .collect()
     }
 
+    /// Draws per-tile phase noise for both meshes, preserving the sampling
+    /// order of the per-tile path (tile 0's U noise, tile 0's V noise,
+    /// tile 1's U noise, …) so noisy builds stay stream-compatible.
+    fn sample_phase_noise(&self, ctx: &ForwardCtx<'_, '_>, n_tiles: usize) -> (Tensor, Tensor) {
+        let noise = PhaseNoise::new(self.phase_noise_std);
+        let k = self.k;
+        let (bu, bv) = (self.topo_u.blocks().len(), self.topo_v.blocks().len());
+        let mut nu = Tensor::zeros(&[n_tiles, bu, k]);
+        let mut nv = Tensor::zeros(&[n_tiles, bv, k]);
+        ctx.with_rng(|rng| {
+            let (du, dv) = (nu.as_mut_slice(), nv.as_mut_slice());
+            for tile in 0..n_tiles {
+                for slot in &mut du[tile * bu * k..(tile + 1) * bu * k] {
+                    *slot = noise.sample(rng);
+                }
+                for slot in &mut dv[tile * bv * k..(tile + 1) * bv * k] {
+                    *slot = noise.sample(rng);
+                }
+            }
+        });
+        (nu, nv)
+    }
+
     /// Materializes the `[out_features, in_features]` weight on the tape.
     ///
-    /// All `P×Q` tile products `Re(UΣ·V)` run as two batched GEMM sweeps
-    /// (`(UΣ)_re·V_re` and `(UΣ)_im·V_im`) over stacked `[T, K, K]` factor
-    /// buffers, followed by one strided tile-assembly node — no per-tile
-    /// matmul nodes and no per-tile block extraction.
+    /// All tiles' unitaries are built by **one** walk over the mesh blocks
+    /// ([`batched_tile_unitary`]) on stacked `[T, B, K]` phases, and all
+    /// tile products `Re(UΣ·V)` land in their grid cells through one ragged
+    /// batched GEMM sweep ([`batched_tile_product_grid`]) that crops edge
+    /// tiles in place. The tape holds `O(B)` nodes per mesh — independent
+    /// of the tile count — and the values are bit-identical to the per-tile
+    /// reference path ([`PtcWeight::build_per_tile`]).
     pub fn build<'g>(&self, ctx: &ForwardCtx<'g, '_>) -> Var<'g> {
+        let k = self.k;
+        let n_tiles = self.grid_rows * self.grid_cols;
+        let pu: Vec<Var<'g>> = self.phases_u.iter().map(|&id| ctx.param(id)).collect();
+        let pv: Vec<Var<'g>> = self.phases_v.iter().map(|&id| ctx.param(id)).collect();
+        let mut su = stack(&pu); // [T, Bu, K]
+        let mut sv = stack(&pv); // [T, Bv, K]
+        if self.phase_noise_std > 0.0 {
+            let (nu, nv) = self.sample_phase_noise(ctx, n_tiles);
+            su = su.add(ctx.constant(nu));
+            sv = sv.add(ctx.constant(nv));
+        }
+        let (u_re, u_im) = batched_tile_unitary(ctx, &self.topo_u, su);
+        let (v_re, v_im) = batched_tile_unitary(ctx, &self.topo_v, sv);
+        // Σ broadcasts over U's columns: [T, 1, K] against [T, K, K].
+        let sigs: Vec<Var<'g>> = self.sigma.iter().map(|&id| ctx.param(id)).collect();
+        let sig = stack(&sigs).reshape(&[n_tiles, 1, k]);
+        let us_re = u_re.mul(sig);
+        let us_im = u_im.mul(sig);
+        batched_tile_product_grid(
+            us_re,
+            us_im,
+            v_re,
+            v_im,
+            self.grid_rows,
+            self.grid_cols,
+            self.out_features,
+            self.in_features,
+        )
+    }
+
+    /// The per-tile reference build: one [`tile_unitary`] node chain per
+    /// tile followed by the stacked tile product. Kept for bit-equivalence
+    /// tests and the `unitary_build` benchmark; hot paths use
+    /// [`PtcWeight::build`].
+    pub fn build_per_tile<'g>(&self, ctx: &ForwardCtx<'g, '_>) -> Var<'g> {
         let k = self.k;
         let n_tiles = self.grid_rows * self.grid_cols;
         let noise = if self.phase_noise_std > 0.0 {
@@ -305,6 +443,8 @@ pub struct OnnConv2d {
     bias: ParamId,
     geom: Conv2dGeometry,
     out_channels: usize,
+    /// Patch-matrix scratch reused across training steps.
+    scratch: Tensor,
 }
 
 impl OnnConv2d {
@@ -332,6 +472,7 @@ impl OnnConv2d {
             bias: store.register(format!("{name}.b"), Tensor::zeros(&[out_channels]), 0.0),
             geom,
             out_channels,
+            scratch: Tensor::default(),
         }
     }
 }
@@ -339,7 +480,7 @@ impl OnnConv2d {
 impl Layer for OnnConv2d {
     fn forward<'g>(&mut self, ctx: &ForwardCtx<'g, '_>, x: Var<'g>) -> Var<'g> {
         let w = self.weight.build(ctx);
-        let cols = im2col_var(x, self.geom);
+        let cols = im2col_var_scratch(x, self.geom, &mut self.scratch);
         let y = w.matmul(cols);
         let n = x.shape()[0];
         let y = cols_to_nchw(
@@ -524,6 +665,8 @@ pub struct MziConv2d {
     inner: MziLinear,
     geom: Conv2dGeometry,
     out_channels: usize,
+    /// Patch-matrix scratch reused across training steps.
+    scratch: Tensor,
 }
 
 impl MziConv2d {
@@ -540,6 +683,7 @@ impl MziConv2d {
             inner: MziLinear::new(store, name, geom.col_rows(), out_channels, k, seed),
             geom,
             out_channels,
+            scratch: Tensor::default(),
         }
     }
 }
@@ -556,7 +700,7 @@ impl Layer for MziConv2d {
         } else {
             w
         };
-        let cols = im2col_var(x, self.geom);
+        let cols = im2col_var_scratch(x, self.geom, &mut self.scratch);
         let y = w.matmul(cols);
         let n = x.shape()[0];
         let y = cols_to_nchw(
@@ -644,6 +788,115 @@ mod tests {
             1e-5,
         )
         .unwrap();
+    }
+
+    #[test]
+    fn batched_tile_unitary_is_bit_equal_to_scalar_reference() {
+        let topo = small_topology(6, 4, 21);
+        let mut rng = StdRng::seed_from_u64(22);
+        let tiles = 5;
+        let phases = Tensor::rand_uniform(&mut rng, &[tiles, 4, 6], -3.0, 3.0);
+        let store = ParamStore::new();
+        let graph = Graph::new();
+        let ctx = ForwardCtx::new(&graph, &store, false, 0);
+        let (re, im) = batched_tile_unitary(&ctx, &topo, graph.constant(phases.clone()));
+        assert_eq!(re.shape(), vec![tiles, 6, 6]);
+        for t in 0..tiles {
+            let (sre, sim) = tile_unitary(&ctx, &topo, graph.constant(phases.subtensor(t)));
+            assert_eq!(
+                re.value().subtensor(t).as_slice(),
+                sre.value().as_slice(),
+                "tile {t} real part must match bit-for-bit"
+            );
+            assert_eq!(
+                im.value().subtensor(t).as_slice(),
+                sim.value().as_slice(),
+                "tile {t} imaginary part must match bit-for-bit"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_build_matches_per_tile_build_bitwise() {
+        // Exact-multiple and ragged (cropped edge tiles) shapes, with and
+        // without phase noise: the batched path must reproduce the per-tile
+        // reference bit for bit (noise streams are sampled in the same
+        // order).
+        for &(inf, outf, noise) in &[(8usize, 8usize, 0.0f64), (6, 5, 0.0), (6, 5, 0.05)] {
+            let mut store = ParamStore::new();
+            let topo = small_topology(4, 3, 23);
+            let mut w = PtcWeight::new(&mut store, "w", inf, outf, topo.clone(), topo, 24);
+            w.phase_noise_std = noise;
+            let graph1 = Graph::new();
+            let ctx1 = ForwardCtx::new(&graph1, &store, false, 7);
+            let batched = w.build(&ctx1).value();
+            let graph2 = Graph::new();
+            let ctx2 = ForwardCtx::new(&graph2, &store, false, 7);
+            let per_tile = w.build_per_tile(&ctx2).value();
+            assert_eq!(batched.shape(), per_tile.shape());
+            assert_eq!(
+                batched.as_slice(),
+                per_tile.as_slice(),
+                "({inf},{outf},noise={noise}) must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_build_tape_is_at_least_5x_smaller() {
+        // The acceptance criterion of the batched builder: one PtcWeight
+        // forward build must record ≥5× fewer tape nodes than the per-tile
+        // path (here 64 tiles shrink it by well over an order of magnitude).
+        let mut store = ParamStore::new();
+        let topo = BlockMeshTopology::butterfly(8);
+        let w = PtcWeight::new(&mut store, "w", 64, 64, topo.clone(), topo, 25);
+        let graph_pt = Graph::new();
+        let ctx = ForwardCtx::new(&graph_pt, &store, false, 0);
+        let _ = w.build_per_tile(&ctx);
+        let per_tile_nodes = graph_pt.len();
+        let graph_b = Graph::new();
+        let ctx = ForwardCtx::new(&graph_b, &store, false, 0);
+        let _ = w.build(&ctx);
+        let batched_nodes = graph_b.len();
+        assert!(
+            per_tile_nodes >= 5 * batched_nodes,
+            "tape must shrink ≥5×: per-tile {per_tile_nodes} vs batched {batched_nodes}"
+        );
+    }
+
+    #[test]
+    fn batched_build_gradients_match_per_tile() {
+        let mut store = ParamStore::new();
+        let topo = small_topology(4, 2, 26);
+        let w = PtcWeight::new(&mut store, "w", 6, 5, topo.clone(), topo, 27);
+        let grads_of = |batched: bool| -> Vec<(String, Tensor)> {
+            let graph = Graph::new();
+            let ctx = ForwardCtx::new(&graph, &store, true, 0);
+            let built = if batched {
+                w.build(&ctx)
+            } else {
+                w.build_per_tile(&ctx)
+            };
+            let grads = graph.backward(built.square().sum());
+            let mut out: Vec<(String, Tensor)> = ctx
+                .into_param_grads(&grads)
+                .into_iter()
+                .map(|(id, g)| (store.name(id).to_string(), g))
+                .collect();
+            out.sort_by(|a, b| a.0.cmp(&b.0));
+            out
+        };
+        let gb = grads_of(true);
+        let gp = grads_of(false);
+        assert_eq!(gb.len(), gp.len(), "same parameters must receive grads");
+        for ((name, b), (name2, p)) in gb.iter().zip(&gp) {
+            assert_eq!(name, name2);
+            assert!(
+                b.allclose(p, 1e-9),
+                "gradient of {name} diverges: max diff {}",
+                b.max_abs_diff(p)
+            );
+        }
     }
 
     #[test]

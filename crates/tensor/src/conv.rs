@@ -68,6 +68,30 @@ impl Conv2dGeometry {
 ///
 /// Panics if `input` is not rank 4 or its dimensions disagree with `geom`.
 pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Tensor {
+    let mut out = Tensor::default();
+    im2col_into(input, geom, &mut out);
+    out
+}
+
+/// [`im2col`] into a caller-provided buffer, reusing its allocation.
+///
+/// When `out` already has the right shape *and* exclusively owns its
+/// storage, the unroll writes in place — no allocation at all. Training
+/// loops exploit this by keeping one scratch tensor per convolution layer:
+/// the tape's handle on the previous step's patch matrix is dropped with
+/// the graph, so by the next forward pass the scratch is unique again and
+/// what used to be the largest per-step allocation disappears. (A scratch
+/// that is still shared — e.g. the previous tape is alive — is replaced
+/// with a fresh buffer rather than copy-on-write-duplicating stale data.)
+///
+/// The unroll writes every element of the patch matrix exactly once
+/// (zero-padded positions are written as zeros), so no separate clearing
+/// pass runs on the reuse path.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank 4 or its dimensions disagree with `geom`.
+pub fn im2col_into(input: &Tensor, geom: &Conv2dGeometry, out: &mut Tensor) {
     assert_eq!(input.rank(), 4, "im2col expects NCHW input");
     let (n, c, h, w) = (
         input.shape()[0],
@@ -81,7 +105,16 @@ pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Tensor {
     let (oh, ow) = (geom.out_h(), geom.out_w());
     let rows = geom.col_rows();
     let cols = geom.col_cols(n);
-    let mut out = Tensor::zeros(&[rows, cols]);
+    // Reuse only an exactly matching, exclusively owned full-buffer window;
+    // anything else (wrong shape, shared with a live tape, offset view)
+    // would force a pointless copy-on-write detach of stale data.
+    let reusable = out.shape() == [rows, cols]
+        && out.storage_offset() == 0
+        && out.data.len() == rows * cols
+        && std::sync::Arc::strong_count(&out.data) == 1;
+    if !reusable {
+        *out = Tensor::zeros(&[rows, cols]);
+    }
     let src = input.as_slice();
     let dst = out.as_mut_slice();
     let k = geom.kernel;
@@ -92,24 +125,25 @@ pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Tensor {
                     let row = ci * k * k + ky * k + kx;
                     for oy in 0..oh {
                         let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                        let col0 = row * cols + ni * oh * ow + oy * ow;
                         if iy < 0 || iy >= h as isize {
+                            dst[col0..col0 + ow].fill(0.0);
                             continue;
                         }
+                        let src_row = &src[((ni * c + ci) * h + iy as usize) * w..][..w];
                         for ox in 0..ow {
                             let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            let col = ni * oh * ow + oy * ow + ox;
-                            dst[row * cols + col] =
-                                src[((ni * c + ci) * h + iy as usize) * w + ix as usize];
+                            dst[col0 + ox] = if ix < 0 || ix >= w as isize {
+                                0.0
+                            } else {
+                                src_row[ix as usize]
+                            };
                         }
                     }
                 }
             }
         }
     }
-    out
 }
 
 /// Adjoint of [`im2col`]: scatters a patch matrix back into an NCHW tensor,
@@ -261,6 +295,25 @@ mod tests {
             (lhs - rhs).abs() < 1e-9,
             "adjoint identity violated: {lhs} vs {rhs}"
         );
+    }
+
+    #[test]
+    fn im2col_into_reuses_and_matches() {
+        let g = geom(2, 6, 6, 3, 2, 1);
+        let x1 = Tensor::linspace(-1.0, 1.0, 72).reshape(&[1, 2, 6, 6]);
+        let x2 = Tensor::linspace(2.0, -2.0, 72).reshape(&[1, 2, 6, 6]);
+        let mut buf = Tensor::default();
+        im2col_into(&x1, &g, &mut buf);
+        assert_eq!(buf, im2col(&x1, &g));
+        // Second call reuses the exact same allocation. (Compare raw data
+        // pointers — holding an Arc handle would force a COW detach.)
+        let ptr = buf.as_slice().as_ptr() as usize;
+        im2col_into(&x2, &g, &mut buf);
+        assert_eq!(ptr, buf.as_slice().as_ptr() as usize);
+        assert_eq!(buf, im2col(&x2, &g));
+        // Stale values from the previous step must not leak through the
+        // zero-padded positions.
+        assert_eq!(buf.at(&[0, 0]), 0.0, "padding corner must be re-zeroed");
     }
 
     #[test]

@@ -15,12 +15,24 @@
 //!   zero-copy when the view is contiguous.
 //! * **Batched, strided kernels** — [`matmul_into`] (threaded GEMM with
 //!   row- or column-partitioning), [`matmul_view`] (GEMM straight off view
-//!   strides) and [`batched_matmul_into`] (all PTC tiles of a layer in one
-//!   sweep, addressed by [`Tile`] descriptors) avoid materializing
-//!   operands entirely.
+//!   strides), [`batched_matmul_into`] (all PTC tiles of a layer in one
+//!   sweep, addressed by [`Tile`] descriptors) and
+//!   [`batched_matmul_ragged_into`] (mixed-shape [`GemmSpec`] jobs, so the
+//!   cropped edge tiles of non-multiple-of-K layers join the same sweep)
+//!   avoid materializing operands entirely.
+//! * **Batched broadcast kernels over a leading tile axis** —
+//!   [`batched_row_combine`]/[`batched_row_scale`]/[`batched_row_dot`]
+//!   (phase-rotation row broadcasts and their adjoints),
+//!   [`Tensor::batched_permute_rows`] (crossing networks as row gathers)
+//!   and [`Tensor::matmul_bcast_left`] (one shared factor against a whole
+//!   `[T, K, K]` stack). These power the batched PTC unitary builder: one
+//!   walk over the mesh blocks updates all `T` tiles' running products,
+//!   with every element computed by the same scalar expression as the
+//!   per-tile reference so results stay bit-identical.
 //!
 //! Elementwise maps, axis reductions and `im2col`/`col2im` for convolution
-//! lowering round out the API.
+//! lowering (with [`im2col_into`] reusing a per-layer scratch buffer across
+//! training steps) round out the API.
 //!
 //! # Examples
 //!
@@ -37,6 +49,7 @@
 //! assert_eq!(t.at(&[0, 1]), 3.0);
 //! ```
 
+mod batched;
 mod conv;
 mod matmul;
 mod ops;
@@ -45,8 +58,12 @@ mod shape;
 mod tensor;
 mod view;
 
-pub use conv::{col2im, im2col, Conv2dGeometry};
-pub use matmul::{batched_matmul_into, matmul_into, matmul_view, set_gemm_threads, Tile};
+pub use batched::{batched_row_combine, batched_row_dot, batched_row_scale};
+pub use conv::{col2im, im2col, im2col_into, Conv2dGeometry};
+pub use matmul::{
+    batched_matmul_into, batched_matmul_ragged_into, matmul_into, matmul_view, set_gemm_threads,
+    GemmSpec, Tile,
+};
 pub use shape::{broadcast_shapes, Shape};
 pub use tensor::Tensor;
 pub use view::View;

@@ -103,20 +103,92 @@ unsafe fn gemm_tile_raw(
     k: usize,
     n: usize,
 ) {
+    unsafe {
+        gemm_tile_raw_g::<false, false>(a, at, b, bt, c, c_len, ct, m, k, n, 1.0);
+    }
+}
+
+/// Generalized strided tile GEMM: `C_tile = α·A_tile·B_tile`, or
+/// `C_tile += α·A_tile·B_tile` when `accumulate` is set.
+///
+/// Dispatches to monomorphized kernel variants so the common
+/// `α = 1`/overwrite path compiles to exactly the [`gemm_tile_raw`] inner
+/// loop — the generality costs the hot path nothing.
+///
+/// # Safety
+///
+/// Same contract as [`gemm_tile_raw`].
+unsafe fn gemm_tile_raw_ext(
+    a: &[f64],
+    at: Tile,
+    b: &[f64],
+    bt: Tile,
+    c: *mut f64,
+    c_len: usize,
+    ct: Tile,
+    m: usize,
+    k: usize,
+    n: usize,
+    alpha: f64,
+    accumulate: bool,
+) {
+    unsafe {
+        match (accumulate, alpha == 1.0) {
+            (false, true) => {
+                gemm_tile_raw_g::<false, false>(a, at, b, bt, c, c_len, ct, m, k, n, alpha)
+            }
+            (false, false) => {
+                gemm_tile_raw_g::<false, true>(a, at, b, bt, c, c_len, ct, m, k, n, alpha)
+            }
+            (true, true) => {
+                gemm_tile_raw_g::<true, false>(a, at, b, bt, c, c_len, ct, m, k, n, alpha)
+            }
+            (true, false) => {
+                gemm_tile_raw_g::<true, true>(a, at, b, bt, c, c_len, ct, m, k, n, alpha)
+            }
+        }
+    }
+}
+
+/// The monomorphized GEMM tile kernel: `ACC` selects accumulate-into vs
+/// overwrite, `SCALE` whether `alpha` multiplies the streamed `a` element.
+/// `α` folds into `a_ip` (`α·a_ip`), so `α = −1` is an exact negation and
+/// the `SCALE = false` instantiation is bit- and codegen-identical to the
+/// original specialized kernel.
+///
+/// # Safety
+///
+/// Same contract as [`gemm_tile_raw`].
+unsafe fn gemm_tile_raw_g<const ACC: bool, const SCALE: bool>(
+    a: &[f64],
+    at: Tile,
+    b: &[f64],
+    bt: Tile,
+    c: *mut f64,
+    c_len: usize,
+    ct: Tile,
+    m: usize,
+    k: usize,
+    n: usize,
+    alpha: f64,
+) {
     debug_assert!(at.max_index(m, k) < a.len().max(1) || m * k == 0);
     debug_assert!(bt.max_index(k, n) < b.len().max(1) || k * n == 0);
     debug_assert!(ct.max_index(m, n) < c_len.max(1) || m * n == 0);
     let fast = bt.col_stride == 1 && ct.col_stride == 1;
     for i in 0..m {
         let c_row = ct.offset + i * ct.row_stride;
-        for j in 0..n {
-            *c.add(c_row + j * ct.col_stride) = 0.0;
+        if !ACC {
+            for j in 0..n {
+                *c.add(c_row + j * ct.col_stride) = 0.0;
+            }
         }
         for p in 0..k {
-            let aip = a[at.offset + i * at.row_stride + p * at.col_stride];
-            if aip == 0.0 {
+            let raw = a[at.offset + i * at.row_stride + p * at.col_stride];
+            if raw == 0.0 {
                 continue;
             }
+            let aip = if SCALE { alpha * raw } else { raw };
             let b_row = bt.offset + p * bt.row_stride;
             if fast {
                 // Unit-stride inner loop: stream B and C rows.
@@ -338,6 +410,120 @@ pub unsafe fn batched_matmul_into(
                 }
             });
             t0 += take;
+        }
+    });
+}
+
+/// One GEMM of a *ragged* batched sweep: operand placements plus per-job
+/// dimensions, so jobs of different shapes (e.g. the cropped edge tiles of
+/// a non-multiple-of-K weight) run in the same sweep as the full interior
+/// tiles instead of falling back to per-tile GEMMs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmSpec {
+    /// Placement of the `m×k` left operand.
+    pub a: Tile,
+    /// Placement of the `k×n` right operand.
+    pub b: Tile,
+    /// Placement of the `m×n` output.
+    pub c: Tile,
+    /// Output rows of this job.
+    pub m: usize,
+    /// Inner dimension of this job.
+    pub k: usize,
+    /// Output columns of this job.
+    pub n: usize,
+}
+
+impl GemmSpec {
+    /// A uniform-shape job (same `m/k/n` as its neighbours).
+    pub fn new(a: Tile, b: Tile, c: Tile, m: usize, k: usize, n: usize) -> GemmSpec {
+        GemmSpec { a, b, c, m, k, n }
+    }
+
+    fn flops(&self) -> f64 {
+        2.0 * self.m as f64 * self.k as f64 * self.n as f64
+    }
+}
+
+/// Ragged batched strided GEMM: for every job `s`,
+/// `C_s = α·A_s·B_s` (or `C_s += α·A_s·B_s` when `accumulate` is set),
+/// where each job carries its *own* `m/k/n`.
+///
+/// This is the mixed-shape extension of [`batched_matmul_into`]: cropped
+/// edge tiles of a non-multiple-of-K layer carry smaller `m`/`n` and join
+/// the same sweep as the full interior tiles. Jobs are partitioned across
+/// scoped threads by cumulative flop count; each output element accumulates
+/// in the same k-order as the serial loop, and `α` is folded into the
+/// streamed `a` element, so `α = 1` results are bit-identical to per-job
+/// [`matmul_into`] and `α = −1` is an exact negation.
+///
+/// # Safety
+///
+/// The index sets the job `c` tiles address must be pairwise disjoint
+/// (overlapping outputs would race on the parallel path).
+///
+/// # Panics
+///
+/// Panics if any job's operand placement indexes out of bounds.
+pub unsafe fn batched_matmul_ragged_into(
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    specs: &[GemmSpec],
+    alpha: f64,
+    accumulate: bool,
+) {
+    for (t, s) in specs.iter().enumerate() {
+        assert!(
+            s.a.max_index(s.m, s.k) < a.len() || s.m * s.k == 0,
+            "a placement of job {t} out of bounds"
+        );
+        assert!(
+            s.b.max_index(s.k, s.n) < b.len() || s.k * s.n == 0,
+            "b placement of job {t} out of bounds"
+        );
+        assert!(
+            s.c.max_index(s.m, s.n) < c.len() || s.m * s.n == 0,
+            "c placement of job {t} out of bounds"
+        );
+    }
+    let threads = gemm_threads();
+    let total_flops: f64 = specs.iter().map(GemmSpec::flops).sum();
+    let c_len = c.len();
+    let c_ptr = SendPtr(c.as_mut_ptr());
+    if threads <= 1 || total_flops < PAR_FLOP_THRESHOLD || specs.len() <= 1 {
+        for s in specs {
+            unsafe {
+                gemm_tile_raw_ext(
+                    a, s.a, b, s.b, c_ptr.0, c_len, s.c, s.m, s.k, s.n, alpha, accumulate,
+                );
+            }
+        }
+        return;
+    }
+    // Partition jobs into contiguous chunks of roughly equal flops.
+    let per_thread = total_flops / threads as f64;
+    std::thread::scope(|scope| {
+        let mut start = 0;
+        while start < specs.len() {
+            let mut end = start;
+            let mut chunk_flops = 0.0;
+            while end < specs.len() && (chunk_flops < per_thread || end == start) {
+                chunk_flops += specs[end].flops();
+                end += 1;
+            }
+            let chunk = &specs[start..end];
+            scope.spawn(move || {
+                let c_ptr = c_ptr;
+                for s in chunk {
+                    unsafe {
+                        gemm_tile_raw_ext(
+                            a, s.a, b, s.b, c_ptr.0, c_len, s.c, s.m, s.k, s.n, alpha, accumulate,
+                        );
+                    }
+                }
+            });
+            start = end;
         }
     });
 }
@@ -729,6 +915,138 @@ mod tests {
             let want = a.subtensor(ti).matmul(&b2.subtensor(ti).transpose());
             assert_eq!(got.subtensor(ti).as_slice(), want.as_slice());
         }
+    }
+
+    #[test]
+    fn ragged_sweep_threaded_matches_serial_bitwise() {
+        // Enough flops to cross PAR_FLOP_THRESHOLD so the chunked
+        // scope::spawn path runs; mixed job shapes; results must be
+        // bit-identical to the serial sweep.
+        let (big_m, big_k, big_n) = (48usize, 64usize, 48usize);
+        let jobs = 24usize;
+        let a = Tensor::from_vec(
+            (0..jobs * big_m * big_k)
+                .map(|i| ((i * 37 % 101) as f64 - 50.0) / 25.0)
+                .collect(),
+            &[jobs, big_m, big_k],
+        );
+        let b = Tensor::from_vec(
+            (0..jobs * big_k * big_n)
+                .map(|i| ((i * 53 % 97) as f64 - 48.0) / 24.0)
+                .collect(),
+            &[jobs, big_k, big_n],
+        );
+        // Every third job is "ragged": a cropped edge tile.
+        let specs: Vec<GemmSpec> = (0..jobs)
+            .map(|t| {
+                let (m, n) = if t % 3 == 2 {
+                    (big_m - 5, big_n - 7)
+                } else {
+                    (big_m, big_n)
+                };
+                GemmSpec::new(
+                    Tile::contiguous(t * big_m * big_k, big_k),
+                    Tile::contiguous(t * big_k * big_n, big_n),
+                    Tile::contiguous(t * big_m * big_n, big_n),
+                    m,
+                    big_k,
+                    n,
+                )
+            })
+            .collect();
+        let total_flops: f64 = specs.iter().map(|s| 2.0 * (s.m * s.k * s.n) as f64).sum();
+        assert!(total_flops > PAR_FLOP_THRESHOLD, "must exercise threads");
+        let run = |threads: usize| {
+            let _guard = thread_override_lock();
+            set_gemm_threads(threads);
+            let mut out = Tensor::zeros(&[jobs, big_m, big_n]);
+            // SAFETY: per-job output slabs are disjoint.
+            unsafe {
+                batched_matmul_ragged_into(
+                    a.as_slice(),
+                    b.as_slice(),
+                    out.as_mut_slice(),
+                    &specs,
+                    1.0,
+                    false,
+                );
+            }
+            set_gemm_threads(0);
+            out
+        };
+        let par = run(6);
+        let ser = run(1);
+        assert_eq!(par.as_slice(), ser.as_slice(), "must be bit-identical");
+        // Spot-check a ragged job against the per-item reference.
+        let want = a.subtensor(2).matmul(&b.subtensor(2));
+        for i in 0..big_m - 5 {
+            for j in 0..big_n - 7 {
+                assert_eq!(par.subtensor(2).at(&[i, j]), want.at(&[i, j]));
+            }
+        }
+    }
+
+    #[test]
+    fn ragged_sweep_alpha_and_accumulate() {
+        // C ← A·B, then C += (−1)·A·B must return C to exactly zero: this
+        // exercises the accumulate monomorphizations and the exactness of
+        // α = −1 (negation folds into the streamed a element).
+        let (m, k, n) = (5usize, 7usize, 4usize);
+        let a = Tensor::linspace(-1.3, 1.7, m * k).reshape(&[1, m, k]);
+        let b = Tensor::linspace(0.2, -2.1, k * n).reshape(&[1, k, n]);
+        let specs = [GemmSpec::new(
+            Tile::contiguous(0, k),
+            Tile::contiguous(0, n),
+            Tile::contiguous(0, n),
+            m,
+            k,
+            n,
+        )];
+        let mut out = Tensor::zeros(&[m, n]);
+        // SAFETY: single job, exclusive output.
+        unsafe {
+            batched_matmul_ragged_into(
+                a.as_slice(),
+                b.as_slice(),
+                out.as_mut_slice(),
+                &specs,
+                1.0,
+                false,
+            );
+        }
+        assert!(out.allclose(&a.subtensor(0).matmul(&b.subtensor(0)), 1e-12));
+        // Accumulate with α = 2: out becomes 3·A·B (within reassociation
+        // rounding, since the two sweeps' running sums interleave).
+        let mut tripled = out.clone();
+        unsafe {
+            batched_matmul_ragged_into(
+                a.as_slice(),
+                b.as_slice(),
+                tripled.as_mut_slice(),
+                &specs,
+                2.0,
+                true,
+            );
+        }
+        assert!(tripled.allclose(&out.scale(3.0), 1e-12));
+        // α = −1 accumulate cancels the overwrite sweep (up to the usual
+        // reassociation rounding — each −a_ip·b term is exact, but the
+        // running sums associate differently).
+        let mut zeroed = out.clone();
+        unsafe {
+            batched_matmul_ragged_into(
+                a.as_slice(),
+                b.as_slice(),
+                zeroed.as_mut_slice(),
+                &specs,
+                -1.0,
+                true,
+            );
+        }
+        assert!(
+            zeroed.allclose(&Tensor::zeros(&[m, n]), 1e-12),
+            "α = −1 accumulation must cancel to rounding error"
+        );
     }
 
     #[test]

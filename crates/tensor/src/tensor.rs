@@ -169,6 +169,18 @@ impl Tensor {
         Self::from_parts(data, Shape::new(&[n, n]))
     }
 
+    /// Creates a `[t, n, n]` stack of `t` identity matrices — the initial
+    /// running product of the batched unitary builders.
+    pub fn eye_batched(t: usize, n: usize) -> Self {
+        let mut data = vec![0.0; t * n * n];
+        for ti in 0..t {
+            for i in 0..n {
+                data[(ti * n + i) * n + i] = 1.0;
+            }
+        }
+        Self::from_parts(data, Shape::new(&[t, n, n]))
+    }
+
     /// Creates a 1-D tensor with `n` evenly spaced samples over
     /// `[start, stop]` (inclusive on both ends when `n > 1`).
     pub fn linspace(start: f64, stop: f64, n: usize) -> Self {

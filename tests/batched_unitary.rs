@@ -1,0 +1,167 @@
+//! Acceptance tests of the batched PTC unitary builder.
+//!
+//! The builder stacks all `T` tiles' phases into `[T, B, K]` and walks the
+//! mesh blocks once over a `[T, K, K]` running product. These tests pin its
+//! contract: bit-equivalence against the scalar `tile_unitary` /
+//! `super_unitary` reference chains, numerical unitarity, finite-difference
+//! gradients through every new batched node, and the `O(B)` tape-size
+//! guarantee for a full `PtcWeight` build.
+
+use adept::supermesh::{batched_super_unitary, build_mesh_frame, super_unitary, SuperMeshHandles};
+use adept_autodiff::{batched_phase_rotate, check_gradients, Graph};
+use adept_linalg::CMatrix;
+use adept_nn::onn::{batched_tile_unitary, tile_unitary, PtcWeight};
+use adept_nn::{ForwardCtx, ParamStore};
+use adept_photonics::BlockMeshTopology;
+use adept_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn batched_builder_matches_scalar_reference_bitwise() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let topo = BlockMeshTopology::random(&mut rng, 8, 5);
+    let tiles = 6;
+    let phases = Tensor::rand_uniform(&mut rng, &[tiles, 5, 8], -3.0, 3.0);
+    let store = ParamStore::new();
+    let graph = Graph::new();
+    let ctx = ForwardCtx::new(&graph, &store, false, 0);
+    let (re, im) = batched_tile_unitary(&ctx, &topo, graph.constant(phases.clone()));
+    for t in 0..tiles {
+        let (sre, sim) = tile_unitary(&ctx, &topo, graph.constant(phases.subtensor(t)));
+        assert_eq!(re.value().subtensor(t).as_slice(), sre.value().as_slice());
+        assert_eq!(im.value().subtensor(t).as_slice(), sim.value().as_slice());
+    }
+}
+
+#[test]
+fn batched_builder_tiles_are_unitary() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let topo = BlockMeshTopology::random(&mut rng, 8, 4);
+    let tiles = 4;
+    let phases = Tensor::rand_uniform(&mut rng, &[tiles, 4, 8], -3.0, 3.0);
+    let store = ParamStore::new();
+    let graph = Graph::new();
+    let ctx = ForwardCtx::new(&graph, &store, false, 0);
+    let (re, im) = batched_tile_unitary(&ctx, &topo, graph.constant(phases));
+    for t in 0..tiles {
+        let u = CMatrix::from_re_im(&re.value().subtensor(t), &im.value().subtensor(t));
+        assert!(
+            u.is_unitary(1e-9),
+            "tile {t}: error {}",
+            u.unitarity_error()
+        );
+    }
+}
+
+#[test]
+fn batched_phase_rotate_gradcheck() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let phi = Tensor::rand_uniform(&mut rng, &[3, 4], -1.5, 1.5);
+    let m_re = Tensor::rand_uniform(&mut rng, &[3, 4, 4], -1.0, 1.0);
+    let m_im = Tensor::rand_uniform(&mut rng, &[3, 4, 4], -1.0, 1.0);
+    check_gradients(
+        |_, v| {
+            let (re, im) = batched_phase_rotate(v[0], v[1], v[2]);
+            re.square().sum().add(im.mul(re).sum())
+        },
+        &[phi, m_re, m_im],
+        1e-6,
+        1e-5,
+    )
+    .unwrap();
+}
+
+#[test]
+fn batched_builder_gradcheck_through_full_construction() {
+    // Finite differences through the whole batched chain: index_axis1 →
+    // phase rotate → shared coupler GEMM → row permutation, per block.
+    let mut rng = StdRng::seed_from_u64(4);
+    let topo = BlockMeshTopology::random(&mut rng, 4, 3);
+    let phases = Tensor::rand_uniform(&mut rng, &[2, 3, 4], -1.0, 1.0);
+    check_gradients(
+        |g, vars| {
+            let store = ParamStore::new();
+            let ctx = ForwardCtx::new(g, &store, false, 0);
+            let (re, im) = batched_tile_unitary(&ctx, &topo, vars[0]);
+            re.square().sum().add(im.mul(re).sum())
+        },
+        &[phases],
+        1e-6,
+        1e-5,
+    )
+    .unwrap();
+}
+
+#[test]
+fn ptc_build_tape_shrinks_at_least_5x_and_values_agree() {
+    // 64 tiles on the FFT butterfly: the batched tape must be ≥5× smaller
+    // (in practice ~40×) while producing the identical weight.
+    let mut store = ParamStore::new();
+    let topo = BlockMeshTopology::butterfly(8);
+    let w = PtcWeight::new(&mut store, "w", 64, 64, topo.clone(), topo, 5);
+    let g_per = Graph::new();
+    let ctx = ForwardCtx::new(&g_per, &store, false, 0);
+    let per_tile = w.build_per_tile(&ctx).value();
+    let per_tile_nodes = g_per.len();
+    let g_bat = Graph::new();
+    let ctx = ForwardCtx::new(&g_bat, &store, false, 0);
+    let batched = w.build(&ctx).value();
+    let batched_nodes = g_bat.len();
+    assert_eq!(batched.as_slice(), per_tile.as_slice(), "bit-equal weights");
+    assert!(
+        per_tile_nodes >= 5 * batched_nodes,
+        "tape must shrink ≥5×: {per_tile_nodes} vs {batched_nodes}"
+    );
+}
+
+#[test]
+fn ragged_weight_joins_batched_sweep() {
+    // 61×53 with K=8: bottom/right edge tiles are cropped; the ragged GEMM
+    // sweep must reproduce the pad-then-crop reference exactly, and
+    // gradients must flow into every tile's parameters.
+    let mut store = ParamStore::new();
+    let topo = BlockMeshTopology::butterfly(8);
+    let w = PtcWeight::new(&mut store, "w", 53, 61, topo.clone(), topo, 6);
+    let graph = Graph::new();
+    let ctx = ForwardCtx::new(&graph, &store, true, 0);
+    let built = w.build(&ctx);
+    assert_eq!(built.shape(), vec![61, 53]);
+    let g2 = Graph::new();
+    let ctx2 = ForwardCtx::new(&g2, &store, false, 0);
+    assert_eq!(
+        built.value().as_slice(),
+        w.build_per_tile(&ctx2).value().as_slice()
+    );
+    let grads = graph.backward(built.square().sum());
+    let updates = ctx.into_param_grads(&grads);
+    store.accumulate_many(&updates);
+    for id in w.param_ids() {
+        assert!(
+            store.grad(id).norm() > 0.0,
+            "parameter {} received no gradient",
+            store.name(id)
+        );
+    }
+}
+
+#[test]
+fn batched_super_unitary_matches_reference_bitwise() {
+    let k = 6;
+    let mut store = ParamStore::new();
+    let h = SuperMeshHandles::register(&mut store, k, 3, 1, 7);
+    let mut rng = StdRng::seed_from_u64(8);
+    let tiles = 3;
+    let phases = Tensor::rand_uniform(&mut rng, &[tiles, 3, k], -2.0, 2.0);
+    let graph = Graph::new();
+    let ctx = ForwardCtx::new(&graph, &store, true, 0);
+    let frame = build_mesh_frame(&ctx, &h.u, k, &[[0.2, -0.1], [0.0; 2], [0.5, 0.3]], 0.8);
+    for rows in [true, false] {
+        let (re, im) = batched_super_unitary(&ctx, &frame, graph.constant(phases.clone()), rows);
+        for t in 0..tiles {
+            let (sre, sim) = super_unitary(&ctx, &frame, graph.constant(phases.subtensor(t)), rows);
+            assert_eq!(re.value().subtensor(t).as_slice(), sre.value().as_slice());
+            assert_eq!(im.value().subtensor(t).as_slice(), sim.value().as_slice());
+        }
+    }
+}

@@ -158,6 +158,95 @@ fn assemble_backward_hands_out_shared_gradient_windows() {
 }
 
 #[test]
+fn batched_unitary_build_allocates_far_less_than_per_tile() {
+    // The batched builder carries one [T, K, K] running product per mesh
+    // block instead of T per-tile chains: for a 64x64 K=8 weight its whole
+    // forward build must allocate several times less than the per-tile
+    // reference and stay within a fixed budget of weight-buffer
+    // equivalents (stack buffers + per-block products + the output grid).
+    use adept_nn::onn::PtcWeight;
+    use adept_nn::{ForwardCtx, ParamStore};
+    use adept_photonics::BlockMeshTopology;
+    let mut store = ParamStore::new();
+    let topo = BlockMeshTopology::butterfly(8);
+    let w = PtcWeight::new(&mut store, "w", 64, 64, topo.clone(), topo, 1);
+    let graph = adept_autodiff::Graph::new();
+    let ctx = ForwardCtx::new(&graph, &store, false, 0);
+    adept_tensor::set_gemm_threads(1);
+    let _ = w.build(&ctx); // warm up parameter leaves
+    let (batched_bytes, built) = bytes_allocated(|| w.build(&ctx));
+    assert_eq!(built.shape(), vec![64, 64]);
+    let (per_tile_bytes, _) = bytes_allocated(|| w.build_per_tile(&ctx));
+    adept_tensor::set_gemm_threads(0);
+    let buffer_bytes = 64 * 64 * 8;
+    assert!(
+        batched_bytes < 80 * buffer_bytes,
+        "batched build allocated {batched_bytes} bytes (> 80 weight buffers)"
+    );
+    assert!(
+        3 * batched_bytes < per_tile_bytes,
+        "batched ({batched_bytes}B) must allocate <1/3 of per-tile ({per_tile_bytes}B)"
+    );
+}
+
+#[test]
+fn batched_unitary_backward_writes_only_gradient_buffers() {
+    // The grid tile-product node's backward pass must run off stride-swapped
+    // descriptors: four [T, K, K] gradient buffers plus view bookkeeping,
+    // never a materialized transpose or per-tile temporary.
+    use adept_autodiff::{batched_tile_product_grid, Graph};
+    let (gr, gc, k) = (4usize, 4usize, 8usize);
+    let t = gr * gc;
+    let stacks: Vec<Tensor> = (0..4)
+        .map(|i| Tensor::linspace(-1.0 - i as f64, 1.0 + i as f64, t * k * k).reshape(&[t, k, k]))
+        .collect();
+    let g = Graph::new();
+    let vars: Vec<_> = stacks.iter().map(|s| g.leaf(s.clone())).collect();
+    // Ragged output: edge tiles cropped to 30×29.
+    let prod = batched_tile_product_grid(vars[0], vars[1], vars[2], vars[3], gr, gc, 30, 29);
+    let loss = prod.square().sum();
+    adept_tensor::set_gemm_threads(1);
+    let (bytes, grads) = bytes_allocated(|| g.backward(loss));
+    adept_tensor::set_gemm_threads(0);
+    for v in &vars {
+        assert_eq!(grads.grad(*v).unwrap().shape(), &[t, k, k]);
+    }
+    // Budget: the four [T, K, K] gradient stacks and the two elementwise
+    // intermediates of square/sum, with slack for descriptor vectors —
+    // far below what materialized transposes (4 more stacks per batch
+    // item) would cost.
+    let stack_bytes = t * k * k * 8;
+    assert!(
+        bytes < 12 * stack_bytes,
+        "grid-product backward allocated {bytes} bytes (> 12 gradient stacks)"
+    );
+}
+
+#[test]
+fn im2col_scratch_reuse_does_not_reallocate() {
+    // Once warm, a training step's im2col must reuse the previous step's
+    // buffer: the patch matrix was the largest per-step allocation.
+    use adept_tensor::{im2col_into, Conv2dGeometry};
+    let geom = Conv2dGeometry {
+        in_channels: 8,
+        in_h: 12,
+        in_w: 12,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+    let x = Tensor::linspace(-1.0, 1.0, 16 * 8 * 12 * 12).reshape(&[16, 8, 12, 12]);
+    let mut scratch = Tensor::default();
+    im2col_into(&x, &geom, &mut scratch); // warm: allocates once
+    let full_bytes = scratch.len() * 8;
+    let (bytes, ()) = bytes_allocated(|| im2col_into(&x, &geom, &mut scratch));
+    assert!(
+        bytes < full_bytes / 8,
+        "warm im2col_into allocated {bytes} bytes (≥ 1/8 of the patch matrix)"
+    );
+}
+
+#[test]
 fn ptc_weight_forward_performs_no_per_tile_block_copies() {
     // End-to-end canary: building a 64x64 K=8 PtcWeight (64 tiles) is
     // dominated by the per-tile unitary construction; the tile *pipeline*
