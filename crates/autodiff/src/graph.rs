@@ -8,13 +8,17 @@ use std::cell::RefCell;
 /// Receives the upstream gradient (same shape as the node's value) and
 /// returns one optional gradient per parent, in parent order. `None` means
 /// "no gradient flows to this parent" (e.g. a detached or integer input).
-pub type BackwardFn = Box<dyn Fn(&Tensor) -> Vec<Option<Tensor>>>;
+///
+/// Hooks are `Send` so tape segments recorded on worker threads (see
+/// [`crate::record_segment`]) can move back to the main thread for
+/// splicing; they only ever capture owned tensors and plain data.
+pub type BackwardFn = Box<dyn Fn(&Tensor) -> Vec<Option<Tensor>> + Send>;
 
-struct Node {
-    value: Tensor,
-    parents: Vec<usize>,
-    backward: Option<BackwardFn>,
-    requires_grad: bool,
+pub(crate) struct Node {
+    pub(crate) value: Tensor,
+    pub(crate) parents: Vec<usize>,
+    pub(crate) backward: Option<BackwardFn>,
+    pub(crate) requires_grad: bool,
 }
 
 /// A define-by-run autodiff tape.
@@ -38,9 +42,24 @@ struct Node {
 /// assert_eq!(grads.grad(a).unwrap().as_slice(), &[3.0, 4.0]);
 /// assert_eq!(grads.grad(b).unwrap().as_slice(), &[1.0, 2.0]);
 /// ```
-#[derive(Default)]
 pub struct Graph {
-    nodes: RefCell<Vec<Node>>,
+    pub(crate) nodes: RefCell<Vec<Node>>,
+    /// Process-unique tape identity. Segment imports are stamped with it
+    /// so a splice onto a *different* graph — e.g. a staged build held
+    /// across steps, whose node ids would recur deterministically on the
+    /// next step's tape — fails loudly instead of wiring values from one
+    /// step to gradients of another.
+    pub(crate) nonce: u64,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        static NEXT_NONCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        Self {
+            nodes: RefCell::new(Vec::new()),
+            nonce: NEXT_NONCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        }
+    }
 }
 
 impl std::fmt::Debug for Graph {

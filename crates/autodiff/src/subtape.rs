@@ -1,0 +1,352 @@
+//! Detachable tape segments: record a stretch of the graph off-thread,
+//! splice it back deterministically.
+//!
+//! A [`TapeSegment`] is a self-contained run of tape nodes recorded on a
+//! *private* [`Graph`] — typically on a worker thread — whose references to
+//! the enclosing tape go through **import proxies**: leaf/constant nodes
+//! created from [`ImportSpec`]s exported from main-tape variables before
+//! the segment build starts. [`Graph::splice`] then appends the segment to
+//! the main tape, remapping every import proxy to its original main-tape
+//! node and offsetting all intra-segment parent links.
+//!
+//! # The splice invariant
+//!
+//! Splicing a segment produces **exactly the node sequence direct recording
+//! would have produced**: import proxies occupy no main-tape slots, the
+//! remaining nodes are appended in recording order, and every backward hook
+//! operates on the tensors it captured at record time (identical to the
+//! main-tape values, since imports carry clones of those tensors). As a
+//! consequence:
+//!
+//! * node ids, values and `requires_grad` flags are bit-identical to a
+//!   serial walk that records the same operations directly;
+//! * [`Graph::backward`] visits spliced nodes in the same reverse order and
+//!   accumulates parent gradients in the same sequence, so gradients are
+//!   bit-identical too — including gradients flowing *through* imports into
+//!   main-tape leaves recorded before the segment.
+//!
+//! Segments built concurrently therefore commute: as long as they are
+//! spliced in a deterministic order (the weight-build scheduler uses layer
+//! index), the resulting tape is independent of thread count and
+//! scheduling. That property is pinned bit-for-bit by the root
+//! `parallel_build` suite.
+
+use crate::graph::{Graph, Node, Var};
+use adept_tensor::Tensor;
+
+/// A main-tape node exported for use inside a [`TapeSegment`] build.
+///
+/// Created by [`Var::export_import`]; carries everything a segment needs to
+/// stand in for the node (value, gradient flag) plus the main-tape id the
+/// proxy is remapped to at splice time.
+#[derive(Debug, Clone)]
+pub struct ImportSpec {
+    main_id: usize,
+    graph_nonce: u64,
+    value: Tensor,
+    requires_grad: bool,
+}
+
+impl<'g> Var<'g> {
+    /// Exports this variable for import into a segment build.
+    pub fn export_import(&self) -> ImportSpec {
+        ImportSpec {
+            main_id: self.id(),
+            graph_nonce: self.graph().nonce,
+            value: self.value(),
+            requires_grad: self.requires_grad(),
+        }
+    }
+}
+
+/// A detachable run of tape nodes plus its import table and result ids.
+///
+/// `TapeSegment` is `Send`: build it on a worker thread, move it back, and
+/// [`Graph::splice`] it on the tape-owning thread.
+pub struct TapeSegment {
+    nodes: Vec<Node>,
+    /// `(main-tape id, source-graph nonce)` per import proxy; proxy `i`
+    /// is segment node `i`.
+    import_ids: Vec<(usize, u64)>,
+    /// Segment-local ids of the build's result variables.
+    results: Vec<usize>,
+}
+
+impl std::fmt::Debug for TapeSegment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TapeSegment")
+            .field("nodes", &self.nodes.len())
+            .field("imports", &self.import_ids.len())
+            .field("results", &self.results)
+            .finish()
+    }
+}
+
+impl TapeSegment {
+    /// Number of nodes the splice will append (imports excluded).
+    pub fn spliced_len(&self) -> usize {
+        self.nodes.len() - self.import_ids.len()
+    }
+}
+
+/// Records a tape segment: creates a private [`Graph`], materializes one
+/// proxy variable per import (leaves for gradient-carrying imports,
+/// constants otherwise), and runs `f` to record operations on them. The
+/// variables `f` returns become the segment's results, resolved to
+/// main-tape variables by [`Graph::splice`].
+///
+/// The import proxies occupy the first `imports.len()` node ids of the
+/// private graph and are skipped when splicing, so `f` should only record
+/// operations (any extra leaf it creates would be appended as a fresh
+/// main-tape node, detached from the caller's parameters).
+///
+/// This function is safe to call from any thread; the closure runs
+/// synchronously and the returned segment is `Send`.
+pub fn record_segment<F>(imports: &[ImportSpec], f: F) -> TapeSegment
+where
+    F: for<'s> FnOnce(&'s Graph, &[Var<'s>]) -> Vec<Var<'s>>,
+{
+    let graph = Graph::new();
+    let proxies: Vec<Var<'_>> = imports
+        .iter()
+        .map(|spec| {
+            if spec.requires_grad {
+                graph.leaf(spec.value.clone())
+            } else {
+                graph.constant(spec.value.clone())
+            }
+        })
+        .collect();
+    let results: Vec<usize> = f(&graph, &proxies).iter().map(|v| v.id()).collect();
+    TapeSegment {
+        nodes: graph.nodes.into_inner(),
+        import_ids: imports.iter().map(|s| (s.main_id, s.graph_nonce)).collect(),
+        results,
+    }
+}
+
+/// Records two independent segments concurrently: `fa` runs on the shared
+/// thread pool while `fb` records inline on the calling thread. Returns
+/// `(segment_a, segment_b)` — the caller splices them in a fixed order
+/// (first-then-second) to keep the combined node sequence identical to
+/// serial recording of `fa` followed by `fb`.
+///
+/// This is the fork the weight builders use for the independent U- and
+/// V-mesh walks; keeping the spawn/slot/record pattern here means both the
+/// fixed-topology and SuperMesh schedulers share one copy of the
+/// concurrency discipline the splice invariant depends on.
+pub fn record_segment_pair<FA, FB>(
+    imports_a: &[ImportSpec],
+    fa: FA,
+    imports_b: &[ImportSpec],
+    fb: FB,
+) -> (TapeSegment, TapeSegment)
+where
+    FA: for<'s> FnOnce(&'s Graph, &[Var<'s>]) -> Vec<Var<'s>> + Send,
+    FB: for<'s> FnOnce(&'s Graph, &[Var<'s>]) -> Vec<Var<'s>>,
+{
+    let mut seg_a = None;
+    let seg_b = adept_tensor::pool::scope(|scope| {
+        let slot = &mut seg_a;
+        scope.spawn(move || {
+            *slot = Some(record_segment(imports_a, fa));
+        });
+        record_segment(imports_b, fb)
+    });
+    (seg_a.expect("pooled segment recorded"), seg_b)
+}
+
+impl Graph {
+    /// Appends a recorded segment to this tape, remapping import proxies to
+    /// their original main-tape nodes, and returns the segment's result
+    /// variables as main-tape handles.
+    ///
+    /// The appended node sequence (ids, values, parent links, gradient
+    /// flags) is identical to what direct recording of the same operations
+    /// would have produced — see the module docs for the full invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an import was exported from a different graph (each tape
+    /// carries a process-unique nonce, so a segment staged against one
+    /// step's tape cannot silently splice onto the next step's), refers to
+    /// a node this tape does not (yet) hold, or no longer matches its
+    /// main-tape node's shape (stale export).
+    pub fn splice(&self, segment: TapeSegment) -> Vec<Var<'_>> {
+        let TapeSegment {
+            nodes: seg_nodes,
+            import_ids,
+            results,
+        } = segment;
+        let n_imports = import_ids.len();
+        let mut nodes = self.nodes.borrow_mut();
+        let mut remap = Vec::with_capacity(seg_nodes.len());
+        for (i, node) in seg_nodes.into_iter().enumerate() {
+            if i < n_imports {
+                let (main_id, source_nonce) = import_ids[i];
+                assert_eq!(
+                    source_nonce, self.nonce,
+                    "import of node {main_id} was exported from a different graph"
+                );
+                assert!(
+                    main_id < nodes.len(),
+                    "import of node {main_id} not on this tape (len {})",
+                    nodes.len()
+                );
+                assert_eq!(
+                    nodes[main_id].value.shape(),
+                    node.value.shape(),
+                    "stale import: main node {main_id} changed shape"
+                );
+                debug_assert!(
+                    node.parents.is_empty() && node.backward.is_none(),
+                    "import proxy must be a pristine leaf"
+                );
+                remap.push(main_id);
+                continue;
+            }
+            let id = nodes.len();
+            let parents: Vec<usize> = node.parents.iter().map(|&p| remap[p]).collect();
+            nodes.push(Node {
+                value: node.value,
+                parents,
+                backward: node.backward,
+                requires_grad: node.requires_grad,
+            });
+            remap.push(id);
+        }
+        results
+            .into_iter()
+            .map(|r| Var {
+                graph: self,
+                id: remap[r],
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f64]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), &[data.len()])
+    }
+
+    #[test]
+    fn splice_matches_direct_recording_ids_and_values() {
+        // Record y = (a*b + a).sum() twice: directly, and as a segment
+        // importing a and b. Tapes must agree node for node.
+        let direct = Graph::new();
+        let a = direct.leaf(t(&[1.0, 2.0]));
+        let b = direct.leaf(t(&[3.0, 4.0]));
+        let y = a.mul(b).add(a).sum();
+
+        let main = Graph::new();
+        let a2 = main.leaf(t(&[1.0, 2.0]));
+        let b2 = main.leaf(t(&[3.0, 4.0]));
+        let seg = record_segment(&[a2.export_import(), b2.export_import()], |_, vars| {
+            vec![vars[0].mul(vars[1]).add(vars[0]).sum()]
+        });
+        assert_eq!(seg.spliced_len(), 3);
+        let spliced = main.splice(seg);
+        assert_eq!(main.len(), direct.len(), "same node count");
+        assert_eq!(spliced[0].id(), y.id(), "same result id");
+        assert_eq!(
+            spliced[0].value().as_slice(),
+            y.value().as_slice(),
+            "same value"
+        );
+    }
+
+    #[test]
+    fn gradients_flow_through_imports_into_main_leaves() {
+        let main = Graph::new();
+        let a = main.leaf(t(&[1.5, -2.0, 0.5]));
+        let b = main.leaf(t(&[2.0, 1.0, -1.0]));
+        let seg = record_segment(&[a.export_import(), b.export_import()], |_, vars| {
+            vec![vars[0].mul(vars[1]).square().sum()]
+        });
+        let loss = main.splice(seg)[0];
+        let grads = main.backward(loss);
+
+        let reference = Graph::new();
+        let ar = reference.leaf(t(&[1.5, -2.0, 0.5]));
+        let br = reference.leaf(t(&[2.0, 1.0, -1.0]));
+        let loss_r = ar.mul(br).square().sum();
+        let grads_r = reference.backward(loss_r);
+        assert_eq!(
+            grads.grad(a).unwrap().as_slice(),
+            grads_r.grad(ar).unwrap().as_slice()
+        );
+        assert_eq!(
+            grads.grad(b).unwrap().as_slice(),
+            grads_r.grad(br).unwrap().as_slice()
+        );
+    }
+
+    #[test]
+    fn constant_imports_block_gradient() {
+        let main = Graph::new();
+        let a = main.leaf(t(&[2.0]));
+        let c = main.constant(t(&[5.0]));
+        let seg = record_segment(&[a.export_import(), c.export_import()], |_, vars| {
+            vec![vars[0].mul(vars[1]).sum()]
+        });
+        let loss = main.splice(seg)[0];
+        let grads = main.backward(loss);
+        assert_eq!(grads.grad(a).unwrap().as_slice(), &[5.0]);
+        assert!(grads.grad(c).is_none());
+    }
+
+    #[test]
+    fn segments_can_nest_before_reaching_the_main_tape() {
+        // A segment splices a sub-segment into its own private graph before
+        // the whole thing lands on the main tape — the shape the U/V mesh
+        // fan-out uses.
+        let main = Graph::new();
+        let x = main.leaf(t(&[1.0, 2.0, 3.0]));
+        let seg = record_segment(&[x.export_import()], |g, vars| {
+            let doubled = vars[0].mul_scalar(2.0);
+            let inner = record_segment(&[doubled.export_import()], |_, iv| {
+                vec![iv[0].square().sum()]
+            });
+            g.splice(inner)
+        });
+        let loss = main.splice(seg)[0];
+        assert_eq!(loss.value().item(), 4.0 + 16.0 + 36.0);
+        let grads = main.backward(loss);
+        // d/dx (2x)² = 8x.
+        assert_eq!(grads.grad(x).unwrap().as_slice(), &[8.0, 16.0, 24.0]);
+    }
+
+    #[test]
+    fn segment_moves_across_threads() {
+        let main = Graph::new();
+        let a = main.leaf(t(&[1.0, 2.0]));
+        let spec = a.export_import();
+        let seg = std::thread::spawn(move || {
+            record_segment(&[spec], |_, vars| vec![vars[0].square().sum()])
+        })
+        .join()
+        .unwrap();
+        let loss = main.splice(seg)[0];
+        assert_eq!(loss.value().item(), 5.0);
+        let grads = main.backward(loss);
+        assert_eq!(grads.grad(a).unwrap().as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exported from a different graph")]
+    fn splice_rejects_foreign_imports_even_with_matching_layout() {
+        // Per-step graphs recur with identical node ids and shapes; the
+        // nonce stamp must reject a segment whose imports came from a
+        // *different* graph even though id and shape checks would pass.
+        let other = Graph::new();
+        let a = other.leaf(t(&[1.0, 2.0]));
+        let seg = record_segment(&[a.export_import()], |_, vars| vec![vars[0].sum()]);
+        let main = Graph::new();
+        let _twin = main.leaf(t(&[1.0, 2.0])); // same id 0, same shape
+        let _ = main.splice(seg);
+    }
+}

@@ -4,11 +4,14 @@
 use adept_autodiff::Graph;
 use adept_linalg::{polar_orthogonal, svd, Permutation};
 use adept_nn::onn::PtcWeight;
-use adept_nn::{ForwardCtx, ParamStore};
+use adept_nn::{prebuild_ptc_weights, ForwardCtx, ParamStore};
 use adept_photonics::clements::decompose;
 use adept_photonics::devices::crossing_matrix;
 use adept_photonics::BlockMeshTopology;
-use adept_tensor::{batched_matmul_into, im2col, im2col_into, Conv2dGeometry, Tensor, Tile};
+use adept_tensor::{
+    batched_matmul_into, im2col, im2col_into, matmul_into, matmul_into_one_axis_partition,
+    set_gemm_threads, Conv2dGeometry, Tensor, Tile,
+};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -206,6 +209,88 @@ fn bench_im2col_reuse(c: &mut Criterion) {
     group.finish();
 }
 
+/// The parallel weight-build scheduler on a 4-layer 64×64 K=8 model: one
+/// full multi-layer build (forward values materialized) per iteration.
+/// `serial` pins one thread (the legacy serial walk); `parallel` uses the
+/// configured thread count — on 2+ cores the layer- and U/V-level fan-out
+/// should cut wall-clock ≥1.5×. Both schedules produce bit-identical tapes.
+fn bench_weight_build_sched(c: &mut Criterion) {
+    let mut store = ParamStore::new();
+    let topo = BlockMeshTopology::butterfly(8);
+    let layers: Vec<PtcWeight> = (0..4)
+        .map(|i| {
+            PtcWeight::new(
+                &mut store,
+                &format!("w{i}"),
+                64,
+                64,
+                topo.clone(),
+                topo.clone(),
+                8 + i as u64,
+            )
+        })
+        .collect();
+    let weights: Vec<&PtcWeight> = layers.iter().collect();
+    let step = |store: &ParamStore, weights: &[&PtcWeight]| -> f64 {
+        let graph = Graph::new();
+        let ctx = ForwardCtx::new(&graph, store, false, 0);
+        prebuild_ptc_weights(&ctx, weights);
+        weights
+            .iter()
+            .map(|w| w.build(&ctx).value().at(&[0, 0]))
+            .sum()
+    };
+    let mut group = c.benchmark_group("weight_build_sched");
+    group.bench_function("serial", |b| {
+        set_gemm_threads(1);
+        b.iter(|| black_box(step(&store, &weights)));
+        set_gemm_threads(0);
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| black_box(step(&store, &weights)));
+    });
+    group.finish();
+}
+
+/// The im2col'd conv forward shape `W·cols` (few output rows, thousands of
+/// output-pixel columns): the legacy one-axis partition vs the ragged
+/// [`adept_tensor::GemmSpec`] sweep over (row-slab × column-block) cells.
+fn bench_conv_forward(c: &mut Criterion) {
+    // VGG-style lowered conv: 16 output channels, C·k·k = 144, 64 images
+    // of 8×8 output pixels → [16, 144] · [144, 4096].
+    let (m, k, n) = (16usize, 144usize, 4096usize);
+    let mut rng = StdRng::seed_from_u64(10);
+    let w = Tensor::rand_uniform(&mut rng, &[m, k], -1.0, 1.0);
+    let cols = Tensor::rand_uniform(&mut rng, &[k, n], -1.0, 1.0);
+    let mut out = Tensor::zeros(&[m, n]);
+    // Pin 4 threads so both partition strategies run their parallel paths
+    // even on small build machines (with auto=1 both would degrade to the
+    // same serial kernel and the comparison would be vacuous).
+    set_gemm_threads(4);
+    let mut group = c.benchmark_group("conv_forward");
+    group.bench_function("one_axis_partition", |b| {
+        b.iter(|| {
+            matmul_into_one_axis_partition(
+                w.as_slice(),
+                cols.as_slice(),
+                out.as_mut_slice(),
+                m,
+                k,
+                n,
+            );
+            black_box(out.at(&[0, 0]))
+        });
+    });
+    group.bench_function("ragged_sweep", |b| {
+        b.iter(|| {
+            matmul_into(w.as_slice(), cols.as_slice(), out.as_mut_slice(), m, k, n);
+            black_box(out.at(&[0, 0]))
+        });
+    });
+    group.finish();
+    set_gemm_threads(0);
+}
+
 criterion_group!(
     benches,
     bench_gemm,
@@ -216,6 +301,8 @@ criterion_group!(
     bench_clements,
     bench_tile_assembly,
     bench_unitary_build,
-    bench_im2col_reuse
+    bench_im2col_reuse,
+    bench_weight_build_sched,
+    bench_conv_forward
 );
 criterion_main!(benches);

@@ -13,7 +13,10 @@ use crate::alm::AlmState;
 use crate::fpen::FootprintPenalty;
 use crate::sample::{sample_topology, SampledDesign};
 use crate::spl;
-use crate::supermesh::{build_mesh_frame, ArchSample, MeshFrame, SuperMeshHandles, SuperPtcWeight};
+use crate::supermesh::{
+    build_mesh_frame, prebuild_super_ptc_weights, ArchSample, MeshFrame, SuperMeshHandles,
+    SuperPtcWeight,
+};
 use adept_autodiff::{Graph, Var};
 use adept_datasets::{DatasetKind, SyntheticConfig};
 use adept_nn::layers::{cols_to_nchw, im2col_var_scratch, BatchNorm2d, Layer};
@@ -307,6 +310,9 @@ impl SearchModel {
         let k = self.handles.k;
         let fu = build_mesh_frame(ctx, &self.handles.u, k, &arch.gumbel_u, arch.tau);
         let fv = build_mesh_frame(ctx, &self.handles.v, k, &arch.gumbel_v, arch.tau);
+        // All three weights depend only on the frames, not on activations:
+        // build their mesh walks concurrently, spliced in layer order.
+        prebuild_super_ptc_weights(ctx, &[&self.conv1, &self.conv2, &self.fc], &fu, &fv);
         let n = x.shape()[0];
         // conv1 → bn → relu
         let w1 = self.conv1.build(ctx, &fu, &fv);

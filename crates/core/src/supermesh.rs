@@ -7,9 +7,10 @@
 //! Gumbel-softmax gate. Phases and Σ are ordinary per-tile weights.
 
 use adept_autodiff::{
-    batched_phase_rotate, batched_tile_product, batched_tile_product_grid, stack, Var,
+    batched_phase_rotate, batched_tile_product, batched_tile_product_grid, record_segment,
+    record_segment_pair, stack, Graph, ImportSpec, TapeSegment, Var,
 };
-use adept_nn::{ForwardCtx, ParamId, ParamStore};
+use adept_nn::{next_weight_uid, ForwardCtx, ParamId, ParamStore};
 use adept_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -309,7 +310,7 @@ pub fn build_mesh_frame<'g>(
 /// Builds the coupler-column complex transfer matrix `(T_re, T_im)` from
 /// binarized slot variables.
 fn coupler_column_vars<'g>(
-    ctx: &ForwardCtx<'g, '_>,
+    graph: &'g Graph,
     frame: &BlockFrame<'g>,
     k: usize,
 ) -> (Var<'g>, Var<'g>) {
@@ -340,7 +341,7 @@ fn coupler_column_vars<'g>(
         .t_binary
         .scatter(&[k, k], &diag_a)
         .add(frame.t_binary.scatter(&[k, k], &diag_b))
-        .add(ctx.constant(rest));
+        .add(graph.constant(rest));
     let t_im = frame
         .kappa
         .scatter(&[k, k], &off_ab)
@@ -376,7 +377,7 @@ pub fn super_unitary<'g>(
         let r_re = c.mul(m_re).add(s.mul(m_im));
         let r_im = c.mul(m_im).sub(s.mul(m_re));
         // T_b.
-        let (t_re, t_im) = coupler_column_vars(ctx, block, k);
+        let (t_re, t_im) = coupler_column_vars(ctx.graph, block, k);
         let tr_re = t_re.matmul(r_re).sub(t_im.matmul(r_im));
         let tr_im = t_re.matmul(r_im).add(t_im.matmul(r_re));
         // P̃_b (real).
@@ -421,20 +422,32 @@ pub fn batched_super_unitary<'g>(
     phases: Var<'g>,
     normalize_rows: bool,
 ) -> (Var<'g>, Var<'g>) {
+    batched_super_unitary_on(ctx.graph, frame, phases, normalize_rows)
+}
+
+/// [`batched_super_unitary`] against a bare [`Graph`] — the form the
+/// parallel build scheduler records onto private sub-tapes, where the frame
+/// variables arrive as segment imports instead of `ForwardCtx` parameters.
+pub fn batched_super_unitary_on<'g>(
+    graph: &'g Graph,
+    frame: &MeshFrame<'g>,
+    phases: Var<'g>,
+    normalize_rows: bool,
+) -> (Var<'g>, Var<'g>) {
     let k = frame.k;
     let n = frame.blocks.len();
     let shape = phases.shape();
     assert_eq!(shape.len(), 3, "phases must be [T, n_blocks, K]");
     assert_eq!(&shape[1..], &[n, k], "phases must be [T, n_blocks, K]");
     let t = shape[0];
-    let mut m_re = ctx.constant(Tensor::eye_batched(t, k));
-    let mut m_im = ctx.constant(Tensor::zeros(&[t, k, k]));
+    let mut m_re = graph.constant(Tensor::eye_batched(t, k));
+    let mut m_im = graph.constant(Tensor::zeros(&[t, k, k]));
     for (bi, block) in frame.blocks.iter().enumerate().rev() {
         // R(Φ_b) on the whole stack.
         let phi = phases.index_axis1(bi);
         let (r_re, r_im) = batched_phase_rotate(phi, m_re, m_im);
         // T_b: one differentiable coupler column shared across tiles.
-        let (t_re, t_im) = coupler_column_vars(ctx, block, k);
+        let (t_re, t_im) = coupler_column_vars(graph, block, k);
         let tr_re = t_re
             .matmul_bcast_left(r_re)
             .sub(t_im.matmul_bcast_left(r_im));
@@ -464,15 +477,76 @@ pub fn batched_super_unitary<'g>(
         // Column sums as a ones-row broadcast GEMM: Σ_i sq[t, i, j]
         // accumulates in the same i-order as `sum_axis(0)`, keeping the
         // batched values bit-identical to the scalar reference.
-        let ones = ctx.constant(Tensor::ones(&[1, k]));
+        let ones = graph.constant(Tensor::ones(&[1, k]));
         let norms = ones.matmul_bcast_left(sq).sqrt().add_scalar(1e-12); // [T, 1, K]
         (m_re.div(norms), m_im.div(norms))
     }
 }
 
+/// Variables of one [`MeshFrame`] block imported into a segment build.
+const FRAME_VARS_PER_BLOCK: usize = 5;
+
+/// Exports every per-block frame variable for import into a sub-tape build
+/// (order: `p_relaxed, t_binary, kappa, gate, exec_prob` per block).
+fn frame_imports(frame: &MeshFrame<'_>) -> Vec<ImportSpec> {
+    frame
+        .blocks
+        .iter()
+        .flat_map(|b| {
+            [
+                b.p_relaxed.export_import(),
+                b.t_binary.export_import(),
+                b.kappa.export_import(),
+                b.gate.export_import(),
+                b.exec_prob.export_import(),
+            ]
+        })
+        .collect()
+}
+
+/// Fingerprint of the frame pair a search weight is built against: the
+/// fold of every block variable's tape id. Stored alongside the prebuilt
+/// cache entry so a `build` call presenting *different* frames (e.g.
+/// rebuilt with a fresh Gumbel sample) panics instead of silently wiring
+/// the cached weight to the wrong variables.
+fn frames_tag(frame_u: &MeshFrame<'_>, frame_v: &MeshFrame<'_>) -> u64 {
+    let mut tag: u64 = 0xcbf2_9ce4_8422_2325;
+    for block in frame_u.blocks.iter().chain(&frame_v.blocks) {
+        for id in [
+            block.p_relaxed.id(),
+            block.t_binary.id(),
+            block.kappa.id(),
+            block.gate.id(),
+        ] {
+            tag = (tag ^ id as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    tag
+}
+
+/// Rebuilds a [`MeshFrame`] over segment import proxies (inverse of
+/// [`frame_imports`]).
+fn frame_from_proxies<'s>(proxies: &[Var<'s>], k: usize, dc_start: &[usize]) -> MeshFrame<'s> {
+    assert_eq!(proxies.len(), FRAME_VARS_PER_BLOCK * dc_start.len());
+    let blocks = proxies
+        .chunks_exact(FRAME_VARS_PER_BLOCK)
+        .zip(dc_start)
+        .map(|(c, &s)| BlockFrame {
+            p_relaxed: c[0],
+            t_binary: c[1],
+            kappa: c[2],
+            gate: c[3],
+            exec_prob: c[4],
+            dc_start: s,
+        })
+        .collect();
+    MeshFrame { blocks, k }
+}
+
 /// A search-time PTC-tiled weight: like `adept_nn::onn::PtcWeight` but the
 /// topology factors come from the shared SuperMesh frame.
 pub struct SuperPtcWeight {
+    uid: u64,
     k: usize,
     in_features: usize,
     out_features: usize,
@@ -481,6 +555,18 @@ pub struct SuperPtcWeight {
     phases_u: Vec<ParamId>,
     phases_v: Vec<ParamId>,
     sigma: Vec<ParamId>,
+}
+
+/// Main-thread staging of one [`SuperPtcWeight`] build: phase-parameter
+/// leaves created on the shared tape in layer order, frame variables
+/// exported, packaged so the mesh walks can record on a worker thread.
+pub struct StagedSuperBuild {
+    /// `phases_u` tiles, `phases_v` tiles, then U- and V-frame variables.
+    imports: Vec<ImportSpec>,
+    n_tiles: usize,
+    n_blocks: usize,
+    dc_start_u: Vec<usize>,
+    dc_start_v: Vec<usize>,
 }
 
 impl SuperPtcWeight {
@@ -520,6 +606,7 @@ impl SuperPtcWeight {
             ));
         }
         Self {
+            uid: next_weight_uid(),
             k,
             in_features,
             out_features,
@@ -529,6 +616,12 @@ impl SuperPtcWeight {
             phases_v,
             sigma,
         }
+    }
+
+    /// Process-unique id of this weight (key of the per-step prebuilt
+    /// cache; see [`prebuild_super_ptc_weights`]).
+    pub fn uid(&self) -> u64 {
+        self.uid
     }
 
     /// All parameter handles (phases and Σ).
@@ -557,12 +650,100 @@ impl SuperPtcWeight {
         frame_u: &MeshFrame<'g>,
         frame_v: &MeshFrame<'g>,
     ) -> Var<'g> {
+        if let Some(prebuilt) = ctx.take_prebuilt(self.uid, frames_tag(frame_u, frame_v)) {
+            return prebuilt;
+        }
+        let staged = self.stage(ctx, frame_u, frame_v);
+        let segment = self.record_build_segment(&staged, false);
+        self.finish_build(ctx, segment)
+    }
+
+    /// Build phase 1 (main thread): creates the phase-parameter leaves on
+    /// the shared tape in the serial walk's order and exports the step's
+    /// frame variables for the sub-tape build.
+    pub fn stage<'g>(
+        &self,
+        ctx: &ForwardCtx<'g, '_>,
+        frame_u: &MeshFrame<'g>,
+        frame_v: &MeshFrame<'g>,
+    ) -> StagedSuperBuild {
+        let n_tiles = self.grid_rows * self.grid_cols;
+        let mut imports = Vec::with_capacity(
+            2 * n_tiles + FRAME_VARS_PER_BLOCK * (frame_u.blocks.len() + frame_v.blocks.len()),
+        );
+        for &id in &self.phases_u {
+            imports.push(ctx.param(id).export_import());
+        }
+        for &id in &self.phases_v {
+            imports.push(ctx.param(id).export_import());
+        }
+        imports.extend(frame_imports(frame_u));
+        imports.extend(frame_imports(frame_v));
+        StagedSuperBuild {
+            imports,
+            n_tiles,
+            n_blocks: frame_u.blocks.len(),
+            dc_start_u: frame_u.blocks.iter().map(|b| b.dc_start).collect(),
+            dc_start_v: frame_v.blocks.iter().map(|b| b.dc_start).collect(),
+        }
+    }
+
+    /// Build phase 2 (any thread): records `[stack, stack, U-walk, V-walk]`
+    /// on a private sub-tape; with `parallel_uv` the two mesh walks record
+    /// as concurrent sub-tape builds spliced back in U-then-V order.
+    pub fn record_build_segment(
+        &self,
+        staged: &StagedSuperBuild,
+        parallel_uv: bool,
+    ) -> TapeSegment {
+        let k = self.k;
+        record_segment(&staged.imports, |g, proxies| {
+            let (pu, rest) = proxies.split_at(staged.n_tiles);
+            let (pv, rest) = rest.split_at(staged.n_tiles);
+            let (fu_vars, fv_vars) = rest.split_at(FRAME_VARS_PER_BLOCK * staged.n_blocks);
+            let su = stack(pu); // [T, B, K]
+            let sv = stack(pv);
+            let (u_re, u_im, v_re, v_im) = if parallel_uv {
+                let mut imports_u = vec![su.export_import()];
+                imports_u.extend(fu_vars.iter().map(Var::export_import));
+                let mut imports_v = vec![sv.export_import()];
+                imports_v.extend(fv_vars.iter().map(Var::export_import));
+                let (dcu, dcv) = (&staged.dc_start_u, &staged.dc_start_v);
+                let (seg_u, seg_v) = record_segment_pair(
+                    &imports_u,
+                    |g2, v| {
+                        let frame = frame_from_proxies(&v[1..], k, dcu);
+                        let (re, im) = batched_super_unitary_on(g2, &frame, v[0], true);
+                        vec![re, im]
+                    },
+                    &imports_v,
+                    |g2, v| {
+                        let frame = frame_from_proxies(&v[1..], k, dcv);
+                        let (re, im) = batched_super_unitary_on(g2, &frame, v[0], false);
+                        vec![re, im]
+                    },
+                );
+                let u = g.splice(seg_u);
+                let v = g.splice(seg_v);
+                (u[0], u[1], v[0], v[1])
+            } else {
+                let frame_u = frame_from_proxies(fu_vars, k, &staged.dc_start_u);
+                let frame_v = frame_from_proxies(fv_vars, k, &staged.dc_start_v);
+                let (u_re, u_im) = batched_super_unitary_on(g, &frame_u, su, true);
+                let (v_re, v_im) = batched_super_unitary_on(g, &frame_v, sv, false);
+                (u_re, u_im, v_re, v_im)
+            };
+            vec![u_re, u_im, v_re, v_im]
+        })
+    }
+
+    /// Build phase 3 (main thread): splices the mesh-walk segment into the
+    /// step tape and records the Σ product and fused grid assembly.
+    pub fn finish_build<'g>(&self, ctx: &ForwardCtx<'g, '_>, segment: TapeSegment) -> Var<'g> {
         let k = self.k;
         let n_tiles = self.grid_rows * self.grid_cols;
-        let pu: Vec<Var<'g>> = self.phases_u.iter().map(|&id| ctx.param(id)).collect();
-        let pv: Vec<Var<'g>> = self.phases_v.iter().map(|&id| ctx.param(id)).collect();
-        let (u_re, u_im) = batched_super_unitary(ctx, frame_u, stack(&pu), true);
-        let (v_re, v_im) = batched_super_unitary(ctx, frame_v, stack(&pv), false);
+        let spliced = ctx.graph.splice(segment);
+        let (u_re, u_im, v_re, v_im) = (spliced[0], spliced[1], spliced[2], spliced[3]);
         let sigs: Vec<Var<'g>> = self.sigma.iter().map(|&id| ctx.param(id)).collect();
         let sig = stack(&sigs).reshape(&[n_tiles, 1, k]);
         let us_re = u_re.mul(sig);
@@ -616,6 +797,35 @@ impl SuperPtcWeight {
         } else {
             full.crop2d(self.out_features, self.in_features)
         }
+    }
+}
+
+/// Builds every search weight's mesh-unitary segment concurrently against
+/// the step's shared SuperMesh frames and registers the finished variables
+/// in `ctx`'s prebuilt cache — the search-side twin of
+/// [`adept_nn::prebuild_ptc_weights`]. Staging, splicing and the Σ products
+/// run on the main thread in layer-index order, so the resulting tape is
+/// bit-identical to the serial walk at any thread count.
+pub fn prebuild_super_ptc_weights<'g>(
+    ctx: &ForwardCtx<'g, '_>,
+    weights: &[&SuperPtcWeight],
+    frame_u: &MeshFrame<'g>,
+    frame_v: &MeshFrame<'g>,
+) {
+    if weights.is_empty() {
+        return;
+    }
+    let staged: Vec<StagedSuperBuild> = weights
+        .iter()
+        .map(|w| w.stage(ctx, frame_u, frame_v))
+        .collect();
+    let segments = adept_nn::build::record_segments_scheduled(weights, &staged, |w, st, par| {
+        w.record_build_segment(st, par)
+    });
+    let tag = frames_tag(frame_u, frame_v);
+    for (w, segment) in weights.iter().zip(segments) {
+        let weight = w.finish_build(ctx, segment);
+        ctx.register_prebuilt(w.uid(), tag, weight);
     }
 }
 
@@ -874,6 +1084,62 @@ mod tests {
                 "gradient of {name} diverges: max diff {}",
                 b.max_abs_diff(p)
             );
+        }
+    }
+
+    #[test]
+    fn prebuild_super_weights_is_bit_identical_across_thread_counts() {
+        // Shared frames + two ragged weights: the parallel scheduler must
+        // reproduce the serial tape exactly — same node count, values and
+        // per-parameter gradients — at every thread count.
+        let (mut store, h) = setup(4, 3, 1);
+        let w1 = SuperPtcWeight::new(&mut store, "w1", 6, 5, 4, 3, 70);
+        let w2 = SuperPtcWeight::new(&mut store, "w2", 9, 7, 4, 3, 71);
+        let run = |threads: usize,
+                   prebuild: bool|
+         -> (usize, Vec<f64>, Vec<(String, adept_tensor::Tensor)>) {
+            adept_tensor::set_gemm_threads(threads);
+            let graph = Graph::new();
+            let ctx = ForwardCtx::new(&graph, &store, true, 5);
+            let fu = build_mesh_frame(&ctx, &h.u, 4, &[[0.2, -0.1]; 3], 0.8);
+            let fv = build_mesh_frame(&ctx, &h.v, 4, &[[0.1, 0.3]; 3], 0.8);
+            if prebuild {
+                prebuild_super_ptc_weights(&ctx, &[&w1, &w2], &fu, &fv);
+            }
+            let b1 = w1.build(&ctx, &fu, &fv);
+            let b2 = w2.build(&ctx, &fu, &fv);
+            let loss = b1.square().sum().add(b2.square().sum());
+            let values: Vec<f64> = b1
+                .value()
+                .as_slice()
+                .iter()
+                .chain(b2.value().as_slice())
+                .copied()
+                .collect();
+            let grads = graph.backward(loss);
+            let mut per_param: Vec<(String, adept_tensor::Tensor)> = ctx
+                .into_param_grads(&grads)
+                .into_iter()
+                .map(|(id, g)| (store.name(id).to_string(), g))
+                .collect();
+            per_param.sort_by(|a, b| a.0.cmp(&b.0));
+            adept_tensor::set_gemm_threads(0);
+            (graph.len(), values, per_param)
+        };
+        let (len_serial, val_serial, grad_serial) = run(1, false);
+        for threads in [1usize, 2, 8] {
+            let (len_p, val_p, grad_p) = run(threads, true);
+            assert_eq!(len_serial, len_p, "tape length ({threads} threads)");
+            assert_eq!(val_serial, val_p, "values ({threads} threads)");
+            assert_eq!(grad_serial.len(), grad_p.len());
+            for ((name, a), (name2, b)) in grad_serial.iter().zip(&grad_p) {
+                assert_eq!(name, name2);
+                assert_eq!(
+                    a.as_slice(),
+                    b.as_slice(),
+                    "gradient of {name} must be bit-identical ({threads} threads)"
+                );
+            }
         }
     }
 

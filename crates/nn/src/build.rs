@@ -1,0 +1,178 @@
+//! The parallel weight-build scheduler.
+//!
+//! A training step's dominant cost is constructing every layer's PTC
+//! weight: the per-layer mesh-unitary walks are long serial chains of small
+//! batched kernels, each below the GEMM threading threshold, and the shared
+//! tape serializes them further. The builds are, however, *independent* of
+//! one another (and of the activations) — the step's build-order graph is
+//! flat. This module exploits that:
+//!
+//! 1. **Stage** (main thread, layer order): every weight creates its
+//!    parameter leaves on the shared tape and draws its phase noise from
+//!    the shared RNG — exactly the serial walk's order, so leaf ids and
+//!    noise streams never depend on scheduling.
+//! 2. **Record** (worker threads): each weight's mesh walks record onto a
+//!    private sub-tape ([`adept_autodiff::record_segment`]) on the shared
+//!    pool; within one weight the independent U- and V-mesh walks fork into
+//!    two concurrent sub-tape builds fused at the `Re(UΣ·Vᴴ)` tile product.
+//! 3. **Splice + finish** (main thread, layer order): segments splice into
+//!    the step tape in layer-index order and each weight's Σ product is
+//!    recorded — producing the *identical* node sequence, values, and
+//!    gradients of a serial walk, at every thread count.
+//!
+//! Layers then pick their weight up from the [`ForwardCtx`] prebuilt cache
+//! instead of rebuilding it. The bit-determinism guarantee is pinned by the
+//! root `tests/parallel_build.rs` suite across thread counts {1, 2, 8}.
+
+use crate::onn::{PtcWeight, StagedPtcBuild};
+use crate::param::ForwardCtx;
+use adept_autodiff::TapeSegment;
+use adept_tensor::{gemm_thread_count, pool};
+
+/// Phase 2 of every weight-build scheduler: records one tape segment per
+/// staged weight — concurrently on the shared pool when more than one
+/// thread is configured, serially (and with the in-weight U/V fork
+/// disabled) otherwise. `record(weight, staged, parallel_within)` must be
+/// deterministic; segments come back in input order regardless of how the
+/// jobs were scheduled, which is what lets the caller splice them in
+/// layer-index order and keep the tape bit-identical at every thread
+/// count.
+///
+/// This is the single scheduling discipline shared by
+/// [`prebuild_ptc_weights`] and the search-side
+/// `adept::supermesh::prebuild_super_ptc_weights`.
+pub fn record_segments_scheduled<W, S>(
+    weights: &[&W],
+    staged: &[S],
+    record: impl Fn(&W, &S, bool) -> TapeSegment + Sync,
+) -> Vec<TapeSegment>
+where
+    W: Sync + ?Sized,
+    S: Sync,
+{
+    assert_eq!(weights.len(), staged.len(), "one staging per weight");
+    let threads = gemm_thread_count();
+    let mut segments: Vec<Option<TapeSegment>> = (0..weights.len()).map(|_| None).collect();
+    if threads > 1 {
+        pool::scope(|scope| {
+            for ((w, st), slot) in weights.iter().zip(staged).zip(segments.iter_mut()) {
+                let record = &record;
+                scope.spawn(move || {
+                    *slot = Some(record(w, st, true));
+                });
+            }
+        });
+    } else {
+        for ((w, st), slot) in weights.iter().zip(staged).zip(segments.iter_mut()) {
+            *slot = Some(record(w, st, false));
+        }
+    }
+    segments
+        .into_iter()
+        .map(|s| s.expect("every record job fills its slot"))
+        .collect()
+}
+
+/// Builds every weight's mesh-unitary segment concurrently and registers
+/// the finished weight variables in `ctx`'s prebuilt cache (keyed by
+/// [`PtcWeight::uid`]), so the subsequent forward pass consumes them
+/// without re-recording.
+///
+/// With one configured thread (or one weight and no pool win) this runs the
+/// serial staged walk — same code path, same tape, zero scheduling. The
+/// resulting tape is bit-identical either way.
+pub fn prebuild_ptc_weights<'g>(ctx: &ForwardCtx<'g, '_>, weights: &[&PtcWeight]) {
+    if weights.is_empty() {
+        return;
+    }
+    // Phase 1: stage in layer order on the main thread (tape + RNG order).
+    let staged: Vec<StagedPtcBuild> = weights.iter().map(|w| w.stage(ctx)).collect();
+    // Phase 2: record each weight's segment; concurrently when configured.
+    let segments = record_segments_scheduled(weights, &staged, |w, st, par| {
+        w.record_build_segment(st, par)
+    });
+    // Phase 3: splice and finish in layer-index order.
+    for (w, segment) in weights.iter().zip(segments) {
+        let weight = w.finish_build(ctx, segment);
+        ctx.register_prebuilt(w.uid(), 0, weight);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::onn::OnnLinear;
+    use crate::param::ParamStore;
+    use adept_autodiff::Graph;
+    use adept_photonics::BlockMeshTopology;
+    use adept_tensor::{set_gemm_threads, Tensor};
+
+    /// Serializes tests that override the global thread count.
+    static THREAD_OVERRIDE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn prebuild_matches_direct_build_bitwise() {
+        let _guard = THREAD_OVERRIDE.lock().unwrap_or_else(|p| p.into_inner());
+        let mut store = ParamStore::new();
+        let topo = BlockMeshTopology::butterfly(4);
+        // Ragged 6×10 weight exercises cropped edge tiles.
+        let layers: Vec<OnnLinear> = (0..3)
+            .map(|i| {
+                OnnLinear::new(
+                    &mut store,
+                    &format!("fc{i}"),
+                    10,
+                    6,
+                    topo.clone(),
+                    topo.clone(),
+                    40 + i as u64,
+                )
+            })
+            .collect();
+        let weights: Vec<&PtcWeight> = layers.iter().map(|l| &l.weight).collect();
+
+        let run = |threads: usize, prebuild: bool| -> (usize, Vec<Tensor>) {
+            set_gemm_threads(threads);
+            let graph = Graph::new();
+            let ctx = ForwardCtx::new(&graph, &store, true, 3);
+            if prebuild {
+                prebuild_ptc_weights(&ctx, &weights);
+            }
+            let vals: Vec<Tensor> = weights.iter().map(|w| w.build(&ctx).value()).collect();
+            set_gemm_threads(0);
+            (graph.len(), vals)
+        };
+
+        let (len_serial, serial) = run(1, false);
+        let (len_pre1, pre1) = run(1, true);
+        let (len_pre8, pre8) = run(8, true);
+        assert_eq!(len_serial, len_pre1, "prebuild must not change the tape");
+        assert_eq!(len_pre1, len_pre8, "thread count must not change the tape");
+        for ((a, b), c) in serial.iter().zip(&pre1).zip(&pre8) {
+            assert_eq!(a.as_slice(), b.as_slice(), "serial vs prebuilt(1)");
+            assert_eq!(a.as_slice(), c.as_slice(), "serial vs prebuilt(8)");
+        }
+    }
+
+    #[test]
+    fn prebuilt_cache_is_consumed_once() {
+        let mut store = ParamStore::new();
+        let topo = BlockMeshTopology::butterfly(4);
+        let layer = OnnLinear::new(&mut store, "fc", 4, 4, topo.clone(), topo, 7);
+        let graph = Graph::new();
+        let ctx = ForwardCtx::new(&graph, &store, true, 0);
+        prebuild_ptc_weights(&ctx, &[&layer.weight]);
+        let first = layer.weight.build(&ctx);
+        let len_after_first = graph.len();
+        let second = layer.weight.build(&ctx);
+        assert_eq!(
+            first.value().as_slice(),
+            second.value().as_slice(),
+            "second build re-records the same weight"
+        );
+        assert!(
+            graph.len() > len_after_first,
+            "second build must record fresh nodes, not reuse the cache"
+        );
+    }
+}

@@ -29,6 +29,16 @@ pub trait Layer {
     fn device_count(&self) -> Option<DeviceCount> {
         None
     }
+
+    /// PTC weights this layer materializes each step, in forward order.
+    ///
+    /// The parallel build scheduler
+    /// ([`crate::build::prebuild_ptc_weights`]) collects these across a
+    /// model and constructs their mesh unitaries concurrently before the
+    /// forward pass; layers without photonic weights report none.
+    fn ptc_weights(&self) -> Vec<&crate::onn::PtcWeight> {
+        Vec::new()
+    }
 }
 
 /// A sequence of layers applied in order.
@@ -80,6 +90,10 @@ impl Layer for Sequential {
 
     fn device_count(&self) -> Option<DeviceCount> {
         self.layers.iter().find_map(|l| l.device_count())
+    }
+
+    fn ptc_weights(&self) -> Vec<&crate::onn::PtcWeight> {
+        self.layers.iter().flat_map(|l| l.ptc_weights()).collect()
     }
 }
 

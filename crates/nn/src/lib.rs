@@ -19,8 +19,13 @@
 //!   parametrized by a photonic backend;
 //! * [`optim`] — Adam/SGD with cosine learning-rate schedule;
 //! * [`train`] — training/eval loops including variation-aware training
-//!   (Gaussian phase noise injected during training, paper §4.1).
+//!   (Gaussian phase noise injected during training, paper §4.1);
+//! * [`build`] — the parallel weight-build scheduler: every layer's mesh
+//!   unitaries record on private sub-tapes across the shared thread pool
+//!   and splice back in layer order, bit-identical (node ids, values,
+//!   noise draws, gradients) to the serial walk at any thread count.
 
+pub mod build;
 pub mod layers;
 pub mod models;
 pub mod onn;
@@ -28,4 +33,5 @@ pub mod optim;
 mod param;
 pub mod train;
 
-pub use param::{ForwardCtx, ParamId, ParamStore};
+pub use build::prebuild_ptc_weights;
+pub use param::{next_weight_uid, ForwardCtx, ParamId, ParamStore};

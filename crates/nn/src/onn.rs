@@ -23,10 +23,10 @@
 //! implementation and the batched path is pinned bit-equal to it.
 
 use crate::layers::{cols_to_nchw, im2col_var_scratch, Layer};
-use crate::param::{ForwardCtx, ParamId, ParamStore};
+use crate::param::{next_weight_uid, ForwardCtx, ParamId, ParamStore};
 use adept_autodiff::{
     batched_permute_rows, batched_phase_rotate, batched_tile_product, batched_tile_product_grid,
-    stack, Var,
+    record_segment, record_segment_pair, stack, Graph, ImportSpec, TapeSegment, Var,
 };
 use adept_linalg::{svd, CMatrix, C64};
 use adept_photonics::clements::decompose;
@@ -111,14 +111,25 @@ pub fn batched_tile_unitary<'g>(
     topo: &BlockMeshTopology,
     phases: Var<'g>,
 ) -> (Var<'g>, Var<'g>) {
+    batched_tile_unitary_on(ctx.graph, topo, phases)
+}
+
+/// [`batched_tile_unitary`] against a bare [`Graph`] — the form the
+/// parallel build scheduler records onto private sub-tapes, where no
+/// [`ForwardCtx`] exists (parameters arrive as segment imports).
+pub fn batched_tile_unitary_on<'g>(
+    graph: &'g Graph,
+    topo: &BlockMeshTopology,
+    phases: Var<'g>,
+) -> (Var<'g>, Var<'g>) {
     let k = topo.k();
     let b = topo.blocks().len();
     let shape = phases.shape();
     assert_eq!(shape.len(), 3, "phases must be [T, B, K]");
     assert_eq!(&shape[1..], &[b, k], "phases must be [T, B, K]");
     let t = shape[0];
-    let mut m_re = ctx.constant(Tensor::eye_batched(t, k));
-    let mut m_im = ctx.constant(Tensor::zeros(&[t, k, k]));
+    let mut m_re = graph.constant(Tensor::eye_batched(t, k));
+    let mut m_im = graph.constant(Tensor::zeros(&[t, k, k]));
     // Rightmost block acts first: iterate blocks in reverse.
     for (bi, block) in topo.blocks().iter().enumerate().rev() {
         // R(Φ_b): one [T, K] phase column scales the rows of every tile.
@@ -129,8 +140,8 @@ pub fn batched_tile_unitary<'g>(
         // T_b: the constant coupler column, shared across the batch.
         if block.dc_count() > 0 {
             let tmat = block.coupler_column_matrix(k);
-            let t_re = ctx.constant(tmat.re());
-            let t_im = ctx.constant(tmat.im());
+            let t_re = graph.constant(tmat.re());
+            let t_im = graph.constant(tmat.im());
             let new_re = t_re
                 .matmul_bcast_left(m_re)
                 .sub(t_im.matmul_bcast_left(m_im));
@@ -154,6 +165,7 @@ pub fn batched_tile_unitary<'g>(
 /// topology: `K×K` tiles of `Re(U·Σ·V)` with shared topology and per-tile
 /// phases.
 pub struct PtcWeight {
+    uid: u64,
     k: usize,
     out_features: usize,
     in_features: usize,
@@ -167,6 +179,17 @@ pub struct PtcWeight {
     /// Gaussian phase-drift std applied on every build when positive
     /// (variation-aware training and noisy evaluation).
     pub phase_noise_std: f64,
+}
+
+/// Main-thread staging of one [`PtcWeight`] build: parameter leaves created
+/// (and noise drawn) on the shared tape/RNG in deterministic layer order,
+/// packaged so the mesh walks can record on a worker thread.
+pub struct StagedPtcBuild {
+    /// Phase imports: `phases_u` tiles followed by `phases_v` tiles.
+    imports: Vec<ImportSpec>,
+    /// Pre-drawn `([T, Bu, K], [T, Bv, K])` phase noise, if enabled.
+    noise: Option<(Tensor, Tensor)>,
+    n_tiles: usize,
 }
 
 impl PtcWeight {
@@ -227,6 +250,7 @@ impl PtcWeight {
             ));
         }
         Self {
+            uid: next_weight_uid(),
             k,
             out_features,
             in_features,
@@ -244,6 +268,12 @@ impl PtcWeight {
     /// PTC size.
     pub fn k(&self) -> usize {
         self.k
+    }
+
+    /// Process-unique id of this weight (key of the per-step prebuilt
+    /// cache; see [`crate::build::prebuild_ptc_weights`]).
+    pub fn uid(&self) -> u64 {
+        self.uid
     }
 
     /// Device count of the underlying photonic core (U and V meshes).
@@ -293,20 +323,93 @@ impl PtcWeight {
     /// tiles in place. The tape holds `O(B)` nodes per mesh — independent
     /// of the tile count — and the values are bit-identical to the per-tile
     /// reference path ([`PtcWeight::build_per_tile`]).
+    ///
+    /// Internally the build runs as [`PtcWeight::stage`] →
+    /// [`PtcWeight::record_build_segment`] → [`PtcWeight::finish_build`];
+    /// the splice invariant of [`adept_autodiff::record_segment`]
+    /// guarantees the three-phase walk records the exact node sequence of
+    /// the historical monolithic builder. When the parallel scheduler
+    /// ([`crate::build::prebuild_ptc_weights`]) already materialized this
+    /// weight for the step, that variable is returned instead.
     pub fn build<'g>(&self, ctx: &ForwardCtx<'g, '_>) -> Var<'g> {
+        if let Some(prebuilt) = ctx.take_prebuilt(self.uid, 0) {
+            return prebuilt;
+        }
+        let staged = self.stage(ctx);
+        let segment = self.record_build_segment(&staged, false);
+        self.finish_build(ctx, segment)
+    }
+
+    /// Build phase 1 (main thread): creates the phase-parameter leaves on
+    /// the shared tape and draws this weight's phase noise from the shared
+    /// RNG stream — both in the exact order of the serial walk, so staging
+    /// all weights in layer order pins leaf ids and noise draws regardless
+    /// of how phase 2 is scheduled.
+    pub fn stage<'g>(&self, ctx: &ForwardCtx<'g, '_>) -> StagedPtcBuild {
+        let n_tiles = self.grid_rows * self.grid_cols;
+        let mut imports = Vec::with_capacity(2 * n_tiles);
+        for &id in &self.phases_u {
+            imports.push(ctx.param(id).export_import());
+        }
+        for &id in &self.phases_v {
+            imports.push(ctx.param(id).export_import());
+        }
+        let noise = (self.phase_noise_std > 0.0).then(|| self.sample_phase_noise(ctx, n_tiles));
+        StagedPtcBuild {
+            imports,
+            noise,
+            n_tiles,
+        }
+    }
+
+    /// Build phase 2 (any thread): records `[stack, stack, noise, U-walk,
+    /// V-walk]` on a private sub-tape. With `parallel_uv` set the two mesh
+    /// walks — independent until the tile product — record as two sub-tape
+    /// builds running concurrently on the shared pool, spliced back in
+    /// U-then-V order so the node sequence is identical to the serial walk.
+    pub fn record_build_segment(&self, staged: &StagedPtcBuild, parallel_uv: bool) -> TapeSegment {
+        record_segment(&staged.imports, |g, proxies| {
+            let (pu, pv) = proxies.split_at(staged.n_tiles);
+            let mut su = stack(pu); // [T, Bu, K]
+            let mut sv = stack(pv); // [T, Bv, K]
+            if let Some((nu, nv)) = &staged.noise {
+                su = su.add(g.constant(nu.clone()));
+                sv = sv.add(g.constant(nv.clone()));
+            }
+            let (u_re, u_im, v_re, v_im) = if parallel_uv {
+                let (topo_u, topo_v) = (&self.topo_u, &self.topo_v);
+                let (seg_u, seg_v) = record_segment_pair(
+                    &[su.export_import()],
+                    |g2, v| {
+                        let (re, im) = batched_tile_unitary_on(g2, topo_u, v[0]);
+                        vec![re, im]
+                    },
+                    &[sv.export_import()],
+                    |g2, v| {
+                        let (re, im) = batched_tile_unitary_on(g2, topo_v, v[0]);
+                        vec![re, im]
+                    },
+                );
+                let u = g.splice(seg_u);
+                let v = g.splice(seg_v);
+                (u[0], u[1], v[0], v[1])
+            } else {
+                let (u_re, u_im) = batched_tile_unitary_on(g, &self.topo_u, su);
+                let (v_re, v_im) = batched_tile_unitary_on(g, &self.topo_v, sv);
+                (u_re, u_im, v_re, v_im)
+            };
+            vec![u_re, u_im, v_re, v_im]
+        })
+    }
+
+    /// Build phase 3 (main thread): splices the mesh-walk segment into the
+    /// step tape, creates the Σ leaves and records the fused `Re(UΣ·V)`
+    /// grid product — the serial walk's exact tail.
+    pub fn finish_build<'g>(&self, ctx: &ForwardCtx<'g, '_>, segment: TapeSegment) -> Var<'g> {
         let k = self.k;
         let n_tiles = self.grid_rows * self.grid_cols;
-        let pu: Vec<Var<'g>> = self.phases_u.iter().map(|&id| ctx.param(id)).collect();
-        let pv: Vec<Var<'g>> = self.phases_v.iter().map(|&id| ctx.param(id)).collect();
-        let mut su = stack(&pu); // [T, Bu, K]
-        let mut sv = stack(&pv); // [T, Bv, K]
-        if self.phase_noise_std > 0.0 {
-            let (nu, nv) = self.sample_phase_noise(ctx, n_tiles);
-            su = su.add(ctx.constant(nu));
-            sv = sv.add(ctx.constant(nv));
-        }
-        let (u_re, u_im) = batched_tile_unitary(ctx, &self.topo_u, su);
-        let (v_re, v_im) = batched_tile_unitary(ctx, &self.topo_v, sv);
+        let spliced = ctx.graph.splice(segment);
+        let (u_re, u_im, v_re, v_im) = (spliced[0], spliced[1], spliced[2], spliced[3]);
         // Σ broadcasts over U's columns: [T, 1, K] against [T, K, K].
         let sigs: Vec<Var<'g>> = self.sigma.iter().map(|&id| ctx.param(id)).collect();
         let sig = stack(&sigs).reshape(&[n_tiles, 1, k]);
@@ -434,6 +537,10 @@ impl Layer for OnnLinear {
     fn device_count(&self) -> Option<DeviceCount> {
         Some(self.weight.device_count())
     }
+
+    fn ptc_weights(&self) -> Vec<&PtcWeight> {
+        vec![&self.weight]
+    }
 }
 
 /// Convolutional photonic layer: `im2col` lowering onto a PTC weight.
@@ -506,6 +613,10 @@ impl Layer for OnnConv2d {
 
     fn device_count(&self) -> Option<DeviceCount> {
         Some(self.weight.device_count())
+    }
+
+    fn ptc_weights(&self) -> Vec<&PtcWeight> {
+        vec![&self.weight]
     }
 }
 

@@ -148,6 +148,13 @@ impl ParamStore {
     }
 }
 
+/// Returns a process-unique id for a buildable weight (used as the key of
+/// the per-step prebuilt-weight cache — see [`ForwardCtx::take_prebuilt`]).
+pub fn next_weight_uid() -> u64 {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
 /// Per-step forward context: one autodiff graph plus memoized parameter
 /// leaves and shared randomness.
 pub struct ForwardCtx<'g, 's> {
@@ -159,6 +166,10 @@ pub struct ForwardCtx<'g, 's> {
     pub training: bool,
     leaves: RefCell<HashMap<ParamId, Var<'g>>>,
     rng: RefCell<StdRng>,
+    /// Weights materialized ahead of the forward pass by the parallel
+    /// build scheduler, keyed by weight uid and tagged with the inputs
+    /// they were built against. Consumed on first use.
+    prebuilt: RefCell<HashMap<u64, (u64, Var<'g>)>>,
 }
 
 impl<'g, 's> ForwardCtx<'g, 's> {
@@ -170,7 +181,42 @@ impl<'g, 's> ForwardCtx<'g, 's> {
             training,
             leaves: RefCell::new(HashMap::new()),
             rng: RefCell::new(StdRng::seed_from_u64(seed)),
+            prebuilt: RefCell::new(HashMap::new()),
         }
+    }
+
+    /// Registers a weight materialized ahead of the forward pass, so the
+    /// layer's own `build` call picks it up instead of re-recording it.
+    ///
+    /// `tag` fingerprints the step inputs the weight was built against
+    /// (the SuperMesh frame variables for search weights; 0 for weights
+    /// with no per-step inputs beyond their own parameters); the matching
+    /// [`ForwardCtx::take_prebuilt`] call must present the same tag.
+    pub fn register_prebuilt(&self, uid: u64, tag: u64, weight: Var<'g>) {
+        self.prebuilt.borrow_mut().insert(uid, (tag, weight));
+    }
+
+    /// Removes and returns the prebuilt weight for `uid`, if the scheduler
+    /// materialized one this step. Consuming semantics keep repeated
+    /// `build` calls (reference/equivalence tests build twice per step)
+    /// recording fresh tape nodes after the first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a prebuilt weight exists but was registered under a
+    /// different `tag` — the caller is asking for the weight against
+    /// different inputs (e.g. rebuilt SuperMesh frames) than the scheduler
+    /// used, and silently returning the cached node would wire values and
+    /// gradients to the wrong variables.
+    pub fn take_prebuilt(&self, uid: u64, tag: u64) -> Option<Var<'g>> {
+        let entry = self.prebuilt.borrow_mut().remove(&uid);
+        entry.map(|(stored_tag, weight)| {
+            assert_eq!(
+                stored_tag, tag,
+                "prebuilt weight {uid} was scheduled against different step inputs"
+            );
+            weight
+        })
     }
 
     /// The (memoized) leaf variable of a parameter.

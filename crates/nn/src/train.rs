@@ -1,6 +1,19 @@
 //! Training and evaluation loops, including the paper's variation-aware
 //! training (Gaussian phase noise injected during training, §4.1).
+//!
+//! Each step prebuilds every photonic layer's weight through the parallel
+//! scheduler ([`crate::build::prebuild_ptc_weights`]) before running the
+//! forward chain. The resulting tape — node ids, values, noise draws and
+//! gradients — is **bit-identical at any thread count** (pinned by the
+//! root `parallel_build` suite): all noise is drawn on the main thread in
+//! layer order during staging. For all-PTC models it is also bit-identical
+//! to the historical walk that interleaved each build with its forward
+//! ops. One caveat: a model mixing *noisy* [`crate::onn::MziLinear`]-style
+//! layers (which draw from the shared RNG mid-forward) with noisy PTC
+//! layers consumes the stream in prebuild order — deterministic, but a
+//! different fixed sequence than the historical interleaving.
 
+use crate::build::prebuild_ptc_weights;
 use crate::layers::Layer;
 use crate::optim::{Adam, CosineLr};
 use crate::param::{ForwardCtx, ParamStore};
@@ -89,6 +102,7 @@ pub fn train_classifier(
                     .wrapping_mul(0x9E37_79B9)
                     .wrapping_add((epoch * steps_per_epoch + batches) as u64),
             );
+            prebuild_ptc_weights(&ctx, &model.ptc_weights());
             let x = graph.constant(images);
             let logits = model.forward(&ctx, x);
             let loss = logits.cross_entropy_logits(&labels);
@@ -145,6 +159,7 @@ pub fn evaluate_seeded(
         let graph = Graph::new();
         let ctx = ForwardCtx::new(&graph, store, false, seed.wrapping_add(batch_idx));
         batch_idx += 1;
+        prebuild_ptc_weights(&ctx, &model.ptc_weights());
         let x = graph.constant(images);
         let logits = model.forward(&ctx, x).value();
         let classes = logits.shape()[1];

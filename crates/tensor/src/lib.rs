@@ -53,6 +53,7 @@ mod batched;
 mod conv;
 mod matmul;
 mod ops;
+pub mod pool;
 mod random;
 mod shape;
 mod tensor;
@@ -60,9 +61,11 @@ mod view;
 
 pub use batched::{batched_row_combine, batched_row_dot, batched_row_scale};
 pub use conv::{col2im, im2col, im2col_into, Conv2dGeometry};
+#[doc(hidden)]
+pub use matmul::matmul_into_one_axis_partition;
 pub use matmul::{
-    batched_matmul_into, batched_matmul_ragged_into, matmul_into, matmul_view, set_gemm_threads,
-    GemmSpec, Tile,
+    batched_matmul_into, batched_matmul_ragged_into, gemm_thread_count, matmul_into, matmul_view,
+    set_gemm_threads, GemmSpec, Tile,
 };
 pub use shape::{broadcast_shapes, Shape};
 pub use tensor::Tensor;

@@ -1,6 +1,11 @@
-//! Matrix multiplication: cache-friendly serial kernel, a scoped-thread
-//! parallel path, and strided/batched variants that consume [`View`]s so
-//! tile extraction and assembly never materialize operands.
+//! Matrix multiplication: cache-friendly serial kernel, a pooled parallel
+//! path, and strided/batched variants that consume [`View`]s so tile
+//! extraction and assembly never materialize operands.
+//!
+//! Parallel partitions execute on the shared [`crate::pool`] — persistent
+//! workers instead of a `thread::scope` spawn per GEMM. Every partition
+//! strategy accumulates each output element in the same k-order as the
+//! serial loop, so results are bit-identical across thread counts.
 
 use crate::tensor::Tensor;
 use crate::view::View;
@@ -10,10 +15,18 @@ static GEMM_THREADS: AtomicUsize = AtomicUsize::new(0);
 
 /// Sets the number of threads used by large GEMMs.
 ///
-/// `0` (the default) means "auto": use [`std::thread::available_parallelism`]
-/// capped at 8. Small multiplications always stay on the calling thread.
+/// `0` (the default) means "auto": honour the `ONN_THREADS` environment
+/// variable, else use [`std::thread::available_parallelism`] capped at 8.
+/// Small multiplications always stay on the calling thread.
 pub fn set_gemm_threads(n: usize) {
     GEMM_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The effective GEMM/build thread count (override, `ONN_THREADS`, or
+/// auto). Exposed so the weight-build scheduler in higher crates parallels
+/// the same knob the GEMM partitioners use.
+pub fn gemm_thread_count() -> usize {
+    gemm_threads()
 }
 
 fn gemm_threads() -> usize {
@@ -24,11 +37,7 @@ fn gemm_threads() -> usize {
     // `available_parallelism` can be a slow syscall on some kernels;
     // query it once and cache.
     static AUTO: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *AUTO.get_or_init(|| {
-        std::thread::available_parallelism()
-            .map(|p| p.get().min(8))
-            .unwrap_or(1)
-    })
+    *AUTO.get_or_init(crate::pool::auto_threads)
 }
 
 /// Work threshold (in floating-point operations) below which GEMMs stay on
@@ -243,11 +252,27 @@ pub fn matmul_into(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: u
     );
 }
 
+/// Output-column width of one job in the wide-GEMM ragged sweep. Bounded so
+/// each job's `k × cols` B-slab stays cache-resident and the flop-balanced
+/// chunker has enough granularity to fill every thread.
+const WIDE_COL_CHUNK: usize = 512;
+
+/// Whether a GEMM should run as a ragged [`GemmSpec`] sweep instead of a
+/// one-axis partition: the output is much wider than tall — the shape of an
+/// im2col'd convolution forward `W·cols` with many output pixels, where a
+/// row partition would stream the whole `k×n` right operand per thread and
+/// a column partition has only `threads` coarse cells to balance.
+fn is_wide(m: usize, n: usize) -> bool {
+    m >= 2 && n >= 2 * WIDE_COL_CHUNK && n >= 8 * m
+}
+
 /// One strided GEMM over [`Tile`] operands, serial below the work threshold
-/// and partitioned across scoped threads (by rows when there are enough of
-/// them, by columns otherwise) above it. Every output element accumulates
-/// in the same k-order regardless of partitioning, so results are
-/// bit-identical across thread counts.
+/// and partitioned across pooled threads above it: by rows when there are
+/// enough of them, by columns for single-row outputs, and as a 2D ragged
+/// [`GemmSpec`] sweep for the wide few-row shapes of im2col'd convolution
+/// forwards (so those no longer funnel through one one-axis partition).
+/// Every output element accumulates in the same k-order regardless of
+/// partitioning, so results are bit-identical across thread counts.
 fn gemm_dispatch(
     a: &[f64],
     at: Tile,
@@ -269,11 +294,41 @@ fn gemm_dispatch(
         }
         return;
     }
+    if is_wide(m, n) {
+        // Wide few-row output: all-row × column-block jobs fed to the
+        // flop-balanced ragged sweep, so every thread works on a bounded
+        // B-slab instead of streaming the whole k×n right operand.
+        let specs = wide_gemm_specs(at, bt, ct, m, k, n, threads);
+        // SAFETY: the column blocks tile the output disjointly.
+        unsafe {
+            batched_matmul_ragged_into(a, b, c, &specs, 1.0, false);
+        }
+        return;
+    }
+    partition_one_axis(a, at, b, bt, c_ptr, c_len, ct, m, k, n, threads);
+}
+
+/// The legacy one-axis parallel partition: by rows when there are enough of
+/// them, by columns otherwise (the only way to spread a 1×n GEMM). Runs on
+/// the shared pool; each job owns a disjoint slab of the output.
+fn partition_one_axis(
+    a: &[f64],
+    at: Tile,
+    b: &[f64],
+    bt: Tile,
+    c_ptr: SendPtr,
+    c_len: usize,
+    ct: Tile,
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
     if m >= threads || m >= n {
         // Row partition: thread t owns rows [r0, r0 + take).
         let threads = threads.min(m);
         let rows_per = m.div_ceil(threads);
-        std::thread::scope(|scope| {
+        crate::pool::scope(|scope| {
             let mut row0 = 0;
             while row0 < m {
                 let take = rows_per.min(m - row0);
@@ -294,10 +349,10 @@ fn gemm_dispatch(
         });
     } else {
         // Column partition: thread t owns columns [c0, c0 + take) of every
-        // row — the only way to spread a 1×n GEMM over cores.
+        // row.
         let threads = threads.min(n);
         let cols_per = n.div_ceil(threads);
-        std::thread::scope(|scope| {
+        crate::pool::scope(|scope| {
             let mut col0 = 0;
             while col0 < n {
                 let take = cols_per.min(n - col0);
@@ -317,6 +372,79 @@ fn gemm_dispatch(
             }
         });
     }
+}
+
+/// The column-block job list of the wide-GEMM ragged sweep: every job
+/// covers all `m` rows of one column block. Blocks are at most
+/// [`WIDE_COL_CHUNK`] wide (cache-bounded B-slabs) and shrink further when
+/// needed so at least `threads` jobs exist — a moderately wide output must
+/// not occupy fewer threads than the row partition it replaced.
+fn wide_gemm_specs(
+    at: Tile,
+    bt: Tile,
+    ct: Tile,
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) -> Vec<GemmSpec> {
+    let chunk = WIDE_COL_CHUNK.min(n.div_ceil(threads.max(1))).max(64);
+    let col_blocks = n.div_ceil(chunk);
+    let mut specs = Vec::with_capacity(col_blocks);
+    let mut col0 = 0;
+    while col0 < n {
+        let take = chunk.min(n - col0);
+        specs.push(GemmSpec::new(
+            at,
+            Tile {
+                offset: bt.offset + col0 * bt.col_stride,
+                ..bt
+            },
+            Tile {
+                offset: ct.offset + col0 * ct.col_stride,
+                ..ct
+            },
+            m,
+            k,
+            take,
+        ));
+        col0 += take;
+    }
+    specs
+}
+
+/// The legacy one-axis partition (rows when plentiful, else columns),
+/// bypassing the wide-shape ragged sweep. Kept callable so the
+/// `conv_forward` benchmark can compare the partition strategies; not part
+/// of the supported API.
+#[doc(hidden)]
+pub fn matmul_into_one_axis_partition(
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), m * k, "lhs buffer length mismatch");
+    assert_eq!(b.len(), k * n, "rhs buffer length mismatch");
+    assert_eq!(c.len(), m * n, "out buffer length mismatch");
+    let (at, bt, ct) = (
+        Tile::contiguous(0, k),
+        Tile::contiguous(0, n),
+        Tile::contiguous(0, n),
+    );
+    let threads = gemm_threads();
+    let c_len = c.len();
+    let c_ptr = SendPtr(c.as_mut_ptr());
+    let flops = 2.0 * m as f64 * n as f64 * k as f64;
+    if threads <= 1 || flops < PAR_FLOP_THRESHOLD || m * n == 0 {
+        unsafe {
+            gemm_tile_raw(a, at, b, bt, c_ptr.0, c_len, ct, m, k, n);
+        }
+        return;
+    }
+    partition_one_axis(a, at, b, bt, c_ptr, c_len, ct, m, k, n, threads);
 }
 
 /// Batched strided GEMM: for every `t`, `C[t] = A[t] · B[t]` where all
@@ -392,7 +520,7 @@ pub unsafe fn batched_matmul_into(
     }
     let threads = threads.min(batch);
     let per = batch.div_ceil(threads);
-    std::thread::scope(|scope| {
+    crate::pool::scope(|scope| {
         let mut t0 = 0;
         while t0 < batch {
             let take = per.min(batch - t0);
@@ -503,7 +631,7 @@ pub unsafe fn batched_matmul_ragged_into(
     }
     // Partition jobs into contiguous chunks of roughly equal flops.
     let per_thread = total_flops / threads as f64;
-    std::thread::scope(|scope| {
+    crate::pool::scope(|scope| {
         let mut start = 0;
         while start < specs.len() {
             let mut end = start;
@@ -824,6 +952,44 @@ mod tests {
         let ser = a.matmul(&b);
         set_gemm_threads(0);
         assert_eq!(par.as_slice(), ser.as_slice());
+    }
+
+    #[test]
+    fn wide_conv_shape_takes_ragged_sweep_and_matches_one_axis_bitwise() {
+        // The im2col'd conv forward shape: 16 output channels, thousands of
+        // output-pixel columns. This must select the ragged sweep and stay
+        // bit-identical to both the legacy one-axis partition and serial.
+        let (m, k, n) = (16usize, 96usize, 2048usize);
+        assert!(super::is_wide(m, n), "conv shape must take the wide path");
+        let a = Tensor::from_vec(
+            (0..m * k)
+                .map(|i| ((i * 37 % 101) as f64 - 50.0) / 25.0)
+                .collect(),
+            &[m, k],
+        );
+        let b = Tensor::from_vec(
+            (0..k * n)
+                .map(|i| ((i * 53 % 97) as f64 - 48.0) / 24.0)
+                .collect(),
+            &[k, n],
+        );
+        let _guard = thread_override_lock();
+        set_gemm_threads(4);
+        let ragged = a.matmul(&b);
+        let mut one_axis = Tensor::zeros(&[m, n]);
+        matmul_into_one_axis_partition(
+            a.as_slice(),
+            b.as_slice(),
+            one_axis.as_mut_slice(),
+            m,
+            k,
+            n,
+        );
+        set_gemm_threads(1);
+        let serial = a.matmul(&b);
+        set_gemm_threads(0);
+        assert_eq!(ragged.as_slice(), one_axis.as_slice());
+        assert_eq!(ragged.as_slice(), serial.as_slice());
     }
 
     #[test]

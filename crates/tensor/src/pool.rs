@@ -1,0 +1,343 @@
+//! A shared scoped thread pool for GEMM partitions and weight-build jobs.
+//!
+//! The original kernels spawned fresh OS threads through
+//! [`std::thread::scope`] on *every* parallel GEMM — tens of thousands of
+//! spawns per training epoch. This module keeps one process-wide pool of
+//! persistent workers and gives callers the same scoped-borrow ergonomics:
+//!
+//! ```
+//! let mut parts = vec![0u64; 4];
+//! adept_tensor::pool::scope(|s| {
+//!     for (i, p) in parts.iter_mut().enumerate() {
+//!         s.spawn(move || *p = i as u64 + 1);
+//!     }
+//! });
+//! assert_eq!(parts, [1, 2, 3, 4]);
+//! ```
+//!
+//! # Help-while-wait (deadlock freedom under nesting)
+//!
+//! Jobs may themselves open scopes (a weight-build job fans out its U- and
+//! V-mesh sub-tape builds; each of those runs pooled GEMM sweeps). A naive
+//! pool would deadlock once every worker blocks in a nested join. Here a
+//! thread waiting on its scope *helps*: it pops queued tasks (newest first,
+//! so nested sub-jobs run before unrelated top-level work) and executes
+//! them inline until its own jobs finish. Any blocked thread therefore
+//! either finds runnable work or its dependencies are already running on
+//! another thread — progress is guaranteed with any worker count, including
+//! zero.
+//!
+//! # Determinism
+//!
+//! The pool never influences numerical results: tasks write disjoint
+//! outputs, and every GEMM partition accumulates each output element in the
+//! same k-order regardless of how tasks land on threads (see
+//! [`crate::matmul`]). Which thread runs a task is the *only*
+//! nondeterminism, and it is unobservable in the outputs — the property the
+//! root `parallel_build` suite pins bit-for-bit.
+//!
+//! # Thread-count configuration
+//!
+//! The auto thread count honours the `ONN_THREADS` environment variable
+//! (read once), falling back to [`std::thread::available_parallelism`]
+//! capped at 8, and bounds both partition granularity and the pool size.
+//! With `ONN_THREADS=1` every *auto-threaded* path degrades to the calling
+//! thread (code that pins an explicit count via `set_gemm_threads` — some
+//! tests and benches — still runs pooled). CI runs the suite under
+//! `ONN_THREADS=1` and default; any output divergence is a determinism
+//! regression.
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+type Task = Box<dyn FnOnce() + Send>;
+type PanicPayload = Box<dyn std::any::Any + Send>;
+
+/// Completion latch of one spawned job.
+struct JobState {
+    state: Mutex<JobDone>,
+    cv: Condvar,
+}
+
+struct JobDone {
+    finished: bool,
+    panic: Option<PanicPayload>,
+}
+
+impl JobState {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(JobDone {
+                finished: false,
+                panic: None,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn finish(&self, panic: Option<PanicPayload>) {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.finished = true;
+        st.panic = panic;
+        self.cv.notify_all();
+    }
+}
+
+/// The process-wide queue shared by workers and helping joiners.
+struct Shared {
+    queue: Mutex<VecDeque<(Task, Arc<JobState>)>>,
+    cv: Condvar,
+}
+
+impl Shared {
+    /// Pops the newest task (helpers prioritize nested sub-jobs).
+    fn pop_back(&self) -> Option<(Task, Arc<JobState>)> {
+        self.queue
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .pop_back()
+    }
+
+    fn push(&self, task: Task, state: Arc<JobState>) {
+        self.queue
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push_back((task, state));
+        self.cv.notify_one();
+    }
+}
+
+fn run_task(task: Task, state: &JobState) {
+    let result = catch_unwind(AssertUnwindSafe(task));
+    state.finish(result.err());
+}
+
+/// Number of persistent workers: one less than the configured parallelism
+/// (the scope owner always helps), at least one so pinned thread-count
+/// tests exercise real cross-thread execution everywhere. `ONN_THREADS`
+/// bounds the pool itself, not just chunk counts, so `ONN_THREADS=2` on a
+/// shared box keeps roughly two threads busy no matter how many jobs a
+/// scheduler fans out. (Runtime `set_gemm_threads` overrides affect only
+/// partition granularity — the pool is sized once at first use.)
+fn worker_count() -> usize {
+    auto_threads().saturating_sub(1).max(1)
+}
+
+fn shared() -> &'static Shared {
+    static SHARED: OnceLock<Shared> = OnceLock::new();
+    let mut spawn_workers = false;
+    let shared = SHARED.get_or_init(|| {
+        spawn_workers = true;
+        Shared {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+        }
+    });
+    if spawn_workers {
+        for i in 0..worker_count() {
+            std::thread::Builder::new()
+                .name(format!("adept-pool-{i}"))
+                .spawn(move || worker_loop(shared))
+                .expect("failed to spawn pool worker");
+        }
+    }
+    shared
+}
+
+fn worker_loop(shared: &'static Shared) {
+    loop {
+        let task = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(t) = queue.pop_front() {
+                    break t;
+                }
+                queue = shared.cv.wait(queue).unwrap_or_else(|p| p.into_inner());
+            }
+        };
+        run_task(task.0, &task.1);
+    }
+}
+
+/// Reads `ONN_THREADS` once. `0`, unparsable or unset mean "not configured".
+pub(crate) fn env_threads() -> Option<usize> {
+    static CACHE: OnceLock<Option<usize>> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("ONN_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
+}
+
+/// The auto thread count: `ONN_THREADS` if set, else the machine's
+/// parallelism capped at 8. The single source both the GEMM partitioners
+/// and the pool size derive from, so partition granularity and worker
+/// count can't silently diverge.
+pub(crate) fn auto_threads() -> usize {
+    env_threads().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get().min(8))
+            .unwrap_or(1)
+    })
+}
+
+/// A handle for spawning borrowed jobs onto the shared pool.
+///
+/// All jobs spawned on a scope are joined when the scope ends (including on
+/// panic), so closures may borrow from the enclosing environment exactly
+/// like [`std::thread::scope`] jobs. The joining thread helps execute
+/// queued tasks while it waits.
+pub struct Scope<'env> {
+    jobs: Vec<Arc<JobState>>,
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'env> {
+    /// Queues `f` on the shared pool.
+    pub fn spawn<F>(&mut self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        let task: Box<dyn FnOnce() + Send + 'env> = Box::new(f);
+        // SAFETY: the scope joins every job before `'env` ends — in
+        // `scope()` on the normal path and in `Drop` during unwinding — so
+        // the closure never outlives its borrows.
+        let task: Task = unsafe { std::mem::transmute(task) };
+        let state = JobState::new();
+        self.jobs.push(state.clone());
+        shared().push(task, state);
+    }
+
+    /// Blocks until every spawned job finished, executing queued tasks
+    /// while waiting. Returns the first panic payload observed, if any.
+    fn join_all(&mut self) -> Option<PanicPayload> {
+        let mut first_panic = None;
+        let pool = shared();
+        for job in self.jobs.drain(..) {
+            loop {
+                {
+                    let mut st = job.state.lock().unwrap_or_else(|p| p.into_inner());
+                    if st.finished {
+                        if first_panic.is_none() {
+                            first_panic = st.panic.take();
+                        }
+                        break;
+                    }
+                }
+                // Help: run the newest queued task (nested sub-jobs first).
+                if let Some((task, state)) = pool.pop_back() {
+                    run_task(task, &state);
+                    continue;
+                }
+                // Nothing runnable: our job is executing elsewhere. The
+                // timeout guards the push-after-empty-check race.
+                let st = job.state.lock().unwrap_or_else(|p| p.into_inner());
+                if !st.finished {
+                    let _ = job
+                        .cv
+                        .wait_timeout(st, Duration::from_micros(200))
+                        .unwrap_or_else(|p| p.into_inner());
+                }
+            }
+        }
+        first_panic
+    }
+}
+
+impl Drop for Scope<'_> {
+    fn drop(&mut self) {
+        // Reached only when `f` or a propagated job panic unwinds through
+        // `scope()`; joining here keeps borrowed data alive until every
+        // in-flight job is done. The payload is dropped — one panic is
+        // already propagating.
+        let _ = self.join_all();
+    }
+}
+
+/// Runs `f` with a [`Scope`], joining all spawned jobs before returning.
+///
+/// Panics in `f` or in any job propagate to the caller after every job of
+/// the scope has completed (mirroring [`std::thread::scope`] semantics).
+pub fn scope<'env, R>(f: impl FnOnce(&mut Scope<'env>) -> R) -> R {
+    let mut s = Scope {
+        jobs: Vec::new(),
+        _env: PhantomData,
+    };
+    let result = f(&mut s);
+    if let Some(payload) = s.join_all() {
+        resume_unwind(payload);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_jobs_borrow_and_join() {
+        let mut out = [0usize; 16];
+        scope(|s| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                s.spawn(move || *slot = i * i);
+            }
+        });
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i * i);
+        }
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        // Depth-2 nesting with more jobs than workers: only help-while-wait
+        // lets the inner joins finish.
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                let counter = &counter;
+                s.spawn(move || {
+                    scope(|inner| {
+                        for _ in 0..4 {
+                            inner.spawn(move || {
+                                counter.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn job_panic_propagates_after_all_jobs_finish() {
+        let finished = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            scope(|s| {
+                let finished = &finished;
+                s.spawn(|| panic!("boom"));
+                for _ in 0..4 {
+                    s.spawn(move || {
+                        finished.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must propagate");
+        assert_eq!(finished.load(Ordering::Relaxed), 4, "siblings still ran");
+    }
+
+    #[test]
+    fn env_threads_parse_contract() {
+        // Can't set the env var (OnceLock cache + other tests), but the
+        // cached value must be a positive count or None.
+        if let Some(n) = env_threads() {
+            assert!(n > 0);
+        }
+    }
+}

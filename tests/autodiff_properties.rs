@@ -123,4 +123,90 @@ proptest! {
         let grads = g.backward(loss);
         prop_assert!(grads.grad(v).is_none());
     }
+
+    /// The shared-left factor's adjoint is `matmul_sum_nt` (summed batched
+    /// `g·Bᵀ` products): check it in isolation over random shapes —
+    /// including the single-column jobs the cropped edge tiles produce.
+    #[test]
+    fn matmul_sum_nt_adjoint_gradcheck(
+        seed in 0u64..10_000,
+        t in 1usize..4,
+        m in 1usize..4,
+        k in 1usize..4,
+        n in 1usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shared = Tensor::rand_uniform(&mut rng, &[m, k], -0.9, 0.9);
+        let stack = Tensor::rand_uniform(&mut rng, &[t, k, n], -0.9, 0.9);
+        let w = Tensor::rand_uniform(&mut rng, &[t, m, n], -1.0, 1.0);
+        let result = check_gradients(
+            move |g, vars| {
+                let weight = g.constant(w.clone());
+                vars[0].matmul_bcast_left(vars[1]).mul(weight).sum()
+            },
+            &[shared, stack],
+            1e-6,
+            5e-5,
+        );
+        prop_assert!(result.is_ok(), "{:?}", result.err());
+    }
+}
+
+/// `batched_permute_rows` composed with the cropped tile-product grid: the
+/// inverse-permutation gather of the backward pass must survive the ragged
+/// (zero-padded on edge tiles) upstream gradients of a non-multiple-of-K
+/// grid.
+#[test]
+fn batched_permute_rows_gradcheck_under_cropped_grid() {
+    use adept_autodiff::{batched_permute_rows, batched_tile_product_grid};
+    let (gr, gc, k) = (2usize, 2usize, 4usize);
+    let t = gr * gc;
+    let mut rng = StdRng::seed_from_u64(77);
+    let stacks: Vec<Tensor> = (0..4)
+        .map(|_| Tensor::rand_uniform(&mut rng, &[t, k, k], -0.9, 0.9))
+        .collect();
+    let src = [2usize, 0, 3, 1];
+    // 7×6 output on a 2×2 grid of K=4 → bottom/right tiles cropped.
+    check_gradients(
+        move |_, vars| {
+            let us_re = batched_permute_rows(vars[0], &src);
+            let v_im = batched_permute_rows(vars[3], &src);
+            batched_tile_product_grid(us_re, vars[1], vars[2], v_im, gr, gc, 7, 6)
+                .square()
+                .sum()
+        },
+        &stacks,
+        1e-6,
+        5e-5,
+    )
+    .unwrap();
+}
+
+/// The shared-left broadcast GEMM feeding a cropped grid: its `matmul_sum_nt`
+/// adjoint receives the grid product's ragged per-tile gradients.
+#[test]
+fn bcast_left_adjoint_gradcheck_under_cropped_grid() {
+    use adept_autodiff::batched_tile_product_grid;
+    let (gr, gc, k) = (2usize, 2usize, 3usize);
+    let t = gr * gc;
+    let mut rng = StdRng::seed_from_u64(78);
+    let shared = Tensor::rand_uniform(&mut rng, &[k, k], -0.9, 0.9);
+    let stacks: Vec<Tensor> = (0..4)
+        .map(|_| Tensor::rand_uniform(&mut rng, &[t, k, k], -0.9, 0.9))
+        .collect();
+    let inputs: Vec<Tensor> = std::iter::once(shared).chain(stacks).collect();
+    // 5×4 output on a 2×2 grid of K=3 → ragged edge tiles.
+    check_gradients(
+        move |_, vars| {
+            let us_re = vars[0].matmul_bcast_left(vars[1]);
+            let v_re = vars[0].matmul_bcast_left(vars[3]);
+            batched_tile_product_grid(us_re, vars[2], v_re, vars[4], gr, gc, 5, 4)
+                .square()
+                .sum()
+        },
+        &inputs,
+        1e-6,
+        5e-5,
+    )
+    .unwrap();
 }
