@@ -9,6 +9,12 @@
 //!   (`add`, `matmul`, `softmax_rows`, …);
 //! * [`Graph::backward`] runs reverse-mode accumulation and returns
 //!   [`Gradients`] for every leaf;
+//! * [`Graph::backward_parallel`] replays the spliced gradient subtrees
+//!   (the per-weight build segments) concurrently on the shared thread
+//!   pool, with every cross-segment accumulation applied on the calling
+//!   thread in fixed splice order — **bit-identical** to the serial replay
+//!   at every thread count (the accumulation-order invariant pinned by the
+//!   root `parallel_backward` suite);
 //! * [`Graph::custom`] is the escape hatch used by higher layers for
 //!   hand-derived gradients (batch-norm, pooling, straight-through
 //!   estimators);

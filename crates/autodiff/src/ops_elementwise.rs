@@ -210,7 +210,7 @@ impl<'g> Var<'g> {
     pub fn map_custom(
         self,
         fwd: impl Fn(f64) -> f64 + 'static,
-        grad: impl Fn(f64, f64) -> f64 + Send + 'static,
+        grad: impl Fn(f64, f64) -> f64 + Send + Sync + 'static,
     ) -> Var<'g> {
         let xv = self.value();
         let out = xv.map(&fwd);

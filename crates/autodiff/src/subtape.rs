@@ -30,8 +30,13 @@
 //! index), the resulting tape is independent of thread count and
 //! scheduling. That property is pinned bit-for-bit by the root
 //! `parallel_build` suite.
+//!
+//! Each splice also records its id range and import targets on the graph;
+//! [`Graph::backward_parallel`] reuses those boundaries in reverse, as the
+//! independent gradient subtrees it replays off-thread (pinned by the root
+//! `parallel_backward` suite).
 
-use crate::graph::{Graph, Node, Var};
+use crate::graph::{Graph, Node, SpliceSpan, Var};
 use adept_tensor::Tensor;
 
 /// A main-tape node exported for use inside a [`TapeSegment`] build.
@@ -180,6 +185,7 @@ impl Graph {
         } = segment;
         let n_imports = import_ids.len();
         let mut nodes = self.nodes.borrow_mut();
+        let span_start = nodes.len();
         let mut remap = Vec::with_capacity(seg_nodes.len());
         for (i, node) in seg_nodes.into_iter().enumerate() {
             if i < n_imports {
@@ -215,6 +221,14 @@ impl Graph {
             });
             remap.push(id);
         }
+        // Record the span boundary so `backward_parallel` can replay this
+        // segment's gradient subtree off-thread (imports = its only
+        // external parents).
+        self.spans.borrow_mut().push(SpliceSpan {
+            start: span_start,
+            end: nodes.len(),
+            imports: remap[..n_imports].to_vec(),
+        });
         results
             .into_iter()
             .map(|r| Var {
@@ -334,6 +348,154 @@ mod tests {
         assert_eq!(loss.value().item(), 5.0);
         let grads = main.backward(loss);
         assert_eq!(grads.grad(a).unwrap().as_slice(), &[2.0, 4.0]);
+    }
+
+    /// Serializes tests that override the global thread count.
+    static THREAD_OVERRIDE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn parallel_backward_matches_serial_bitwise() {
+        // Three spliced "weight build" segments over shared leaves plus
+        // glue ops between them — the shape the prebuild scheduler leaves
+        // on the tape.
+        let main = Graph::new();
+        let a = main.leaf(t(&[1.5, -2.0, 0.5, 3.0]));
+        let b = main.leaf(t(&[2.0, 1.0, -1.0, 0.25]));
+        let mut partials = Vec::new();
+        for i in 0..3 {
+            let seg = record_segment(&[a.export_import(), b.export_import()], move |_, v| {
+                let prod = v[0].mul_scalar(1.0 + i as f64).mul(v[1]);
+                vec![prod.square().sum()]
+            });
+            let r = main.splice(seg)[0];
+            // Glue between spans: scale each partial result.
+            partials.push(r.mul_scalar(0.5 + i as f64));
+        }
+        let loss = partials[0].add(partials[1]).add(partials[2]);
+        let serial = main.backward(loss);
+        let par = {
+            let _guard = THREAD_OVERRIDE.lock().unwrap_or_else(|p| p.into_inner());
+            adept_tensor::set_gemm_threads(4);
+            let g = main.backward_parallel(loss);
+            adept_tensor::set_gemm_threads(0);
+            g
+        };
+        assert_eq!(
+            par.grad(a).unwrap().as_slice(),
+            serial.grad(a).unwrap().as_slice()
+        );
+        assert_eq!(
+            par.grad(b).unwrap().as_slice(),
+            serial.grad(b).unwrap().as_slice()
+        );
+    }
+
+    #[test]
+    fn parallel_backward_ignores_nodes_after_the_loss() {
+        let main = Graph::new();
+        let a = main.leaf(t(&[1.0, 2.0]));
+        let seg = record_segment(&[a.export_import()], |_, v| vec![v[0].square().sum()]);
+        let loss = main.splice(seg)[0];
+        // Recorded after the loss: a whole extra segment plus glue. None of
+        // it may contribute gradient.
+        let seg2 = record_segment(&[a.export_import()], |_, v| {
+            vec![v[0].mul_scalar(100.0).sum()]
+        });
+        let after = main.splice(seg2)[0];
+        let _ = after.mul_scalar(2.0);
+        let serial = main.backward(loss);
+        let _guard = THREAD_OVERRIDE.lock().unwrap_or_else(|p| p.into_inner());
+        adept_tensor::set_gemm_threads(4);
+        let par = main.backward_parallel(loss);
+        adept_tensor::set_gemm_threads(0);
+        assert_eq!(
+            par.grad(a).unwrap().as_slice(),
+            serial.grad(a).unwrap().as_slice()
+        );
+        assert_eq!(serial.grad(a).unwrap().as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn parallel_backward_skips_gradient_free_segments() {
+        // Two segments; the loss only consumes the first, so the second's
+        // incoming gradient is entirely `None` at every thread count.
+        let main = Graph::new();
+        let a = main.leaf(t(&[3.0, -1.0]));
+        let used = main.splice(record_segment(&[a.export_import()], |_, v| {
+            vec![v[0].square().sum()]
+        }))[0];
+        let _unused = main.splice(record_segment(&[a.export_import()], |_, v| {
+            vec![v[0].mul_scalar(7.0).sum()]
+        }))[0];
+        let loss = used.mul_scalar(1.0);
+        let serial = main.backward(loss);
+        let _guard = THREAD_OVERRIDE.lock().unwrap_or_else(|p| p.into_inner());
+        adept_tensor::set_gemm_threads(4);
+        let par = main.backward_parallel(loss);
+        adept_tensor::set_gemm_threads(0);
+        assert_eq!(
+            par.grad(a).unwrap().as_slice(),
+            serial.grad(a).unwrap().as_slice()
+        );
+        assert_eq!(serial.grad(a).unwrap().as_slice(), &[6.0, -2.0]);
+    }
+
+    #[test]
+    fn parallel_backward_blocks_gradient_at_constant_imports() {
+        // `requires_grad = false` parents inside a replayed span: the
+        // constant import must swallow its contribution on the worker just
+        // as the serial walk does on the main thread.
+        let main = Graph::new();
+        let a = main.leaf(t(&[2.0, 4.0]));
+        let c = main.constant(t(&[5.0, -3.0]));
+        let loss = main.splice(record_segment(
+            &[a.export_import(), c.export_import()],
+            |_, v| vec![v[0].mul(v[1]).sum()],
+        ))[0];
+        let serial = main.backward(loss);
+        let _guard = THREAD_OVERRIDE.lock().unwrap_or_else(|p| p.into_inner());
+        adept_tensor::set_gemm_threads(4);
+        let par = main.backward_parallel(loss);
+        adept_tensor::set_gemm_threads(0);
+        assert_eq!(
+            par.grad(a).unwrap().as_slice(),
+            serial.grad(a).unwrap().as_slice()
+        );
+        assert!(par.grad(c).is_none());
+        assert!(serial.grad(c).is_none());
+    }
+
+    #[test]
+    fn interleaved_import_staging_falls_back_without_diverging() {
+        // Legacy-walk shape: each segment imports a leaf created *between*
+        // the previous spans, so later spans are demoted to glue. The
+        // result must still match serial bit for bit.
+        let main = Graph::new();
+        let mut total = None;
+        for i in 0..3 {
+            let leaf = main.leaf(t(&[1.0 + i as f64, -0.5 * i as f64]));
+            let r = main.splice(record_segment(&[leaf.export_import()], |_, v| {
+                vec![v[0].square().sum()]
+            }))[0];
+            total = Some(match total {
+                None => r,
+                Some(acc) => r.add(acc),
+            });
+        }
+        let loss = total.unwrap();
+        let serial = main.backward(loss);
+        let _guard = THREAD_OVERRIDE.lock().unwrap_or_else(|p| p.into_inner());
+        adept_tensor::set_gemm_threads(4);
+        let par = main.backward_parallel(loss);
+        adept_tensor::set_gemm_threads(0);
+        for id in 0..main.len() {
+            let v = Var { graph: &main, id };
+            match (serial.grad(v), par.grad(v)) {
+                (Some(s), Some(p)) => assert_eq!(s.as_slice(), p.as_slice(), "node {id}"),
+                (None, None) => {}
+                _ => panic!("gradient presence diverges at node {id}"),
+            }
+        }
     }
 
     #[test]

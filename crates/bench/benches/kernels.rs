@@ -252,6 +252,55 @@ fn bench_weight_build_sched(c: &mut Criterion) {
     group.finish();
 }
 
+/// The parallel backward scheduler on the `weight_build_sched` model (4
+/// prebuilt 64×64 K=8 weights feeding one scalar loss): `serial` replays
+/// the tape with `Graph::backward` at one pinned thread, `parallel` with
+/// `Graph::backward_parallel` at the configured count, which evaluates
+/// the four spliced mesh-walk segments' gradient subtrees concurrently.
+/// Both replays produce bit-identical gradients (root `parallel_backward`
+/// suite); on 2+ cores the span fan-out should cut the reverse-pass
+/// wall-clock the way the forward scheduler cut the build.
+fn bench_backward_replay(c: &mut Criterion) {
+    let mut store = ParamStore::new();
+    let topo = BlockMeshTopology::butterfly(8);
+    let layers: Vec<PtcWeight> = (0..4)
+        .map(|i| {
+            PtcWeight::new(
+                &mut store,
+                &format!("w{i}"),
+                64,
+                64,
+                topo.clone(),
+                topo.clone(),
+                90 + i as u64,
+            )
+        })
+        .collect();
+    let weights: Vec<&PtcWeight> = layers.iter().collect();
+    let graph = Graph::new();
+    let ctx = ForwardCtx::new(&graph, &store, true, 0);
+    prebuild_ptc_weights(&ctx, &weights);
+    let mut loss: Option<adept_autodiff::Var<'_>> = None;
+    for w in &weights {
+        let term = w.build(&ctx).square().sum();
+        loss = Some(match loss {
+            None => term,
+            Some(acc) => acc.add(term),
+        });
+    }
+    let loss = loss.expect("four weights");
+    let mut group = c.benchmark_group("backward_replay");
+    group.bench_function("serial", |b| {
+        set_gemm_threads(1);
+        b.iter(|| black_box(graph.backward(loss)));
+        set_gemm_threads(0);
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| black_box(graph.backward_parallel(loss)));
+    });
+    group.finish();
+}
+
 /// The im2col'd conv forward shape `W·cols` (few output rows, thousands of
 /// output-pixel columns): the legacy one-axis partition vs the ragged
 /// [`adept_tensor::GemmSpec`] sweep over (row-slab × column-block) cells.
@@ -303,6 +352,7 @@ criterion_group!(
     bench_unitary_build,
     bench_im2col_reuse,
     bench_weight_build_sched,
+    bench_backward_replay,
     bench_conv_forward
 );
 criterion_main!(benches);

@@ -436,7 +436,9 @@ pub fn search(cfg: &AdeptConfig) -> SearchOutcome {
             if let Some(p) = feval.penalty {
                 loss = loss.add(p);
             }
-            let grads = graph.backward(loss);
+            // Per-weight build segments replay concurrently; bit-identical
+            // to the serial backward at any thread count.
+            let grads = graph.backward_parallel(loss);
             if !arch_phase && !cfg.ablation.no_alm {
                 alm.update(&[(&fu, 0), (&fv, blocks_per_side)]);
             }

@@ -819,14 +819,16 @@ pub fn prebuild_super_ptc_weights<'g>(
         .iter()
         .map(|w| w.stage(ctx, frame_u, frame_v))
         .collect();
-    let segments = adept_nn::build::record_segments_scheduled(weights, &staged, |w, st, par| {
-        w.record_build_segment(st, par)
-    });
     let tag = frames_tag(frame_u, frame_v);
-    for (w, segment) in weights.iter().zip(segments) {
-        let weight = w.finish_build(ctx, segment);
-        ctx.register_prebuilt(w.uid(), tag, weight);
-    }
+    adept_nn::build::schedule_segments(
+        weights,
+        &staged,
+        |w, st, par| w.record_build_segment(st, par),
+        |i, segment| {
+            let weight = weights[i].finish_build(ctx, segment);
+            ctx.register_prebuilt(weights[i].uid(), tag, weight);
+        },
+    );
 }
 
 #[cfg(test)]

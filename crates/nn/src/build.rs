@@ -18,7 +18,9 @@
 //! 3. **Splice + finish** (main thread, layer order): segments splice into
 //!    the step tape in layer-index order and each weight's Σ product is
 //!    recorded — producing the *identical* node sequence, values, and
-//!    gradients of a serial walk, at every thread count.
+//!    gradients of a serial walk, at every thread count. Splicing streams:
+//!    weight `i` splices as soon as its segment lands (while `i+1..` are
+//!    still recording) instead of barriering on the whole batch.
 //!
 //! Layers then pick their weight up from the [`ForwardCtx`] prebuilt cache
 //! instead of rebuilding it. The bit-determinism guarantee is pinned by the
@@ -28,49 +30,66 @@ use crate::onn::{PtcWeight, StagedPtcBuild};
 use crate::param::ForwardCtx;
 use adept_autodiff::TapeSegment;
 use adept_tensor::{gemm_thread_count, pool};
+use std::sync::Mutex;
 
-/// Phase 2 of every weight-build scheduler: records one tape segment per
-/// staged weight — concurrently on the shared pool when more than one
+/// Phases 2+3 of every weight-build scheduler: records one tape segment
+/// per staged weight — concurrently on the shared pool when more than one
 /// thread is configured, serially (and with the in-weight U/V fork
-/// disabled) otherwise. `record(weight, staged, parallel_within)` must be
-/// deterministic; segments come back in input order regardless of how the
-/// jobs were scheduled, which is what lets the caller splice them in
-/// layer-index order and keep the tape bit-identical at every thread
-/// count.
+/// disabled) otherwise — and hands each segment to `finish` **in
+/// layer-index order, as soon as it lands**. Weight `i` splices while
+/// weights `i+1..` are still recording, so the main thread never barriers
+/// on the whole batch (the tails are cheap, but on many-layer models the
+/// old barrier left it idle).
+///
+/// `record(weight, staged, parallel_within)` must be deterministic, and
+/// `finish` runs on the calling thread in index order regardless of how
+/// the record jobs were scheduled — which is what keeps the spliced tape
+/// bit-identical at every thread count.
 ///
 /// This is the single scheduling discipline shared by
 /// [`prebuild_ptc_weights`] and the search-side
 /// `adept::supermesh::prebuild_super_ptc_weights`.
-pub fn record_segments_scheduled<W, S>(
+pub fn schedule_segments<W, S>(
     weights: &[&W],
     staged: &[S],
     record: impl Fn(&W, &S, bool) -> TapeSegment + Sync,
-) -> Vec<TapeSegment>
-where
+    mut finish: impl FnMut(usize, TapeSegment),
+) where
     W: Sync + ?Sized,
     S: Sync,
 {
     assert_eq!(weights.len(), staged.len(), "one staging per weight");
-    let threads = gemm_thread_count();
-    let mut segments: Vec<Option<TapeSegment>> = (0..weights.len()).map(|_| None).collect();
-    if threads > 1 {
-        pool::scope(|scope| {
-            for ((w, st), slot) in weights.iter().zip(staged).zip(segments.iter_mut()) {
-                let record = &record;
-                scope.spawn(move || {
-                    *slot = Some(record(w, st, true));
-                });
-            }
-        });
-    } else {
-        for ((w, st), slot) in weights.iter().zip(staged).zip(segments.iter_mut()) {
-            *slot = Some(record(w, st, false));
+    if gemm_thread_count() <= 1 {
+        for (i, (w, st)) in weights.iter().zip(staged).enumerate() {
+            finish(i, record(w, st, false));
         }
+        return;
     }
-    segments
-        .into_iter()
-        .map(|s| s.expect("every record job fills its slot"))
-        .collect()
+    let slots: Vec<Mutex<Option<TapeSegment>>> =
+        (0..weights.len()).map(|_| Mutex::new(None)).collect();
+    pool::scope(|scope| {
+        let handles: Vec<pool::JobHandle> = weights
+            .iter()
+            .zip(staged)
+            .zip(&slots)
+            .map(|((w, st), slot)| {
+                let record = &record;
+                scope.spawn_handle(move || {
+                    *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(record(w, st, true));
+                })
+            })
+            .collect();
+        for (i, handle) in handles.iter().enumerate() {
+            scope.wait(handle);
+            // An empty slot means the record job panicked: stop finishing
+            // and let the scope's join propagate the worker's original
+            // payload instead of masking it with a scheduler-internal one.
+            let Some(segment) = slots[i].lock().unwrap_or_else(|p| p.into_inner()).take() else {
+                break;
+            };
+            finish(i, segment);
+        }
+    });
 }
 
 /// Builds every weight's mesh-unitary segment concurrently and registers
@@ -87,15 +106,17 @@ pub fn prebuild_ptc_weights<'g>(ctx: &ForwardCtx<'g, '_>, weights: &[&PtcWeight]
     }
     // Phase 1: stage in layer order on the main thread (tape + RNG order).
     let staged: Vec<StagedPtcBuild> = weights.iter().map(|w| w.stage(ctx)).collect();
-    // Phase 2: record each weight's segment; concurrently when configured.
-    let segments = record_segments_scheduled(weights, &staged, |w, st, par| {
-        w.record_build_segment(st, par)
-    });
-    // Phase 3: splice and finish in layer-index order.
-    for (w, segment) in weights.iter().zip(segments) {
-        let weight = w.finish_build(ctx, segment);
-        ctx.register_prebuilt(w.uid(), 0, weight);
-    }
+    // Phases 2+3: record on the pool, splice + finish on this thread in
+    // layer-index order as each weight's segment lands.
+    schedule_segments(
+        weights,
+        &staged,
+        |w, st, par| w.record_build_segment(st, par),
+        |i, segment| {
+            let weight = weights[i].finish_build(ctx, segment);
+            ctx.register_prebuilt(weights[i].uid(), 0, weight);
+        },
+    );
 }
 
 #[cfg(test)]

@@ -3,10 +3,13 @@
 //!
 //! Each step prebuilds every photonic layer's weight through the parallel
 //! scheduler ([`crate::build::prebuild_ptc_weights`]) before running the
-//! forward chain. The resulting tape — node ids, values, noise draws and
+//! forward chain, and replays the backward pass through
+//! `Graph::backward_parallel`, which evaluates the spliced per-weight
+//! gradient subtrees concurrently with main-thread accumulation in splice
+//! order. The resulting tape — node ids, values, noise draws and
 //! gradients — is **bit-identical at any thread count** (pinned by the
-//! root `parallel_build` suite): all noise is drawn on the main thread in
-//! layer order during staging. For all-PTC models it is also bit-identical
+//! root `parallel_build`/`parallel_backward` suites): all noise is drawn
+//! on the main thread in layer order during staging. For all-PTC models it is also bit-identical
 //! to the historical walk that interleaved each build with its forward
 //! ops. One caveat: a model mixing *noisy* [`crate::onn::MziLinear`]-style
 //! layers (which draw from the shared RNG mid-forward) with noisy PTC
@@ -108,7 +111,10 @@ pub fn train_classifier(
             let loss = logits.cross_entropy_logits(&labels);
             epoch_loss += loss.value().item();
             batches += 1;
-            let grads = graph.backward(loss);
+            // The spliced weight-build segments replay their gradient
+            // subtrees concurrently; bit-identical to `backward` at any
+            // thread count (see `Graph::backward_parallel`).
+            let grads = graph.backward_parallel(loss);
             let updates = ctx.into_param_grads(&grads);
             store.zero_grads();
             store.accumulate_many(&updates);

@@ -65,7 +65,7 @@ pub use conv::{col2im, im2col, im2col_into, Conv2dGeometry};
 pub use matmul::matmul_into_one_axis_partition;
 pub use matmul::{
     batched_matmul_into, batched_matmul_ragged_into, gemm_thread_count, matmul_into, matmul_view,
-    set_gemm_threads, GemmSpec, Tile,
+    set_gemm_threads, set_wide_gemm_cols, GemmSpec, Tile,
 };
 pub use shape::{broadcast_shapes, Shape};
 pub use tensor::Tensor;

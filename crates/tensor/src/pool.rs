@@ -41,6 +41,8 @@
 //! The auto thread count honours the `ONN_THREADS` environment variable
 //! (read once), falling back to [`std::thread::available_parallelism`]
 //! capped at 8, and bounds both partition granularity and the pool size.
+//! `0`, empty and unset mean "auto"; any other non-integer value panics at
+//! first use, so a typo'd override can never silently run at auto count.
 //! With `ONN_THREADS=1` every *auto-threaded* path degrades to the calling
 //! thread (code that pins an explicit count via `set_gemm_threads` — some
 //! tests and benches — still runs pooled). CI runs the suite under
@@ -162,14 +164,45 @@ fn worker_loop(shared: &'static Shared) {
     }
 }
 
-/// Reads `ONN_THREADS` once. `0`, unparsable or unset mean "not configured".
+/// Parses one numeric environment override. `0` and empty mean "not
+/// configured" (auto); anything unparsable panics with the variable name,
+/// so a typo'd `ONN_THREADS=two` (or a negative count) fails the run
+/// loudly instead of silently falling back to the auto thread count — the
+/// CI determinism job depends on the configured value actually applying.
+pub(crate) fn parse_env_count(name: &str, raw: &str) -> Option<usize> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    match trimmed.parse::<usize>() {
+        Ok(0) => None,
+        Ok(n) => Some(n),
+        Err(_) => panic!(
+            "invalid {name}={raw:?}: expected a non-negative integer (0, empty or unset = auto)"
+        ),
+    }
+}
+
+/// Reads `ONN_THREADS` once. `0`, empty or unset mean "not configured";
+/// any other non-integer value panics (see [`parse_env_count`]).
 pub(crate) fn env_threads() -> Option<usize> {
     static CACHE: OnceLock<Option<usize>> = OnceLock::new();
     *CACHE.get_or_init(|| {
         std::env::var("ONN_THREADS")
             .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n > 0)
+            .and_then(|v| parse_env_count("ONN_THREADS", &v))
+    })
+}
+
+/// Reads `ONN_WIDE_COLS` once — the column-block width override of the
+/// wide-GEMM ragged sweep (see `crate::matmul`) — through the same
+/// validated parse as `ONN_THREADS`.
+pub(crate) fn env_wide_cols() -> Option<usize> {
+    static CACHE: OnceLock<Option<usize>> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("ONN_WIDE_COLS")
+            .ok()
+            .and_then(|v| parse_env_count("ONN_WIDE_COLS", &v))
     })
 }
 
@@ -184,6 +217,43 @@ pub(crate) fn auto_threads() -> usize {
             .unwrap_or(1)
     })
 }
+
+/// Blocks until `job` finishes, executing queued tasks while waiting
+/// (newest first, so nested sub-jobs run before unrelated top-level work).
+/// Does not consume the job's panic payload — that stays for the scope's
+/// `join_all` to propagate.
+fn help_until_finished(job: &JobState) {
+    let pool = shared();
+    loop {
+        {
+            let st = job.state.lock().unwrap_or_else(|p| p.into_inner());
+            if st.finished {
+                return;
+            }
+        }
+        // Help: run the newest queued task (nested sub-jobs first).
+        if let Some((task, state)) = pool.pop_back() {
+            run_task(task, &state);
+            continue;
+        }
+        // Nothing runnable: our job is executing elsewhere. The timeout
+        // guards the push-after-empty-check race.
+        let st = job.state.lock().unwrap_or_else(|p| p.into_inner());
+        if !st.finished {
+            let _ = job
+                .cv
+                .wait_timeout(st, Duration::from_micros(200))
+                .unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+/// Completion handle of one tracked job (see [`Scope::spawn_handle`]).
+///
+/// Lets the spawning thread wait for — and act on the output of — a
+/// *specific* job before the scope ends, which is how the weight-build
+/// scheduler overlaps main-thread splicing with still-recording segments.
+pub struct JobHandle(Arc<JobState>);
 
 /// A handle for spawning borrowed jobs onto the shared pool.
 ///
@@ -202,6 +272,16 @@ impl<'env> Scope<'env> {
     where
         F: FnOnce() + Send + 'env,
     {
+        let _ = self.spawn_handle(f);
+    }
+
+    /// Queues `f` on the shared pool and returns its completion handle,
+    /// so the caller can [`Scope::wait`] on this job alone while later
+    /// jobs keep running.
+    pub fn spawn_handle<F>(&mut self, f: F) -> JobHandle
+    where
+        F: FnOnce() + Send + 'env,
+    {
         let task: Box<dyn FnOnce() + Send + 'env> = Box::new(f);
         // SAFETY: the scope joins every job before `'env` ends — in
         // `scope()` on the normal path and in `Drop` during unwinding — so
@@ -209,39 +289,26 @@ impl<'env> Scope<'env> {
         let task: Task = unsafe { std::mem::transmute(task) };
         let state = JobState::new();
         self.jobs.push(state.clone());
-        shared().push(task, state);
+        shared().push(task, state.clone());
+        JobHandle(state)
+    }
+
+    /// Blocks until the given job finished, executing queued tasks while
+    /// waiting. A panic inside the job still propagates when the scope
+    /// ends, not here.
+    pub fn wait(&self, handle: &JobHandle) {
+        help_until_finished(&handle.0);
     }
 
     /// Blocks until every spawned job finished, executing queued tasks
     /// while waiting. Returns the first panic payload observed, if any.
     fn join_all(&mut self) -> Option<PanicPayload> {
         let mut first_panic = None;
-        let pool = shared();
         for job in self.jobs.drain(..) {
-            loop {
-                {
-                    let mut st = job.state.lock().unwrap_or_else(|p| p.into_inner());
-                    if st.finished {
-                        if first_panic.is_none() {
-                            first_panic = st.panic.take();
-                        }
-                        break;
-                    }
-                }
-                // Help: run the newest queued task (nested sub-jobs first).
-                if let Some((task, state)) = pool.pop_back() {
-                    run_task(task, &state);
-                    continue;
-                }
-                // Nothing runnable: our job is executing elsewhere. The
-                // timeout guards the push-after-empty-check race.
-                let st = job.state.lock().unwrap_or_else(|p| p.into_inner());
-                if !st.finished {
-                    let _ = job
-                        .cv
-                        .wait_timeout(st, Duration::from_micros(200))
-                        .unwrap_or_else(|p| p.into_inner());
-                }
+            help_until_finished(&job);
+            let mut st = job.state.lock().unwrap_or_else(|p| p.into_inner());
+            if first_panic.is_none() {
+                first_panic = st.panic.take();
             }
         }
         first_panic
@@ -333,11 +400,64 @@ mod tests {
     }
 
     #[test]
+    fn per_job_wait_streams_results_in_spawn_order() {
+        // The streaming consumer of the weight-build scheduler: wait on
+        // job i, read its slot, move to job i+1 — all before the scope
+        // ends, while later jobs may still be running.
+        let slots: Vec<Mutex<Option<usize>>> = (0..6).map(|_| Mutex::new(None)).collect();
+        let mut consumed = Vec::new();
+        scope(|s| {
+            let handles: Vec<JobHandle> = slots
+                .iter()
+                .enumerate()
+                .map(|(i, slot)| {
+                    s.spawn_handle(move || {
+                        *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(i * i);
+                    })
+                })
+                .collect();
+            for (i, h) in handles.iter().enumerate() {
+                s.wait(h);
+                let got = slots[i]
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .take()
+                    .expect("job finished before wait returned");
+                consumed.push(got);
+            }
+        });
+        assert_eq!(consumed, vec![0, 1, 4, 9, 16, 25]);
+    }
+
+    #[test]
     fn env_threads_parse_contract() {
         // Can't set the env var (OnceLock cache + other tests), but the
         // cached value must be a positive count or None.
         if let Some(n) = env_threads() {
             assert!(n > 0);
         }
+    }
+
+    #[test]
+    fn env_count_parser_accepts_auto_and_positive_values() {
+        assert_eq!(parse_env_count("ONN_THREADS", "0"), None, "0 = auto");
+        assert_eq!(parse_env_count("ONN_THREADS", ""), None, "empty = auto");
+        assert_eq!(parse_env_count("ONN_THREADS", "  "), None);
+        assert_eq!(parse_env_count("ONN_THREADS", "1"), Some(1));
+        assert_eq!(parse_env_count("ONN_THREADS", " 8 "), Some(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ONN_THREADS=\"two\"")]
+    fn env_count_parser_rejects_words() {
+        // Regression: an unparsable override used to silently mean "auto",
+        // so a typo'd CI determinism job ran at machine thread count.
+        let _ = parse_env_count("ONN_THREADS", "two");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ONN_THREADS=\"-1\"")]
+    fn env_count_parser_rejects_negative_counts() {
+        let _ = parse_env_count("ONN_THREADS", "-1");
     }
 }
