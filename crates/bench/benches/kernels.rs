@@ -10,7 +10,7 @@ use adept_photonics::devices::crossing_matrix;
 use adept_photonics::BlockMeshTopology;
 use adept_tensor::{
     batched_matmul_into, im2col, im2col_into, matmul_into, matmul_into_one_axis_partition,
-    set_gemm_threads, Conv2dGeometry, Tensor, Tile,
+    set_gemm_threads, set_wide_gemm_cols, Conv2dGeometry, Tensor, Tile,
 };
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -336,6 +336,21 @@ fn bench_conv_forward(c: &mut Criterion) {
             black_box(out.at(&[0, 0]))
         });
     });
+    // Cache-level tuning sweep of the ragged sweep's column-block width
+    // (the `ONN_WIDE_COLS` knob). Every width produces bit-identical
+    // results — chunking only repartitions disjoint output blocks — so the
+    // fastest width is purely a cache/balance trade-off; the swept winner
+    // is baked in as the auto default (`WIDE_COL_CHUNK_DEFAULT`).
+    for &cols_chunk in &[128usize, 256, 512, 1024, 2048] {
+        set_wide_gemm_cols(cols_chunk);
+        group.bench_function(format!("wide_cols_{cols_chunk}"), |b| {
+            b.iter(|| {
+                matmul_into(w.as_slice(), cols.as_slice(), out.as_mut_slice(), m, k, n);
+                black_box(out.at(&[0, 0]))
+            });
+        });
+    }
+    set_wide_gemm_cols(0);
     group.finish();
     set_gemm_threads(0);
 }

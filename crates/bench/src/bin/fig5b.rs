@@ -1,5 +1,5 @@
 //! Regenerates **Figure 5(b)**: footprint-penalty dynamics when scanning
-//! the penalty weight β from 0.001 to 10 — expected footprint E[F] (red in
+//! the penalty weight β from 0.001 to 10 — expected footprint `E[F]` (red in
 //! the paper) and normalized penalty L_F/β (black) per step, against the
 //! ADEPT-a1 constraint window (green band).
 //!

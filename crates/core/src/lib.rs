@@ -19,7 +19,7 @@
 //!   clipped straight-through estimator (Eq. 14);
 //!
 //! under the probabilistic footprint penalty of [`fpen`] (Eq. 15) for a
-//! given PDK. [`search`] ties everything together in the two-stage
+//! given PDK. [`search()`](search::search) ties everything together in the two-stage
 //! warmup/search flow of the paper's Fig. 2 and exports the winning design
 //! as a [`adept_photonics::BlockMeshTopology`] ready for variation-aware
 //! retraining with `adept-nn`.
@@ -49,4 +49,4 @@ pub mod traces;
 
 pub use sample::{sample_topology, SampledDesign};
 pub use search::{search, AblationFlags, AdeptConfig, SearchOutcome};
-pub use supermesh::{ArchSample, MeshFrame, SuperMeshHandles, SuperPtcWeight};
+pub use supermesh::{ArchSample, BoundSuperWeight, MeshFrame, SuperMeshHandles, SuperPtcWeight};

@@ -93,6 +93,15 @@ pub struct AblationFlags {
     pub fixed_depth: bool,
 }
 
+impl Default for AdeptConfig {
+    /// The CPU-friendly [`AdeptConfig::quick`] schedule at `K = 8` on the
+    /// AMF PDK with the paper's Table 1 "a1" footprint window
+    /// (240–300 kµm²).
+    fn default() -> Self {
+        Self::quick(8, Pdk::amf(), 240.0, 300.0)
+    }
+}
+
 impl AdeptConfig {
     /// A CPU-friendly configuration that still exercises every mechanism:
     /// small proxy CNN, short schedule.
@@ -158,7 +167,7 @@ pub struct SearchEpochStats {
     pub mean_lambda: f64,
     /// Current ρ.
     pub rho: f64,
-    /// Expected footprint E[F] (1000 µm²).
+    /// Expected footprint `E[F]` (1000 µm²).
     pub expected_f_kum2: f64,
 }
 
@@ -189,6 +198,14 @@ impl SearchOutcome {
     /// Device count of the sampled design.
     pub fn device_count(&self) -> adept_photonics::DeviceCount {
         self.design.device_count
+    }
+
+    /// The frozen design as an `adept_nn` model backend: every conv/linear
+    /// weight becomes a trainable `PtcWeight` whose unitaries walk the
+    /// searched topologies through the same batched builder as every other
+    /// mesh family.
+    pub fn backend(&self) -> adept_nn::models::Backend {
+        adept_nn::models::Backend::topology(self.design.topo_u.clone(), self.design.topo_v.clone())
     }
 }
 

@@ -5,11 +5,18 @@
 //! layer, binarized with a straight-through estimator) and — unless pinned —
 //! a two-way architecture logit deciding *skip vs execute* through a
 //! Gumbel-softmax gate. Phases and Σ are ordinary per-tile weights.
+//!
+//! Search weights build through the unified mesh-weight engine:
+//! [`SuperPtcWeight::bind`] pairs a weight with the step's frames into a
+//! [`BoundSuperWeight`] implementing [`adept_nn::mesh::MeshWeight`], so the
+//! same stage→record→splice scheduler (and the parallel backward replay)
+//! drives fixed-topology and searched meshes alike.
 
 use adept_autodiff::{
     batched_phase_rotate, batched_tile_product, batched_tile_product_grid, record_segment,
     record_segment_pair, stack, Graph, ImportSpec, TapeSegment, Var,
 };
+use adept_nn::mesh::{build_mesh_weight, prebuild_mesh_weights, MeshWeight, StagedBuild};
 use adept_nn::{next_weight_uid, ForwardCtx, ParamId, ParamStore};
 use adept_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -204,7 +211,7 @@ pub struct BlockFrame<'g> {
     pub kappa: Var<'g>,
     /// Gumbel-softmax gate `[skip, execute]` used in the forward pass.
     pub gate: Var<'g>,
-    /// Noise-free execute probability (softmax(θ)[1]) for expectations.
+    /// Noise-free execute probability (`softmax(θ)[1]`) for expectations.
     pub exec_prob: Var<'g>,
     /// DC column offset.
     pub dc_start: usize,
@@ -557,16 +564,21 @@ pub struct SuperPtcWeight {
     sigma: Vec<ParamId>,
 }
 
-/// Main-thread staging of one [`SuperPtcWeight`] build: phase-parameter
-/// leaves created on the shared tape in layer order, frame variables
-/// exported, packaged so the mesh walks can record on a worker thread.
-pub struct StagedSuperBuild {
-    /// `phases_u` tiles, `phases_v` tiles, then U- and V-frame variables.
-    imports: Vec<ImportSpec>,
-    n_tiles: usize,
-    n_blocks: usize,
+/// A [`SuperPtcWeight`] bound to the step's SuperMesh frames — the
+/// [`MeshWeight`] form the unified build engine schedules.
+///
+/// Binding captures the frame variables as segment imports and the
+/// per-block coupler offsets as plain values, so the binding itself is
+/// `Sync` and its mesh walks can record on pool workers while the
+/// non-`Sync` tape stays on the main thread. Create one with
+/// [`SuperPtcWeight::bind`].
+pub struct BoundSuperWeight<'w> {
+    weight: &'w SuperPtcWeight,
+    /// U-frame then V-frame variables, in [`frame_imports`] order.
+    frame_vars: Vec<ImportSpec>,
     dc_start_u: Vec<usize>,
     dc_start_v: Vec<usize>,
+    tag: u64,
 }
 
 impl SuperPtcWeight {
@@ -644,6 +656,13 @@ impl SuperPtcWeight {
     /// through one ragged batched GEMM sweep. The stage-2 search inner loop
     /// never extracts or copies an individual tile; values are pinned
     /// bit-equal to [`SuperPtcWeight::build_per_tile`].
+    ///
+    /// Internally this binds the weight to the frames
+    /// ([`SuperPtcWeight::bind`]) and runs the unified [`MeshWeight`]
+    /// engine ([`build_mesh_weight`]) — the same three-phase walk every
+    /// mesh family uses. The prebuilt cache is consulted before binding:
+    /// the hot post-prebuild path pays only the frame-tag fold, not the
+    /// full frame export.
     pub fn build<'g>(
         &self,
         ctx: &ForwardCtx<'g, '_>,
@@ -653,116 +672,34 @@ impl SuperPtcWeight {
         if let Some(prebuilt) = ctx.take_prebuilt(self.uid, frames_tag(frame_u, frame_v)) {
             return prebuilt;
         }
-        let staged = self.stage(ctx, frame_u, frame_v);
-        let segment = self.record_build_segment(&staged, false);
-        self.finish_build(ctx, segment)
+        build_mesh_weight(ctx, &self.bind(frame_u, frame_v))
     }
 
-    /// Build phase 1 (main thread): creates the phase-parameter leaves on
-    /// the shared tape in the serial walk's order and exports the step's
-    /// frame variables for the sub-tape build.
-    pub fn stage<'g>(
-        &self,
-        ctx: &ForwardCtx<'g, '_>,
-        frame_u: &MeshFrame<'g>,
-        frame_v: &MeshFrame<'g>,
-    ) -> StagedSuperBuild {
-        let n_tiles = self.grid_rows * self.grid_cols;
-        let mut imports = Vec::with_capacity(
-            2 * n_tiles + FRAME_VARS_PER_BLOCK * (frame_u.blocks.len() + frame_v.blocks.len()),
-        );
-        for &id in &self.phases_u {
-            imports.push(ctx.param(id).export_import());
-        }
-        for &id in &self.phases_v {
-            imports.push(ctx.param(id).export_import());
-        }
-        imports.extend(frame_imports(frame_u));
-        imports.extend(frame_imports(frame_v));
-        StagedSuperBuild {
-            imports,
-            n_tiles,
-            n_blocks: frame_u.blocks.len(),
+    /// Binds this weight to the step's SuperMesh frames, producing the
+    /// [`MeshWeight`] the unified build engine schedules. Binding only
+    /// reads the frames (variable exports, coupler offsets, the cache
+    /// tag) — it records nothing, so tapes are unaffected.
+    pub fn bind<'w>(
+        &'w self,
+        frame_u: &MeshFrame<'_>,
+        frame_v: &MeshFrame<'_>,
+    ) -> BoundSuperWeight<'w> {
+        let mut frame_vars = frame_imports(frame_u);
+        frame_vars.extend(frame_imports(frame_v));
+        BoundSuperWeight {
+            weight: self,
+            frame_vars,
             dc_start_u: frame_u.blocks.iter().map(|b| b.dc_start).collect(),
             dc_start_v: frame_v.blocks.iter().map(|b| b.dc_start).collect(),
+            tag: frames_tag(frame_u, frame_v),
         }
     }
 
-    /// Build phase 2 (any thread): records `[stack, stack, U-walk, V-walk]`
-    /// on a private sub-tape; with `parallel_uv` the two mesh walks record
-    /// as concurrent sub-tape builds spliced back in U-then-V order.
-    pub fn record_build_segment(
-        &self,
-        staged: &StagedSuperBuild,
-        parallel_uv: bool,
-    ) -> TapeSegment {
-        let k = self.k;
-        record_segment(&staged.imports, |g, proxies| {
-            let (pu, rest) = proxies.split_at(staged.n_tiles);
-            let (pv, rest) = rest.split_at(staged.n_tiles);
-            let (fu_vars, fv_vars) = rest.split_at(FRAME_VARS_PER_BLOCK * staged.n_blocks);
-            let su = stack(pu); // [T, B, K]
-            let sv = stack(pv);
-            let (u_re, u_im, v_re, v_im) = if parallel_uv {
-                let mut imports_u = vec![su.export_import()];
-                imports_u.extend(fu_vars.iter().map(Var::export_import));
-                let mut imports_v = vec![sv.export_import()];
-                imports_v.extend(fv_vars.iter().map(Var::export_import));
-                let (dcu, dcv) = (&staged.dc_start_u, &staged.dc_start_v);
-                let (seg_u, seg_v) = record_segment_pair(
-                    &imports_u,
-                    |g2, v| {
-                        let frame = frame_from_proxies(&v[1..], k, dcu);
-                        let (re, im) = batched_super_unitary_on(g2, &frame, v[0], true);
-                        vec![re, im]
-                    },
-                    &imports_v,
-                    |g2, v| {
-                        let frame = frame_from_proxies(&v[1..], k, dcv);
-                        let (re, im) = batched_super_unitary_on(g2, &frame, v[0], false);
-                        vec![re, im]
-                    },
-                );
-                let u = g.splice(seg_u);
-                let v = g.splice(seg_v);
-                (u[0], u[1], v[0], v[1])
-            } else {
-                let frame_u = frame_from_proxies(fu_vars, k, &staged.dc_start_u);
-                let frame_v = frame_from_proxies(fv_vars, k, &staged.dc_start_v);
-                let (u_re, u_im) = batched_super_unitary_on(g, &frame_u, su, true);
-                let (v_re, v_im) = batched_super_unitary_on(g, &frame_v, sv, false);
-                (u_re, u_im, v_re, v_im)
-            };
-            vec![u_re, u_im, v_re, v_im]
-        })
-    }
-
-    /// Build phase 3 (main thread): splices the mesh-walk segment into the
-    /// step tape and records the Σ product and fused grid assembly.
-    pub fn finish_build<'g>(&self, ctx: &ForwardCtx<'g, '_>, segment: TapeSegment) -> Var<'g> {
-        let k = self.k;
-        let n_tiles = self.grid_rows * self.grid_cols;
-        let spliced = ctx.graph.splice(segment);
-        let (u_re, u_im, v_re, v_im) = (spliced[0], spliced[1], spliced[2], spliced[3]);
-        let sigs: Vec<Var<'g>> = self.sigma.iter().map(|&id| ctx.param(id)).collect();
-        let sig = stack(&sigs).reshape(&[n_tiles, 1, k]);
-        let us_re = u_re.mul(sig);
-        let us_im = u_im.mul(sig);
-        batched_tile_product_grid(
-            us_re,
-            us_im,
-            v_re,
-            v_im,
-            self.grid_rows,
-            self.grid_cols,
-            self.out_features,
-            self.in_features,
-        )
-    }
-
-    /// The per-tile reference build (one [`super_unitary`] chain per tile).
-    /// Kept for bit-equivalence tests; hot paths use
-    /// [`SuperPtcWeight::build`].
+    /// The per-tile **reference-only** build (one [`super_unitary`] chain
+    /// per tile). It exists to pin the batched path bit-equal to the
+    /// paper's literal per-tile construction and is never on a hot path —
+    /// the search inner loop always goes through [`SuperPtcWeight::build`]
+    /// / the unified [`MeshWeight`] engine.
     pub fn build_per_tile<'g>(
         &self,
         ctx: &ForwardCtx<'g, '_>,
@@ -800,35 +737,131 @@ impl SuperPtcWeight {
     }
 }
 
+impl<'g> MeshWeight<'g> for BoundSuperWeight<'_> {
+    fn uid(&self) -> u64 {
+        self.weight.uid
+    }
+
+    fn param_ids(&self) -> Vec<ParamId> {
+        self.weight.param_ids()
+    }
+
+    /// The fold of the bound frame variables' tape ids: a `build` call
+    /// presenting *different* frames (e.g. rebuilt with a fresh Gumbel
+    /// sample) than the scheduler used panics instead of silently wiring
+    /// the cached weight to the wrong variables.
+    fn build_tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// Build phase 1 (main thread): creates the phase-parameter leaves on
+    /// the shared tape in the serial walk's order, followed by the bound
+    /// frame variables as segment imports.
+    fn stage(&self, ctx: &ForwardCtx<'g, '_>) -> StagedBuild {
+        let w = self.weight;
+        let n_tiles = w.grid_rows * w.grid_cols;
+        let mut imports = Vec::with_capacity(2 * n_tiles + self.frame_vars.len());
+        for &id in &w.phases_u {
+            imports.push(ctx.param(id).export_import());
+        }
+        for &id in &w.phases_v {
+            imports.push(ctx.param(id).export_import());
+        }
+        imports.extend(self.frame_vars.iter().cloned());
+        StagedBuild {
+            imports,
+            noise: Vec::new(),
+        }
+    }
+
+    /// Build phase 2 (any thread): records `[stack, stack, U-walk, V-walk]`
+    /// on a private sub-tape; with `parallel_uv` the two mesh walks record
+    /// as concurrent sub-tape builds spliced back in U-then-V order.
+    fn record_build_segment(&self, staged: &StagedBuild, parallel_uv: bool) -> TapeSegment {
+        let w = self.weight;
+        let k = w.k;
+        let n_tiles = w.grid_rows * w.grid_cols;
+        record_segment(&staged.imports, |g, proxies| {
+            let (pu, rest) = proxies.split_at(n_tiles);
+            let (pv, rest) = rest.split_at(n_tiles);
+            let (fu_vars, fv_vars) = rest.split_at(FRAME_VARS_PER_BLOCK * self.dc_start_u.len());
+            let su = stack(pu); // [T, B, K]
+            let sv = stack(pv);
+            let (u_re, u_im, v_re, v_im) = if parallel_uv {
+                let mut imports_u = vec![su.export_import()];
+                imports_u.extend(fu_vars.iter().map(Var::export_import));
+                let mut imports_v = vec![sv.export_import()];
+                imports_v.extend(fv_vars.iter().map(Var::export_import));
+                let (dcu, dcv) = (&self.dc_start_u, &self.dc_start_v);
+                let (seg_u, seg_v) = record_segment_pair(
+                    &imports_u,
+                    |g2, v| {
+                        let frame = frame_from_proxies(&v[1..], k, dcu);
+                        let (re, im) = batched_super_unitary_on(g2, &frame, v[0], true);
+                        vec![re, im]
+                    },
+                    &imports_v,
+                    |g2, v| {
+                        let frame = frame_from_proxies(&v[1..], k, dcv);
+                        let (re, im) = batched_super_unitary_on(g2, &frame, v[0], false);
+                        vec![re, im]
+                    },
+                );
+                let u = g.splice(seg_u);
+                let v = g.splice(seg_v);
+                (u[0], u[1], v[0], v[1])
+            } else {
+                let frame_u = frame_from_proxies(fu_vars, k, &self.dc_start_u);
+                let frame_v = frame_from_proxies(fv_vars, k, &self.dc_start_v);
+                let (u_re, u_im) = batched_super_unitary_on(g, &frame_u, su, true);
+                let (v_re, v_im) = batched_super_unitary_on(g, &frame_v, sv, false);
+                (u_re, u_im, v_re, v_im)
+            };
+            vec![u_re, u_im, v_re, v_im]
+        })
+    }
+
+    /// Build phase 3 (main thread): splices the mesh-walk segment into the
+    /// step tape and records the Σ product and fused grid assembly.
+    fn finish_build(&self, ctx: &ForwardCtx<'g, '_>, segment: TapeSegment) -> Var<'g> {
+        let w = self.weight;
+        let k = w.k;
+        let n_tiles = w.grid_rows * w.grid_cols;
+        let spliced = ctx.graph.splice(segment);
+        let (u_re, u_im, v_re, v_im) = (spliced[0], spliced[1], spliced[2], spliced[3]);
+        let sigs: Vec<Var<'g>> = w.sigma.iter().map(|&id| ctx.param(id)).collect();
+        let sig = stack(&sigs).reshape(&[n_tiles, 1, k]);
+        let us_re = u_re.mul(sig);
+        let us_im = u_im.mul(sig);
+        batched_tile_product_grid(
+            us_re,
+            us_im,
+            v_re,
+            v_im,
+            w.grid_rows,
+            w.grid_cols,
+            w.out_features,
+            w.in_features,
+        )
+    }
+}
+
 /// Builds every search weight's mesh-unitary segment concurrently against
 /// the step's shared SuperMesh frames and registers the finished variables
-/// in `ctx`'s prebuilt cache — the search-side twin of
-/// [`adept_nn::prebuild_ptc_weights`]. Staging, splicing and the Σ products
-/// run on the main thread in layer-index order, so the resulting tape is
-/// bit-identical to the serial walk at any thread count.
+/// in `ctx`'s prebuilt cache — the frame-bound convenience form of the
+/// unified [`prebuild_mesh_weights`] engine (staging, splicing and the Σ
+/// products run on the main thread in layer-index order, so the resulting
+/// tape is bit-identical to the serial walk at any thread count).
 pub fn prebuild_super_ptc_weights<'g>(
     ctx: &ForwardCtx<'g, '_>,
     weights: &[&SuperPtcWeight],
     frame_u: &MeshFrame<'g>,
     frame_v: &MeshFrame<'g>,
 ) {
-    if weights.is_empty() {
-        return;
-    }
-    let staged: Vec<StagedSuperBuild> = weights
-        .iter()
-        .map(|w| w.stage(ctx, frame_u, frame_v))
-        .collect();
-    let tag = frames_tag(frame_u, frame_v);
-    adept_nn::build::schedule_segments(
-        weights,
-        &staged,
-        |w, st, par| w.record_build_segment(st, par),
-        |i, segment| {
-            let weight = weights[i].finish_build(ctx, segment);
-            ctx.register_prebuilt(weights[i].uid(), tag, weight);
-        },
-    );
+    let bound: Vec<BoundSuperWeight<'_>> =
+        weights.iter().map(|w| w.bind(frame_u, frame_v)).collect();
+    let dyns: Vec<&dyn MeshWeight<'g>> = bound.iter().map(|b| b as _).collect();
+    prebuild_mesh_weights(ctx, &dyns);
 }
 
 #[cfg(test)]

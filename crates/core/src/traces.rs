@@ -163,14 +163,14 @@ impl Default for FpenTraceConfig {
 pub struct FpenTracePoint {
     /// Step index.
     pub step: usize,
-    /// Expected footprint E[F] in 1000 µm² (red curves of Fig. 5b).
+    /// Expected footprint `E[F]` in 1000 µm² (red curves of Fig. 5b).
     pub expected_f_kum2: f64,
     /// Normalized penalty `L_F / β` (black curves of Fig. 5b).
     pub penalty_over_beta: f64,
 }
 
 /// Runs the footprint trace: architecture training on a matrix-fitting task
-/// under the probabilistic footprint penalty, recording E[F] and `L_F/β`.
+/// under the probabilistic footprint penalty, recording `E[F]` and `L_F/β`.
 pub fn footprint_trace(cfg: &FpenTraceConfig) -> Vec<FpenTracePoint> {
     let mut store = ParamStore::new();
     let handles = SuperMeshHandles::register(&mut store, cfg.k, cfg.n_blocks, cfg.pinned, cfg.seed);

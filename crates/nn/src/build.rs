@@ -1,199 +1,19 @@
-//! The parallel weight-build scheduler.
+//! Convenience entry points of the parallel weight-build scheduler.
 //!
-//! A training step's dominant cost is constructing every layer's PTC
-//! weight: the per-layer mesh-unitary walks are long serial chains of small
-//! batched kernels, each below the GEMM threading threshold, and the shared
-//! tape serializes them further. The builds are, however, *independent* of
-//! one another (and of the activations) — the step's build-order graph is
-//! flat. This module exploits that:
-//!
-//! 1. **Stage** (main thread, layer order): every weight creates its
-//!    parameter leaves on the shared tape and draws its phase noise from
-//!    the shared RNG — exactly the serial walk's order, so leaf ids and
-//!    noise streams never depend on scheduling.
-//! 2. **Record** (worker threads): each weight's mesh walks record onto a
-//!    private sub-tape ([`adept_autodiff::record_segment`]) on the shared
-//!    pool; within one weight the independent U- and V-mesh walks fork into
-//!    two concurrent sub-tape builds fused at the `Re(UΣ·Vᴴ)` tile product.
-//! 3. **Splice + finish** (main thread, layer order): segments splice into
-//!    the step tape in layer-index order and each weight's Σ product is
-//!    recorded — producing the *identical* node sequence, values, and
-//!    gradients of a serial walk, at every thread count. Splicing streams:
-//!    weight `i` splices as soon as its segment lands (while `i+1..` are
-//!    still recording) instead of barriering on the whole batch.
-//!
-//! Layers then pick their weight up from the [`ForwardCtx`] prebuilt cache
-//! instead of rebuilding it. The bit-determinism guarantee is pinned by the
-//! root `tests/parallel_build.rs` suite across thread counts {1, 2, 8}.
+//! The actual stage→record→splice engine lives in [`crate::mesh`] and is
+//! shared by every mesh family through the [`crate::mesh::MeshWeight`]
+//! trait; this module only keeps the historical monomorphic entry point
+//! for fixed-topology [`PtcWeight`] batches.
 
-use crate::onn::{PtcWeight, StagedPtcBuild};
+use crate::mesh::{prebuild_mesh_weights, MeshWeight};
+use crate::onn::PtcWeight;
 use crate::param::ForwardCtx;
-use adept_autodiff::TapeSegment;
-use adept_tensor::{gemm_thread_count, pool};
-use std::sync::Mutex;
-
-/// Phases 2+3 of every weight-build scheduler: records one tape segment
-/// per staged weight — concurrently on the shared pool when more than one
-/// thread is configured, serially (and with the in-weight U/V fork
-/// disabled) otherwise — and hands each segment to `finish` **in
-/// layer-index order, as soon as it lands**. Weight `i` splices while
-/// weights `i+1..` are still recording, so the main thread never barriers
-/// on the whole batch (the tails are cheap, but on many-layer models the
-/// old barrier left it idle).
-///
-/// `record(weight, staged, parallel_within)` must be deterministic, and
-/// `finish` runs on the calling thread in index order regardless of how
-/// the record jobs were scheduled — which is what keeps the spliced tape
-/// bit-identical at every thread count.
-///
-/// This is the single scheduling discipline shared by
-/// [`prebuild_ptc_weights`] and the search-side
-/// `adept::supermesh::prebuild_super_ptc_weights`.
-pub fn schedule_segments<W, S>(
-    weights: &[&W],
-    staged: &[S],
-    record: impl Fn(&W, &S, bool) -> TapeSegment + Sync,
-    mut finish: impl FnMut(usize, TapeSegment),
-) where
-    W: Sync + ?Sized,
-    S: Sync,
-{
-    assert_eq!(weights.len(), staged.len(), "one staging per weight");
-    if gemm_thread_count() <= 1 {
-        for (i, (w, st)) in weights.iter().zip(staged).enumerate() {
-            finish(i, record(w, st, false));
-        }
-        return;
-    }
-    let slots: Vec<Mutex<Option<TapeSegment>>> =
-        (0..weights.len()).map(|_| Mutex::new(None)).collect();
-    pool::scope(|scope| {
-        let handles: Vec<pool::JobHandle> = weights
-            .iter()
-            .zip(staged)
-            .zip(&slots)
-            .map(|((w, st), slot)| {
-                let record = &record;
-                scope.spawn_handle(move || {
-                    *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(record(w, st, true));
-                })
-            })
-            .collect();
-        for (i, handle) in handles.iter().enumerate() {
-            scope.wait(handle);
-            // An empty slot means the record job panicked: stop finishing
-            // and let the scope's join propagate the worker's original
-            // payload instead of masking it with a scheduler-internal one.
-            let Some(segment) = slots[i].lock().unwrap_or_else(|p| p.into_inner()).take() else {
-                break;
-            };
-            finish(i, segment);
-        }
-    });
-}
 
 /// Builds every weight's mesh-unitary segment concurrently and registers
-/// the finished weight variables in `ctx`'s prebuilt cache (keyed by
-/// [`PtcWeight::uid`]), so the subsequent forward pass consumes them
-/// without re-recording.
-///
-/// With one configured thread (or one weight and no pool win) this runs the
-/// serial staged walk — same code path, same tape, zero scheduling. The
-/// resulting tape is bit-identical either way.
+/// the finished weight variables in `ctx`'s prebuilt cache — the
+/// [`PtcWeight`]-typed convenience form of
+/// [`crate::mesh::prebuild_mesh_weights`].
 pub fn prebuild_ptc_weights<'g>(ctx: &ForwardCtx<'g, '_>, weights: &[&PtcWeight]) {
-    if weights.is_empty() {
-        return;
-    }
-    // Phase 1: stage in layer order on the main thread (tape + RNG order).
-    let staged: Vec<StagedPtcBuild> = weights.iter().map(|w| w.stage(ctx)).collect();
-    // Phases 2+3: record on the pool, splice + finish on this thread in
-    // layer-index order as each weight's segment lands.
-    schedule_segments(
-        weights,
-        &staged,
-        |w, st, par| w.record_build_segment(st, par),
-        |i, segment| {
-            let weight = weights[i].finish_build(ctx, segment);
-            ctx.register_prebuilt(weights[i].uid(), 0, weight);
-        },
-    );
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::onn::OnnLinear;
-    use crate::param::ParamStore;
-    use adept_autodiff::Graph;
-    use adept_photonics::BlockMeshTopology;
-    use adept_tensor::{set_gemm_threads, Tensor};
-
-    /// Serializes tests that override the global thread count.
-    static THREAD_OVERRIDE: std::sync::Mutex<()> = std::sync::Mutex::new(());
-
-    #[test]
-    fn prebuild_matches_direct_build_bitwise() {
-        let _guard = THREAD_OVERRIDE.lock().unwrap_or_else(|p| p.into_inner());
-        let mut store = ParamStore::new();
-        let topo = BlockMeshTopology::butterfly(4);
-        // Ragged 6×10 weight exercises cropped edge tiles.
-        let layers: Vec<OnnLinear> = (0..3)
-            .map(|i| {
-                OnnLinear::new(
-                    &mut store,
-                    &format!("fc{i}"),
-                    10,
-                    6,
-                    topo.clone(),
-                    topo.clone(),
-                    40 + i as u64,
-                )
-            })
-            .collect();
-        let weights: Vec<&PtcWeight> = layers.iter().map(|l| &l.weight).collect();
-
-        let run = |threads: usize, prebuild: bool| -> (usize, Vec<Tensor>) {
-            set_gemm_threads(threads);
-            let graph = Graph::new();
-            let ctx = ForwardCtx::new(&graph, &store, true, 3);
-            if prebuild {
-                prebuild_ptc_weights(&ctx, &weights);
-            }
-            let vals: Vec<Tensor> = weights.iter().map(|w| w.build(&ctx).value()).collect();
-            set_gemm_threads(0);
-            (graph.len(), vals)
-        };
-
-        let (len_serial, serial) = run(1, false);
-        let (len_pre1, pre1) = run(1, true);
-        let (len_pre8, pre8) = run(8, true);
-        assert_eq!(len_serial, len_pre1, "prebuild must not change the tape");
-        assert_eq!(len_pre1, len_pre8, "thread count must not change the tape");
-        for ((a, b), c) in serial.iter().zip(&pre1).zip(&pre8) {
-            assert_eq!(a.as_slice(), b.as_slice(), "serial vs prebuilt(1)");
-            assert_eq!(a.as_slice(), c.as_slice(), "serial vs prebuilt(8)");
-        }
-    }
-
-    #[test]
-    fn prebuilt_cache_is_consumed_once() {
-        let mut store = ParamStore::new();
-        let topo = BlockMeshTopology::butterfly(4);
-        let layer = OnnLinear::new(&mut store, "fc", 4, 4, topo.clone(), topo, 7);
-        let graph = Graph::new();
-        let ctx = ForwardCtx::new(&graph, &store, true, 0);
-        prebuild_ptc_weights(&ctx, &[&layer.weight]);
-        let first = layer.weight.build(&ctx);
-        let len_after_first = graph.len();
-        let second = layer.weight.build(&ctx);
-        assert_eq!(
-            first.value().as_slice(),
-            second.value().as_slice(),
-            "second build re-records the same weight"
-        );
-        assert!(
-            graph.len() > len_after_first,
-            "second build must record fresh nodes, not reuse the cache"
-        );
-    }
+    let dyns: Vec<&dyn MeshWeight<'g>> = weights.iter().map(|w| *w as _).collect();
+    prebuild_mesh_weights(ctx, &dyns);
 }

@@ -30,14 +30,36 @@ pub trait Layer {
         None
     }
 
-    /// PTC weights this layer materializes each step, in forward order.
+    /// Mesh weights this layer materializes each step, in forward order.
     ///
-    /// The parallel build scheduler
-    /// ([`crate::build::prebuild_ptc_weights`]) collects these across a
+    /// The parallel build engine
+    /// ([`crate::mesh::prebuild_mesh_weights`]) collects these across a
     /// model and constructs their mesh unitaries concurrently before the
     /// forward pass; layers without photonic weights report none.
-    fn ptc_weights(&self) -> Vec<&crate::onn::PtcWeight> {
+    fn mesh_weights<'g>(&self) -> Vec<&dyn crate::mesh::MeshWeight<'g>> {
         Vec::new()
+    }
+}
+
+impl<L: Layer + ?Sized> Layer for Box<L> {
+    fn forward<'g>(&mut self, ctx: &ForwardCtx<'g, '_>, x: Var<'g>) -> Var<'g> {
+        (**self).forward(ctx, x)
+    }
+
+    fn param_ids(&self) -> Vec<ParamId> {
+        (**self).param_ids()
+    }
+
+    fn set_phase_noise(&mut self, std: f64) {
+        (**self).set_phase_noise(std);
+    }
+
+    fn device_count(&self) -> Option<DeviceCount> {
+        (**self).device_count()
+    }
+
+    fn mesh_weights<'g>(&self) -> Vec<&dyn crate::mesh::MeshWeight<'g>> {
+        (**self).mesh_weights()
     }
 }
 
@@ -53,8 +75,18 @@ impl Sequential {
         Self::default()
     }
 
-    /// Appends a layer.
-    pub fn push(&mut self, layer: Box<dyn Layer>) {
+    /// Appends a layer. Accepts any [`Layer`] value directly — boxing
+    /// happens internally, so `seq.push(Relu)` just works. An already
+    /// boxed `Box<dyn Layer>` also compiles (via the blanket
+    /// `Layer for Box<L>` impl) but pays an extra indirection; prefer
+    /// [`Sequential::push_boxed`] for those.
+    pub fn push(&mut self, layer: impl Layer + 'static) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Appends an already-boxed layer without re-boxing it (the form the
+    /// model builders use for backend-erased layers).
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) {
         self.layers.push(layer);
     }
 
@@ -92,8 +124,8 @@ impl Layer for Sequential {
         self.layers.iter().find_map(|l| l.device_count())
     }
 
-    fn ptc_weights(&self) -> Vec<&crate::onn::PtcWeight> {
-        self.layers.iter().flat_map(|l| l.ptc_weights()).collect()
+    fn mesh_weights<'g>(&self) -> Vec<&dyn crate::mesh::MeshWeight<'g>> {
+        self.layers.iter().flat_map(|l| l.mesh_weights()).collect()
     }
 }
 
@@ -751,9 +783,9 @@ mod tests {
     fn sequential_composes() {
         let mut store = ParamStore::new();
         let mut seq = Sequential::new();
-        seq.push(Box::new(Flatten));
-        seq.push(Box::new(Linear::new(&mut store, "fc", 8, 4, 1)));
-        seq.push(Box::new(Relu));
+        seq.push(Flatten);
+        seq.push(Linear::new(&mut store, "fc", 8, 4, 1));
+        seq.push(Relu);
         assert_eq!(seq.len(), 3);
         assert_eq!(seq.param_ids().len(), 2);
         let graph = Graph::new();

@@ -20,13 +20,18 @@
 //! * [`optim`] — Adam/SGD with cosine learning-rate schedule;
 //! * [`train`] — training/eval loops including variation-aware training
 //!   (Gaussian phase noise injected during training, paper §4.1);
-//! * [`build`] — the parallel weight-build scheduler: every layer's mesh
-//!   unitaries record on private sub-tapes across the shared thread pool
-//!   and splice back in layer order, bit-identical (node ids, values,
-//!   noise draws, gradients) to the serial walk at any thread count.
+//! * [`mesh`] — the topology-driven mesh-weight API: the object-safe
+//!   [`mesh::MeshWeight`] trait (stage → record → splice + finish) and the
+//!   **single** build engine behind every mesh family — fixed-topology PTC
+//!   weights here, frame-bound SuperMesh search weights in `adept` — whose
+//!   parallel scheduler records every layer's mesh unitaries on private
+//!   sub-tapes across the shared thread pool and splices back in layer
+//!   order, bit-identical (node ids, values, noise draws, gradients) to
+//!   the serial walk at any thread count.
 
 pub mod build;
 pub mod layers;
+pub mod mesh;
 pub mod models;
 pub mod onn;
 pub mod optim;
@@ -34,4 +39,5 @@ mod param;
 pub mod train;
 
 pub use build::prebuild_ptc_weights;
+pub use mesh::{build_mesh_weight, prebuild_mesh_weights, MeshWeight, StagedBuild};
 pub use param::{next_weight_uid, ForwardCtx, ParamId, ParamStore};

@@ -1,0 +1,308 @@
+//! The topology-driven mesh-weight API and its single build engine.
+//!
+//! Every photonic weight in the workspace — the fixed-topology
+//! [`crate::onn::PtcWeight`] (Clements-style dense routing, FFT butterflies,
+//! random meshes, frozen search outcomes) and the search-time
+//! `adept::supermesh::SuperPtcWeight` (bound to its per-step SuperMesh
+//! frames) — materializes on the tape through one discipline:
+//!
+//! 1. **Stage** (main thread, layer order): [`MeshWeight::stage`] creates
+//!    the weight's parameter leaves on the shared tape and draws any phase
+//!    noise from the shared RNG — exactly the serial walk's order, so leaf
+//!    ids and noise streams never depend on scheduling.
+//! 2. **Record** (any thread): [`MeshWeight::record_build_segment`] records
+//!    the mesh-unitary walks on a private sub-tape
+//!    ([`adept_autodiff::record_segment`]) against import proxies; within
+//!    one weight the independent U- and V-mesh walks may fork as two
+//!    concurrent sub-tape builds fused at the `Re(UΣ·Vᴴ)` tile product.
+//! 3. **Splice + finish** (main thread, layer order):
+//!    [`MeshWeight::finish_build`] splices the segment into the step tape
+//!    and records the Σ product and grid assembly — producing the
+//!    *identical* node sequence, values and gradients of a serial walk, at
+//!    every thread count.
+//!
+//! [`build_mesh_weight`] runs the three phases serially for one weight;
+//! [`prebuild_mesh_weights`] is the parallel scheduler, fanning phase 2
+//! out across the shared [`adept_tensor::pool`] and streaming phase 3 in
+//! layer-index order as each segment lands. Both operate on
+//! `&dyn MeshWeight`, so any mesh family that implements the trait joins
+//! the parallel build *and* the parallel backward replay
+//! (`Graph::backward_parallel` partitions at the spliced segment
+//! boundaries) for free. The bit-determinism guarantee is pinned by the
+//! root `tests/parallel_build.rs`, `tests/parallel_backward.rs` and
+//! `tests/mesh_api.rs` suites across thread counts {1, 2, 8}.
+
+use crate::param::{ForwardCtx, ParamId};
+use adept_autodiff::{ImportSpec, TapeSegment, Var};
+use adept_tensor::{gemm_thread_count, pool, Tensor};
+use std::sync::Mutex;
+
+/// Main-thread staging of one [`MeshWeight`] build: everything phase 2
+/// needs, packaged as plain `Send + Sync` data so the mesh walks can record
+/// on a worker thread.
+///
+/// The field layout is interpreted by the weight's own
+/// [`MeshWeight::record_build_segment`]; the engine never looks inside.
+pub struct StagedBuild {
+    /// Import proxies for the sub-tape build, in the implementation's
+    /// order (typically the phase-parameter leaves followed by any
+    /// per-step inputs such as SuperMesh frame variables).
+    pub imports: Vec<ImportSpec>,
+    /// Pre-drawn noise tensors (drawn from the shared RNG during staging
+    /// to pin the stream order); empty when noise is disabled.
+    pub noise: Vec<Tensor>,
+}
+
+/// A weight materialized from a parameterized photonic mesh.
+///
+/// The object-safe surface the build engine needs: identity for the
+/// per-step prebuilt cache ([`MeshWeight::uid`] + [`MeshWeight::build_tag`]),
+/// the trainable handles ([`MeshWeight::param_ids`]), and the three build
+/// phases. Implementations must be `Sync`: phase 2 runs on pool workers
+/// against a shared reference.
+///
+/// The lifetime `'g` is the step tape's; implementations that carry no
+/// per-step tape state (e.g. `PtcWeight`) implement the trait for every
+/// `'g`, while per-step bindings (e.g. the SuperMesh `BoundSuperWeight`)
+/// capture their step inputs as [`ImportSpec`]s so the binding itself
+/// stays `Sync`.
+pub trait MeshWeight<'g>: Sync {
+    /// Process-unique id of this weight — the key of the per-step prebuilt
+    /// cache (see [`ForwardCtx::take_prebuilt`]).
+    fn uid(&self) -> u64;
+
+    /// All trainable parameter handles of this weight.
+    fn param_ids(&self) -> Vec<ParamId>;
+
+    /// Fingerprint of the per-step inputs the build is wired to (the
+    /// SuperMesh frame variables for search weights). A `build` call
+    /// presenting a different tag than the scheduler used panics instead
+    /// of silently rebinding the cached weight. Weights whose build
+    /// depends only on their own parameters return 0 (the default).
+    fn build_tag(&self) -> u64 {
+        0
+    }
+
+    /// Build phase 1 (main thread): creates the parameter leaves on the
+    /// shared tape and draws any noise from the shared RNG — both in the
+    /// exact order of the serial walk, so staging all weights in layer
+    /// order pins leaf ids and noise draws regardless of how phase 2 is
+    /// scheduled.
+    fn stage(&self, ctx: &ForwardCtx<'g, '_>) -> StagedBuild;
+
+    /// Build phase 2 (any thread): records the mesh-unitary walks on a
+    /// private sub-tape. With `parallel_uv` set the two independent mesh
+    /// walks fork as concurrent sub-tape builds, spliced back in
+    /// U-then-V order so the node sequence is identical to the serial
+    /// walk. Must be deterministic.
+    fn record_build_segment(&self, staged: &StagedBuild, parallel_uv: bool) -> TapeSegment;
+
+    /// Build phase 3 (main thread): splices the mesh-walk segment into the
+    /// step tape and records the serial walk's exact tail (Σ product and
+    /// grid assembly), returning the finished weight variable.
+    fn finish_build(&self, ctx: &ForwardCtx<'g, '_>, segment: TapeSegment) -> Var<'g>;
+}
+
+/// Materializes one mesh weight on the tape through the three-phase walk,
+/// consuming the step's prebuilt cache when the parallel scheduler already
+/// built it (see [`prebuild_mesh_weights`]).
+///
+/// This is the **single serial build path** behind every mesh family's
+/// `build` method; the splice invariant of
+/// [`adept_autodiff::record_segment`] guarantees it records the exact node
+/// sequence of a direct monolithic walk.
+pub fn build_mesh_weight<'g>(ctx: &ForwardCtx<'g, '_>, weight: &dyn MeshWeight<'g>) -> Var<'g> {
+    if let Some(prebuilt) = ctx.take_prebuilt(weight.uid(), weight.build_tag()) {
+        return prebuilt;
+    }
+    let staged = weight.stage(ctx);
+    let segment = weight.record_build_segment(&staged, false);
+    weight.finish_build(ctx, segment)
+}
+
+/// Builds every weight's mesh-unitary segment concurrently and registers
+/// the finished weight variables in `ctx`'s prebuilt cache (keyed by
+/// [`MeshWeight::uid`] and tagged with [`MeshWeight::build_tag`]), so the
+/// subsequent forward pass consumes them without re-recording.
+///
+/// This is the **only** stage→record→splice scheduler in the workspace:
+/// fixed-topology PTC weights and frame-bound SuperMesh weights — even
+/// mixed in one batch — all fan out through it. With one configured thread
+/// (or one weight and no pool win) it runs the serial staged walk — same
+/// code path, same tape, zero scheduling. The resulting tape is
+/// bit-identical either way.
+pub fn prebuild_mesh_weights<'g>(ctx: &ForwardCtx<'g, '_>, weights: &[&dyn MeshWeight<'g>]) {
+    if weights.is_empty() {
+        return;
+    }
+    // Phase 1: stage in layer order on the main thread (tape + RNG order).
+    let staged: Vec<StagedBuild> = weights.iter().map(|w| w.stage(ctx)).collect();
+    // Phases 2+3: record on the pool, splice + finish on this thread in
+    // layer-index order as each weight's segment lands.
+    schedule_segments(
+        weights,
+        &staged,
+        |w, st, par| w.record_build_segment(st, par),
+        |i, segment| {
+            let weight = weights[i].finish_build(ctx, segment);
+            ctx.register_prebuilt(weights[i].uid(), weights[i].build_tag(), weight);
+        },
+    );
+}
+
+/// Phases 2+3 of the build engine: records one tape segment per staged
+/// weight — concurrently on the shared pool when more than one thread is
+/// configured, serially (and with the in-weight U/V fork disabled)
+/// otherwise — and hands each segment to `finish` **in layer-index order,
+/// as soon as it lands**. Weight `i` splices while weights `i+1..` are
+/// still recording, so the main thread never barriers on the whole batch
+/// (the tails are cheap, but on many-layer models the old barrier left it
+/// idle).
+///
+/// `record(weight, staged, parallel_within)` must be deterministic, and
+/// `finish` runs on the calling thread in index order regardless of how
+/// the record jobs were scheduled — which is what keeps the spliced tape
+/// bit-identical at every thread count.
+///
+/// Private on purpose: every caller must go through
+/// [`prebuild_mesh_weights`], whose staging phase and prebuilt-cache
+/// registration are part of the determinism contract.
+fn schedule_segments<W, S>(
+    weights: &[&W],
+    staged: &[S],
+    record: impl Fn(&W, &S, bool) -> TapeSegment + Sync,
+    mut finish: impl FnMut(usize, TapeSegment),
+) where
+    W: Sync + ?Sized,
+    S: Sync,
+{
+    assert_eq!(weights.len(), staged.len(), "one staging per weight");
+    if gemm_thread_count() <= 1 {
+        for (i, (w, st)) in weights.iter().zip(staged).enumerate() {
+            finish(i, record(w, st, false));
+        }
+        return;
+    }
+    let slots: Vec<Mutex<Option<TapeSegment>>> =
+        (0..weights.len()).map(|_| Mutex::new(None)).collect();
+    pool::scope(|scope| {
+        let handles: Vec<pool::JobHandle> = weights
+            .iter()
+            .zip(staged)
+            .zip(&slots)
+            .map(|((w, st), slot)| {
+                let record = &record;
+                scope.spawn_handle(move || {
+                    *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(record(w, st, true));
+                })
+            })
+            .collect();
+        for (i, handle) in handles.iter().enumerate() {
+            scope.wait(handle);
+            // An empty slot means the record job panicked: stop finishing
+            // and let the scope's join propagate the worker's original
+            // payload instead of masking it with a scheduler-internal one.
+            let Some(segment) = slots[i].lock().unwrap_or_else(|p| p.into_inner()).take() else {
+                break;
+            };
+            finish(i, segment);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::onn::{OnnLinear, PtcWeight};
+    use crate::param::ParamStore;
+    use adept_autodiff::Graph;
+    use adept_photonics::BlockMeshTopology;
+    use adept_tensor::{set_gemm_threads, Tensor};
+
+    /// Serializes tests that override the global thread count.
+    static THREAD_OVERRIDE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn prebuild_matches_direct_build_bitwise() {
+        let _guard = THREAD_OVERRIDE.lock().unwrap_or_else(|p| p.into_inner());
+        let mut store = ParamStore::new();
+        let topo = BlockMeshTopology::butterfly(4);
+        // Ragged 6×10 weight exercises cropped edge tiles.
+        let layers: Vec<OnnLinear> = (0..3)
+            .map(|i| {
+                OnnLinear::new(
+                    &mut store,
+                    &format!("fc{i}"),
+                    10,
+                    6,
+                    topo.clone(),
+                    topo.clone(),
+                    40 + i as u64,
+                )
+            })
+            .collect();
+        let weights: Vec<&PtcWeight> = layers.iter().map(|l| &l.weight).collect();
+
+        let run = |threads: usize, prebuild: bool| -> (usize, Vec<Tensor>) {
+            set_gemm_threads(threads);
+            let graph = Graph::new();
+            let ctx = ForwardCtx::new(&graph, &store, true, 3);
+            if prebuild {
+                crate::build::prebuild_ptc_weights(&ctx, &weights);
+            }
+            let vals: Vec<Tensor> = weights.iter().map(|w| w.build(&ctx).value()).collect();
+            set_gemm_threads(0);
+            (graph.len(), vals)
+        };
+
+        let (len_serial, serial) = run(1, false);
+        let (len_pre1, pre1) = run(1, true);
+        let (len_pre8, pre8) = run(8, true);
+        assert_eq!(len_serial, len_pre1, "prebuild must not change the tape");
+        assert_eq!(len_pre1, len_pre8, "thread count must not change the tape");
+        for ((a, b), c) in serial.iter().zip(&pre1).zip(&pre8) {
+            assert_eq!(a.as_slice(), b.as_slice(), "serial vs prebuilt(1)");
+            assert_eq!(a.as_slice(), c.as_slice(), "serial vs prebuilt(8)");
+        }
+    }
+
+    #[test]
+    fn prebuilt_cache_is_consumed_once() {
+        let mut store = ParamStore::new();
+        let topo = BlockMeshTopology::butterfly(4);
+        let layer = OnnLinear::new(&mut store, "fc", 4, 4, topo.clone(), topo, 7);
+        let graph = Graph::new();
+        let ctx = ForwardCtx::new(&graph, &store, true, 0);
+        crate::build::prebuild_ptc_weights(&ctx, &[&layer.weight]);
+        let first = layer.weight.build(&ctx);
+        let len_after_first = graph.len();
+        let second = layer.weight.build(&ctx);
+        assert_eq!(
+            first.value().as_slice(),
+            second.value().as_slice(),
+            "second build re-records the same weight"
+        );
+        assert!(
+            graph.len() > len_after_first,
+            "second build must record fresh nodes, not reuse the cache"
+        );
+    }
+
+    #[test]
+    fn dyn_engine_builds_through_trait_objects() {
+        // The engine itself only sees `&dyn MeshWeight`; a weight built
+        // through the trait object must be bit-identical to the inherent
+        // `build` path (which delegates to the same engine).
+        let mut store = ParamStore::new();
+        let topo = BlockMeshTopology::butterfly(4);
+        let w = PtcWeight::new(&mut store, "w", 6, 5, topo.clone(), topo, 9);
+        let graph = Graph::new();
+        let ctx = ForwardCtx::new(&graph, &store, true, 0);
+        let dyn_w: &dyn MeshWeight<'_> = &w;
+        let via_dyn = build_mesh_weight(&ctx, dyn_w).value();
+        let graph2 = Graph::new();
+        let ctx2 = ForwardCtx::new(&graph2, &store, true, 0);
+        let via_inherent = w.build(&ctx2).value();
+        assert_eq!(via_dyn.as_slice(), via_inherent.as_slice());
+    }
+}

@@ -37,9 +37,26 @@ pub enum Backend {
 
 impl Backend {
     /// The FFT-ONN baseline backend: butterfly meshes for both unitaries.
+    /// Builds trainable butterfly [`crate::onn::PtcWeight`]s end-to-end —
+    /// every conv/linear weight's unitaries walk the `log2(k)`-stage
+    /// butterfly through the batched `[T, B, K]` builder.
     pub fn butterfly(k: usize) -> Self {
         let t = BlockMeshTopology::butterfly(k);
         Backend::Topology { u: t.clone(), v: t }
+    }
+
+    /// A dense `b`-block mesh with full coupler columns and identity
+    /// routing for both unitaries — the Clements-style "no routing
+    /// search" reference design.
+    pub fn dense(k: usize, blocks: usize) -> Self {
+        let t = BlockMeshTopology::dense_identity_routing(k, blocks);
+        Backend::Topology { u: t.clone(), v: t }
+    }
+
+    /// A fixed (frozen) pair of block-mesh topologies — e.g. a searched
+    /// design exported by `adept::SearchOutcome`.
+    pub fn topology(u: BlockMeshTopology, v: BlockMeshTopology) -> Self {
+        Backend::Topology { u, v }
     }
 
     /// PTC size of the backend.
@@ -146,20 +163,20 @@ pub fn proxy_cnn(
     let mut m = Sequential::new();
     let k = 3;
     let g1 = geom(input.channels, input.height, input.width, k, 1);
-    m.push(backend.conv(store, "conv1", g1, channels, seed));
-    m.push(Box::new(BatchNorm2d::new(store, "bn1", channels)));
-    m.push(Box::new(Relu));
+    m.push_boxed(backend.conv(store, "conv1", g1, channels, seed));
+    m.push(BatchNorm2d::new(store, "bn1", channels));
+    m.push(Relu);
     let g2 = geom(channels, g1.out_h(), g1.out_w(), k, 1);
-    m.push(backend.conv(store, "conv2", g2, channels, seed + 1));
-    m.push(Box::new(BatchNorm2d::new(store, "bn2", channels)));
-    m.push(Box::new(Relu));
+    m.push_boxed(backend.conv(store, "conv2", g2, channels, seed + 1));
+    m.push(BatchNorm2d::new(store, "bn2", channels));
+    m.push(Relu);
     // Pool down to a small map (paper uses Pool5 on 24×24 maps).
     let pool = (g2.out_h() / 3).max(1);
-    m.push(Box::new(AvgPool2d::new(pool)));
+    m.push(AvgPool2d::new(pool));
     let fh = g2.out_h() / pool;
     let fw = g2.out_w() / pool;
-    m.push(Box::new(Flatten));
-    m.push(backend.linear(store, "fc", channels * fh * fw, classes, seed + 2));
+    m.push(Flatten);
+    m.push_boxed(backend.linear(store, "fc", channels * fh * fw, classes, seed + 2));
     m
 }
 
@@ -178,23 +195,23 @@ pub fn lenet5(
     let f2 = ((84.0 * scale).round() as usize).max(8);
     let mut m = Sequential::new();
     let g1 = geom(input.channels, input.height, input.width, 3, 1);
-    m.push(backend.conv(store, "c1", g1, c1, seed));
-    m.push(Box::new(BatchNorm2d::new(store, "bn1", c1)));
-    m.push(Box::new(Relu));
-    m.push(Box::new(MaxPool2d::new(2)));
+    m.push_boxed(backend.conv(store, "c1", g1, c1, seed));
+    m.push(BatchNorm2d::new(store, "bn1", c1));
+    m.push(Relu);
+    m.push(MaxPool2d::new(2));
     let (h1, w1) = (g1.out_h() / 2, g1.out_w() / 2);
     let g2 = geom(c1, h1, w1, 3, 0);
-    m.push(backend.conv(store, "c2", g2, c2, seed + 1));
-    m.push(Box::new(BatchNorm2d::new(store, "bn2", c2)));
-    m.push(Box::new(Relu));
-    m.push(Box::new(MaxPool2d::new(2)));
+    m.push_boxed(backend.conv(store, "c2", g2, c2, seed + 1));
+    m.push(BatchNorm2d::new(store, "bn2", c2));
+    m.push(Relu);
+    m.push(MaxPool2d::new(2));
     let (h2, w2) = (g2.out_h() / 2, g2.out_w() / 2);
-    m.push(Box::new(Flatten));
-    m.push(backend.linear(store, "f1", c2 * h2 * w2, f1, seed + 2));
-    m.push(Box::new(Relu));
-    m.push(backend.linear(store, "f2", f1, f2, seed + 3));
-    m.push(Box::new(Relu));
-    m.push(backend.linear(store, "f3", f2, classes, seed + 4));
+    m.push(Flatten);
+    m.push_boxed(backend.linear(store, "f1", c2 * h2 * w2, f1, seed + 2));
+    m.push(Relu);
+    m.push_boxed(backend.linear(store, "f2", f1, f2, seed + 3));
+    m.push(Relu);
+    m.push_boxed(backend.linear(store, "f3", f2, classes, seed + 4));
     m
 }
 
@@ -218,29 +235,25 @@ pub fn vgg8(
     for (stage, &width) in widths.iter().enumerate() {
         for rep in 0..2 {
             let g = geom(c, h, w, 3, 1);
-            m.push(backend.conv(store, &format!("s{stage}c{rep}"), g, width, seed));
-            m.push(Box::new(BatchNorm2d::new(
-                store,
-                &format!("s{stage}b{rep}"),
-                width,
-            )));
-            m.push(Box::new(Relu));
+            m.push_boxed(backend.conv(store, &format!("s{stage}c{rep}"), g, width, seed));
+            m.push(BatchNorm2d::new(store, &format!("s{stage}b{rep}"), width));
+            m.push(Relu);
             c = width;
             h = g.out_h();
             w = g.out_w();
             seed += 1;
         }
         if h >= 2 && w >= 2 {
-            m.push(Box::new(MaxPool2d::new(2)));
+            m.push(MaxPool2d::new(2));
             h /= 2;
             w /= 2;
         }
     }
-    m.push(Box::new(Flatten));
+    m.push(Flatten);
     let hidden = (widths[2] / 2).max(8);
-    m.push(backend.linear(store, "fc1", c * h * w, hidden, seed));
-    m.push(Box::new(Relu));
-    m.push(backend.linear(store, "fc2", hidden, classes, seed + 1));
+    m.push_boxed(backend.linear(store, "fc1", c * h * w, hidden, seed));
+    m.push(Relu);
+    m.push_boxed(backend.linear(store, "fc2", hidden, classes, seed + 1));
     m
 }
 
@@ -253,9 +266,9 @@ pub fn mlp(
     seed: u64,
 ) -> Sequential {
     let mut m = Sequential::new();
-    m.push(Box::new(Linear::new(store, "h", in_features, hidden, seed)));
-    m.push(Box::new(Relu));
-    m.push(Box::new(Linear::new(store, "o", hidden, classes, seed + 1)));
+    m.push(Linear::new(store, "h", in_features, hidden, seed));
+    m.push(Relu);
+    m.push(Linear::new(store, "o", hidden, classes, seed + 1));
     m
 }
 
@@ -270,21 +283,21 @@ pub fn proxy_cnn_electronic(
 ) -> Sequential {
     let mut m = Sequential::new();
     let g1 = geom(input.channels, input.height, input.width, 3, 1);
-    m.push(Box::new(Conv2d::new(store, "conv1", g1, channels, seed)));
-    m.push(Box::new(BatchNorm2d::new(store, "bn1", channels)));
-    m.push(Box::new(Relu));
+    m.push(Conv2d::new(store, "conv1", g1, channels, seed));
+    m.push(BatchNorm2d::new(store, "bn1", channels));
+    m.push(Relu);
     let pool = (g1.out_h() / 3).max(1);
-    m.push(Box::new(AvgPool2d::new(pool)));
+    m.push(AvgPool2d::new(pool));
     let fh = g1.out_h() / pool;
     let fw = g1.out_w() / pool;
-    m.push(Box::new(Flatten));
-    m.push(Box::new(Linear::new(
+    m.push(Flatten);
+    m.push(Linear::new(
         store,
         "fc",
         channels * fh * fw,
         classes,
         seed + 2,
-    )));
+    ));
     m
 }
 
@@ -322,6 +335,32 @@ mod tests {
             m.device_count().is_some(),
             "photonic layer must report a PTC"
         );
+    }
+
+    #[test]
+    fn proxy_cnn_dense_backend_trains_through_the_mesh_engine() {
+        // The Clements-style dense-identity-routing backend must build and
+        // backprop through the same batched builder as every other block
+        // topology.
+        let mut store = ParamStore::new();
+        let input = InputShape::new(1, 8, 8);
+        let mut m = proxy_cnn(&mut store, input, 4, 4, &Backend::dense(4, 3), 0);
+        assert_eq!(forward_shape(&mut m, &store, input, 2), vec![2, 4]);
+        let count = m.device_count().expect("dense backend reports a PTC");
+        // 3 blocks per unitary, full coupler columns, no crossings.
+        assert_eq!(count.blocks, 6);
+        assert_eq!(count.cr, 0);
+        assert!(count.dc > 0);
+        let graph = Graph::new();
+        let ctx = ForwardCtx::new(&graph, &store, true, 0);
+        crate::mesh::prebuild_mesh_weights(&ctx, &m.mesh_weights());
+        let x = graph.constant(Tensor::ones(&[2, 1, 8, 8]));
+        let loss = m.forward(&ctx, x).cross_entropy_logits(&[0, 1]);
+        let grads = graph.backward_parallel(loss);
+        let updates = ctx.into_param_grads(&grads);
+        store.accumulate_many(&updates);
+        let total: f64 = m.param_ids().iter().map(|&id| store.grad(id).norm()).sum();
+        assert!(total > 1e-9, "gradient must flow through the dense mesh");
     }
 
     #[test]

@@ -23,10 +23,11 @@
 //! implementation and the batched path is pinned bit-equal to it.
 
 use crate::layers::{cols_to_nchw, im2col_var_scratch, Layer};
+use crate::mesh::{build_mesh_weight, MeshWeight, StagedBuild};
 use crate::param::{next_weight_uid, ForwardCtx, ParamId, ParamStore};
 use adept_autodiff::{
     batched_permute_rows, batched_phase_rotate, batched_tile_product, batched_tile_product_grid,
-    record_segment, record_segment_pair, stack, Graph, ImportSpec, TapeSegment, Var,
+    record_segment, record_segment_pair, stack, Graph, TapeSegment, Var,
 };
 use adept_linalg::{svd, CMatrix, C64};
 use adept_photonics::clements::decompose;
@@ -181,17 +182,6 @@ pub struct PtcWeight {
     pub phase_noise_std: f64,
 }
 
-/// Main-thread staging of one [`PtcWeight`] build: parameter leaves created
-/// (and noise drawn) on the shared tape/RNG in deterministic layer order,
-/// packaged so the mesh walks can record on a worker thread.
-pub struct StagedPtcBuild {
-    /// Phase imports: `phases_u` tiles followed by `phases_v` tiles.
-    imports: Vec<ImportSpec>,
-    /// Pre-drawn `([T, Bu, K], [T, Bv, K])` phase noise, if enabled.
-    noise: Option<(Tensor, Tensor)>,
-    n_tiles: usize,
-}
-
 impl PtcWeight {
     /// Registers the per-tile parameters for an `out × in` weight.
     ///
@@ -324,20 +314,25 @@ impl PtcWeight {
     /// of the tile count — and the values are bit-identical to the per-tile
     /// reference path ([`PtcWeight::build_per_tile`]).
     ///
-    /// Internally the build runs as [`PtcWeight::stage`] →
-    /// [`PtcWeight::record_build_segment`] → [`PtcWeight::finish_build`];
-    /// the splice invariant of [`adept_autodiff::record_segment`]
-    /// guarantees the three-phase walk records the exact node sequence of
-    /// the historical monolithic builder. When the parallel scheduler
-    /// ([`crate::build::prebuild_ptc_weights`]) already materialized this
-    /// weight for the step, that variable is returned instead.
+    /// Internally the build runs the [`MeshWeight`] three-phase walk
+    /// through [`build_mesh_weight`]; the splice invariant of
+    /// [`adept_autodiff::record_segment`] guarantees it records the exact
+    /// node sequence of the historical monolithic builder. When the
+    /// parallel scheduler ([`crate::mesh::prebuild_mesh_weights`]) already
+    /// materialized this weight for the step, that variable is returned
+    /// instead.
     pub fn build<'g>(&self, ctx: &ForwardCtx<'g, '_>) -> Var<'g> {
-        if let Some(prebuilt) = ctx.take_prebuilt(self.uid, 0) {
-            return prebuilt;
-        }
-        let staged = self.stage(ctx);
-        let segment = self.record_build_segment(&staged, false);
-        self.finish_build(ctx, segment)
+        build_mesh_weight(ctx, self)
+    }
+}
+
+impl<'g> MeshWeight<'g> for PtcWeight {
+    fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    fn param_ids(&self) -> Vec<ParamId> {
+        PtcWeight::param_ids(self)
     }
 
     /// Build phase 1 (main thread): creates the phase-parameter leaves on
@@ -345,7 +340,7 @@ impl PtcWeight {
     /// RNG stream — both in the exact order of the serial walk, so staging
     /// all weights in layer order pins leaf ids and noise draws regardless
     /// of how phase 2 is scheduled.
-    pub fn stage<'g>(&self, ctx: &ForwardCtx<'g, '_>) -> StagedPtcBuild {
+    fn stage(&self, ctx: &ForwardCtx<'g, '_>) -> StagedBuild {
         let n_tiles = self.grid_rows * self.grid_cols;
         let mut imports = Vec::with_capacity(2 * n_tiles);
         for &id in &self.phases_u {
@@ -354,12 +349,13 @@ impl PtcWeight {
         for &id in &self.phases_v {
             imports.push(ctx.param(id).export_import());
         }
-        let noise = (self.phase_noise_std > 0.0).then(|| self.sample_phase_noise(ctx, n_tiles));
-        StagedPtcBuild {
-            imports,
-            noise,
-            n_tiles,
-        }
+        let noise = if self.phase_noise_std > 0.0 {
+            let (nu, nv) = self.sample_phase_noise(ctx, n_tiles);
+            vec![nu, nv]
+        } else {
+            Vec::new()
+        };
+        StagedBuild { imports, noise }
     }
 
     /// Build phase 2 (any thread): records `[stack, stack, noise, U-walk,
@@ -367,12 +363,13 @@ impl PtcWeight {
     /// walks — independent until the tile product — record as two sub-tape
     /// builds running concurrently on the shared pool, spliced back in
     /// U-then-V order so the node sequence is identical to the serial walk.
-    pub fn record_build_segment(&self, staged: &StagedPtcBuild, parallel_uv: bool) -> TapeSegment {
+    fn record_build_segment(&self, staged: &StagedBuild, parallel_uv: bool) -> TapeSegment {
+        let n_tiles = self.grid_rows * self.grid_cols;
         record_segment(&staged.imports, |g, proxies| {
-            let (pu, pv) = proxies.split_at(staged.n_tiles);
+            let (pu, pv) = proxies.split_at(n_tiles);
             let mut su = stack(pu); // [T, Bu, K]
             let mut sv = stack(pv); // [T, Bv, K]
-            if let Some((nu, nv)) = &staged.noise {
+            if let [nu, nv] = staged.noise.as_slice() {
                 su = su.add(g.constant(nu.clone()));
                 sv = sv.add(g.constant(nv.clone()));
             }
@@ -405,7 +402,7 @@ impl PtcWeight {
     /// Build phase 3 (main thread): splices the mesh-walk segment into the
     /// step tape, creates the Σ leaves and records the fused `Re(UΣ·V)`
     /// grid product — the serial walk's exact tail.
-    pub fn finish_build<'g>(&self, ctx: &ForwardCtx<'g, '_>, segment: TapeSegment) -> Var<'g> {
+    fn finish_build(&self, ctx: &ForwardCtx<'g, '_>, segment: TapeSegment) -> Var<'g> {
         let k = self.k;
         let n_tiles = self.grid_rows * self.grid_cols;
         let spliced = ctx.graph.splice(segment);
@@ -426,11 +423,15 @@ impl PtcWeight {
             self.in_features,
         )
     }
+}
 
-    /// The per-tile reference build: one [`tile_unitary`] node chain per
-    /// tile followed by the stacked tile product. Kept for bit-equivalence
-    /// tests and the `unitary_build` benchmark; hot paths use
-    /// [`PtcWeight::build`].
+impl PtcWeight {
+    /// The per-tile **reference-only** build: one [`tile_unitary`] node
+    /// chain per tile followed by the stacked tile product. It exists to
+    /// pin the batched path bit-equal to the paper's literal per-tile
+    /// construction (bit-equivalence tests, the `unitary_build` benchmark)
+    /// and is never on a hot path — production code always goes through
+    /// [`PtcWeight::build`] / the [`MeshWeight`] engine.
     pub fn build_per_tile<'g>(&self, ctx: &ForwardCtx<'g, '_>) -> Var<'g> {
         let k = self.k;
         let n_tiles = self.grid_rows * self.grid_cols;
@@ -538,7 +539,7 @@ impl Layer for OnnLinear {
         Some(self.weight.device_count())
     }
 
-    fn ptc_weights(&self) -> Vec<&PtcWeight> {
+    fn mesh_weights<'g>(&self) -> Vec<&dyn MeshWeight<'g>> {
         vec![&self.weight]
     }
 }
@@ -615,7 +616,7 @@ impl Layer for OnnConv2d {
         Some(self.weight.device_count())
     }
 
-    fn ptc_weights(&self) -> Vec<&PtcWeight> {
+    fn mesh_weights<'g>(&self) -> Vec<&dyn MeshWeight<'g>> {
         vec![&self.weight]
     }
 }

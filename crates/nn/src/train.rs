@@ -2,7 +2,7 @@
 //! training (Gaussian phase noise injected during training, §4.1).
 //!
 //! Each step prebuilds every photonic layer's weight through the parallel
-//! scheduler ([`crate::build::prebuild_ptc_weights`]) before running the
+//! build engine ([`crate::mesh::prebuild_mesh_weights`]) before running the
 //! forward chain, and replays the backward pass through
 //! `Graph::backward_parallel`, which evaluates the spliced per-weight
 //! gradient subtrees concurrently with main-thread accumulation in splice
@@ -16,8 +16,8 @@
 //! layers consumes the stream in prebuild order — deterministic, but a
 //! different fixed sequence than the historical interleaving.
 
-use crate::build::prebuild_ptc_weights;
 use crate::layers::Layer;
+use crate::mesh::prebuild_mesh_weights;
 use crate::optim::{Adam, CosineLr};
 use crate::param::{ForwardCtx, ParamStore};
 use adept_autodiff::Graph;
@@ -105,7 +105,7 @@ pub fn train_classifier(
                     .wrapping_mul(0x9E37_79B9)
                     .wrapping_add((epoch * steps_per_epoch + batches) as u64),
             );
-            prebuild_ptc_weights(&ctx, &model.ptc_weights());
+            prebuild_mesh_weights(&ctx, &model.mesh_weights());
             let x = graph.constant(images);
             let logits = model.forward(&ctx, x);
             let loss = logits.cross_entropy_logits(&labels);
@@ -165,7 +165,7 @@ pub fn evaluate_seeded(
         let graph = Graph::new();
         let ctx = ForwardCtx::new(&graph, store, false, seed.wrapping_add(batch_idx));
         batch_idx += 1;
-        prebuild_ptc_weights(&ctx, &model.ptc_weights());
+        prebuild_mesh_weights(&ctx, &model.mesh_weights());
         let x = graph.constant(images);
         let logits = model.forward(&ctx, x).value();
         let classes = logits.shape()[1];
@@ -223,9 +223,9 @@ mod tests {
         let (train, test) = blob_datasets(180, 6, 3, 1);
         let mut store = ParamStore::new();
         let mut model = crate::layers::Sequential::new();
-        model.push(Box::new(crate::layers::Flatten));
+        model.push(crate::layers::Flatten);
         let inner = mlp(&mut store, 6, 16, 3, 0);
-        model.push(Box::new(inner));
+        model.push(inner);
         let cfg = TrainConfig {
             epochs: 20,
             batch_size: 20,
@@ -279,8 +279,8 @@ mod tests {
         let mut store = ParamStore::new();
         let topo = adept_photonics::BlockMeshTopology::butterfly(4);
         let mut model = crate::layers::Sequential::new();
-        model.push(Box::new(crate::layers::Flatten));
-        model.push(Box::new(crate::onn::OnnLinear::new(
+        model.push(crate::layers::Flatten);
+        model.push(crate::onn::OnnLinear::new(
             &mut store,
             "fc",
             4,
@@ -288,7 +288,7 @@ mod tests {
             topo.clone(),
             topo,
             1,
-        )));
+        ));
         let cfg = TrainConfig {
             epochs: 4,
             batch_size: 20,

@@ -255,6 +255,16 @@ pub fn matmul_into(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: u
 /// Default output-column width of one job in the wide-GEMM ragged sweep.
 /// Bounded so each job's `k × cols` B-slab stays cache-resident and the
 /// flop-balanced chunker has enough granularity to fill every thread.
+///
+/// 512 is the winner of the `conv_forward/wide_cols_{128..2048}` sweep in
+/// `BENCH_kernels.json` on the representative im2col'd conv shape
+/// `[16, 144] · [144, 4096]` (majority of repeated runs on the build
+/// container; 1024 occasionally ties): a `144×512` f64 B-slab (~0.56 MiB)
+/// comfortably fits L2 while leaving the flop-balanced chunker enough
+/// granularity to fill every thread. Chunk width never changes results
+/// (bit-identical across widths, pinned by
+/// `wide_sweep_is_bit_identical_across_chunk_sizes`); override per run
+/// with `ONN_WIDE_COLS` / [`set_wide_gemm_cols`].
 const WIDE_COL_CHUNK_DEFAULT: usize = 512;
 
 /// Runtime override of the wide-sweep column width (0 = env/default), set
@@ -268,14 +278,15 @@ static WIDE_COLS: AtomicUsize = AtomicUsize::new(0);
 ///
 /// `0` (the default) means "auto": honour the `ONN_WIDE_COLS` environment
 /// variable (validated like `ONN_THREADS`: `0`/empty/unset = auto, junk
-/// panics), else 512. Exposed so cache-level tuning sweeps and the
-/// bit-determinism tests can vary the chunk without re-exec'ing.
+/// panics), else the swept default (512). Exposed so
+/// cache-level tuning sweeps and the bit-determinism tests can vary the
+/// chunk without re-exec'ing.
 pub fn set_wide_gemm_cols(n: usize) {
     WIDE_COLS.store(n, Ordering::Relaxed);
 }
 
 /// The effective wide-sweep column width (override, `ONN_WIDE_COLS`, or
-/// the 512 default).
+/// the swept default).
 fn wide_col_chunk() -> usize {
     let n = WIDE_COLS.load(Ordering::Relaxed);
     if n != 0 {

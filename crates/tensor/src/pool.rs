@@ -32,7 +32,7 @@
 //! The pool never influences numerical results: tasks write disjoint
 //! outputs, and every GEMM partition accumulates each output element in the
 //! same k-order regardless of how tasks land on threads (see
-//! [`crate::matmul`]). Which thread runs a task is the *only*
+//! the GEMM partitioners in `matmul`). Which thread runs a task is the *only*
 //! nondeterminism, and it is unobservable in the outputs — the property the
 //! root `parallel_build` suite pins bit-for-bit.
 //!

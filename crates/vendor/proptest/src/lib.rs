@@ -246,7 +246,7 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`](vec()).
     pub struct VecStrategy<S> {
         element: S,
         len: Range<usize>,

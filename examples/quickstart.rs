@@ -46,10 +46,7 @@ fn main() {
     // 3. Train an ONN that uses the searched core for every layer
     //    (variation-aware, like the paper's retraining stage).
     let settings = adept_bench::RetrainSettings::for_scale(adept_bench::Scale::Repro);
-    let backend = Backend::Topology {
-        u: d.topo_u.clone(),
-        v: d.topo_v.clone(),
-    };
+    let backend = outcome.backend();
     let result = adept_bench::retrain(
         adept_bench::ModelKind::Proxy,
         DatasetKind::MnistLike,

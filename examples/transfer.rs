@@ -21,10 +21,7 @@ fn main() {
         "  found: #Blk={} #CR={} #DC={} footprint {:.0} kµm²\n",
         d.device_count.blocks, d.device_count.cr, d.device_count.dc, d.footprint_kum2
     );
-    let backend = Backend::Topology {
-        u: d.topo_u.clone(),
-        v: d.topo_v.clone(),
-    };
+    let backend = searched.backend();
 
     println!("transferring the frozen topology to LeNet-5 / FashionMNIST-like:");
     let adept_acc = retrain(

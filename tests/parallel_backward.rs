@@ -24,7 +24,7 @@ use adept::{SuperMeshHandles, SuperPtcWeight};
 use adept_autodiff::Graph;
 use adept_nn::layers::{Flatten, Layer, Sequential};
 use adept_nn::onn::OnnLinear;
-use adept_nn::{prebuild_ptc_weights, ForwardCtx, ParamStore};
+use adept_nn::{prebuild_mesh_weights, prebuild_ptc_weights, ForwardCtx, ParamStore};
 use adept_photonics::BlockMeshTopology;
 use adept_tensor::{set_gemm_threads, Tensor};
 use proptest::prelude::*;
@@ -60,7 +60,7 @@ fn run_step(
     let graph = Graph::new();
     let ctx = ForwardCtx::new(&graph, store, true, seed);
     if prebuild {
-        prebuild_ptc_weights(&ctx, &model.ptc_weights());
+        prebuild_mesh_weights(&ctx, &model.mesh_weights());
     }
     let xv = graph.constant(x.clone());
     let logits = model.forward(&ctx, xv);
@@ -95,7 +95,7 @@ fn assert_grads_identical(a: &[(String, Vec<u64>)], b: &[(String, Vec<u64>)], wh
 fn ragged_mlp(store: &mut ParamStore, noise: f64) -> Sequential {
     let topo = BlockMeshTopology::butterfly(4);
     let mut model = Sequential::new();
-    model.push(Box::new(Flatten));
+    model.push(Flatten);
     for (i, (inf, outf)) in [(10usize, 9usize), (9, 7), (7, 3)].iter().enumerate() {
         let mut layer = OnnLinear::new(
             store,
@@ -107,7 +107,7 @@ fn ragged_mlp(store: &mut ParamStore, noise: f64) -> Sequential {
             160 + i as u64,
         );
         layer.weight.phase_noise_std = noise;
-        model.push(Box::new(layer));
+        model.push(layer);
     }
     model
 }
@@ -189,7 +189,7 @@ fn nodes_recorded_after_the_loss_are_ignored() {
         set_gemm_threads(threads);
         let graph = Graph::new();
         let ctx = ForwardCtx::new(&graph, &store, true, 9);
-        prebuild_ptc_weights(&ctx, &model.ptc_weights());
+        prebuild_mesh_weights(&ctx, &model.mesh_weights());
         let xv = graph.constant(x.clone());
         let logits = model.forward(&ctx, xv);
         let loss = logits.cross_entropy_logits(&labels);
@@ -339,7 +339,7 @@ proptest! {
         let topo = BlockMeshTopology::butterfly(k);
         let mut store = ParamStore::new();
         let mut model = Sequential::new();
-        model.push(Box::new(Flatten));
+        model.push(Flatten);
         for i in 0..n_layers {
             let mut layer = OnnLinear::new(
                 &mut store,
@@ -353,7 +353,7 @@ proptest! {
             if noisy {
                 layer.weight.phase_noise_std = 0.02;
             }
-            model.push(Box::new(layer));
+            model.push(layer);
         }
         let n = 3;
         let x = Tensor::rand_uniform(&mut rng, &[n, 1, 1, dims[0]], -1.0, 1.0);

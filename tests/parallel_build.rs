@@ -20,7 +20,7 @@
 use adept_autodiff::Graph;
 use adept_nn::layers::{Flatten, Layer, Sequential};
 use adept_nn::onn::{OnnConv2d, OnnLinear, PtcWeight};
-use adept_nn::{prebuild_ptc_weights, ForwardCtx, ParamStore};
+use adept_nn::{prebuild_mesh_weights, prebuild_ptc_weights, ForwardCtx, ParamStore};
 use adept_photonics::BlockMeshTopology;
 use adept_tensor::{set_gemm_threads, Conv2dGeometry, Tensor};
 use proptest::prelude::*;
@@ -51,7 +51,7 @@ fn run_step(
     let graph = Graph::new();
     let ctx = ForwardCtx::new(&graph, store, true, seed);
     if prebuild {
-        prebuild_ptc_weights(&ctx, &model.ptc_weights());
+        prebuild_mesh_weights(&ctx, &model.mesh_weights());
     }
     let xv = graph.constant(x.clone());
     let logits = model.forward(&ctx, xv);
@@ -86,7 +86,7 @@ fn assert_grads_identical(a: &[(String, Tensor)], b: &[(String, Tensor)], what: 
 fn ragged_mlp(store: &mut ParamStore, noise: f64) -> Sequential {
     let topo = BlockMeshTopology::butterfly(4);
     let mut model = Sequential::new();
-    model.push(Box::new(Flatten));
+    model.push(Flatten);
     for (i, (inf, outf)) in [(10usize, 9usize), (9, 7), (7, 3)].iter().enumerate() {
         let mut layer = OnnLinear::new(
             store,
@@ -98,7 +98,7 @@ fn ragged_mlp(store: &mut ParamStore, noise: f64) -> Sequential {
             60 + i as u64,
         );
         layer.weight.phase_noise_std = noise;
-        model.push(Box::new(layer));
+        model.push(layer);
     }
     model
 }
@@ -171,16 +171,16 @@ fn mixed_mzi_and_ptc_noisy_model_is_thread_count_invariant() {
     let mut store = ParamStore::new();
     let topo = BlockMeshTopology::butterfly(4);
     let mut model = Sequential::new();
-    model.push(Box::new(Flatten));
+    model.push(Flatten);
     let mut onn = OnnLinear::new(&mut store, "fc0", 10, 8, topo.clone(), topo.clone(), 100);
     onn.weight.phase_noise_std = 0.03;
-    model.push(Box::new(onn));
+    model.push(onn);
     let mut mzi = MziLinear::new(&mut store, "fc1", 8, 6, 4, 101);
     mzi.phase_noise_std = 0.03;
-    model.push(Box::new(mzi));
+    model.push(mzi);
     let mut onn2 = OnnLinear::new(&mut store, "fc2", 6, 3, topo.clone(), topo, 102);
     onn2.weight.phase_noise_std = 0.03;
-    model.push(Box::new(onn2));
+    model.push(onn2);
     let (x, labels) = blob_input(4, 10, 6);
     let (len_1, loss_1, grads_1) = run_step(&mut model, &store, &x, &labels, 13, 1, true);
     for threads in [2usize, 8] {
@@ -206,7 +206,7 @@ fn conv_layers_with_cropped_tiles_stay_deterministic() {
     // col_rows = 9 on K=4 → ragged grid; 6 output channels → ragged rows.
     let topo = BlockMeshTopology::butterfly(4);
     let mut model = Sequential::new();
-    model.push(Box::new(OnnConv2d::new(
+    model.push(OnnConv2d::new(
         &mut store,
         "conv",
         geom,
@@ -214,9 +214,9 @@ fn conv_layers_with_cropped_tiles_stay_deterministic() {
         topo.clone(),
         topo.clone(),
         80,
-    )));
-    model.push(Box::new(Flatten));
-    model.push(Box::new(OnnLinear::new(
+    ));
+    model.push(Flatten);
+    model.push(OnnLinear::new(
         &mut store,
         "head",
         6 * 8 * 8,
@@ -224,7 +224,7 @@ fn conv_layers_with_cropped_tiles_stay_deterministic() {
         topo.clone(),
         topo,
         81,
-    )));
+    ));
     let mut rng = StdRng::seed_from_u64(4);
     let x = Tensor::rand_uniform(&mut rng, &[2, 1, 8, 8], -1.0, 1.0);
     let labels = vec![0usize, 2];
@@ -301,7 +301,7 @@ proptest! {
         let topo = BlockMeshTopology::butterfly(k);
         let mut store = ParamStore::new();
         let mut model = Sequential::new();
-        model.push(Box::new(Flatten));
+        model.push(Flatten);
         for i in 0..n_layers {
             let mut layer = OnnLinear::new(
                 &mut store,
@@ -315,7 +315,7 @@ proptest! {
             if noisy {
                 layer.weight.phase_noise_std = 0.02;
             }
-            model.push(Box::new(layer));
+            model.push(layer);
         }
         let n = 3;
         let x = Tensor::rand_uniform(&mut rng, &[n, 1, 1, dims[0]], -1.0, 1.0);
