@@ -207,6 +207,22 @@ impl SearchOutcome {
     pub fn backend(&self) -> adept_nn::models::Backend {
         adept_nn::models::Backend::topology(self.design.topo_u.clone(), self.design.topo_v.clone())
     }
+
+    /// Instantiates the proxy CNN on the searched backend, registering
+    /// fresh parameters in `store`. This is the frozen-design export path:
+    /// the returned model trains like any other, and because its layers
+    /// lower (`adept_nn::lower_model`), it can be compiled straight into a
+    /// tape-free `adept-infer` execution plan for serving.
+    pub fn frozen_proxy_cnn(
+        &self,
+        store: &mut ParamStore,
+        input: adept_nn::models::InputShape,
+        channels: usize,
+        classes: usize,
+        seed: u64,
+    ) -> adept_nn::layers::Sequential {
+        adept_nn::models::proxy_cnn(store, input, channels, classes, &self.backend(), seed)
+    }
 }
 
 /// The proxy 2-layer CNN whose conv/FC weights are SuperMesh PTCs.

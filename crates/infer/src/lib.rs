@@ -1,0 +1,37 @@
+//! Tape-free compiled inference engine + batching serving runtime.
+//!
+//! Training in this workspace runs every forward through the autodiff
+//! tape — `Graph` nodes, `Var` handles, per-step weight rebuilds. That is
+//! the right shape for gradients and exactly the wrong shape for serving,
+//! where the weights are frozen and the same forward runs millions of
+//! times. This crate splits the two:
+//!
+//! * [`ExecPlan`] — the **compiler** ([`ExecPlan::compile`]): freezes any
+//!   trained [`adept_nn::layers::Layer`] model (electronic layers, PTC/MZI photonic
+//!   layers, `Sequential` stacks, models built from a searched backend)
+//!   into a flat step program. Mesh unitaries and `Re(U·diag(σ)·V)` weight
+//!   matrices are materialized **once** at plan-build time through the same
+//!   tape machinery a forward pass uses — bit-identical weights, including
+//!   the phase-noise stream for a given seed — and rebuilt only when the
+//!   parameters actually change ([`ExecPlan::refresh`]). Convolutions lower
+//!   to the existing im2col + GEMM kernels with per-plan preallocated
+//!   scratch; ReLU fuses into the preceding GEMM/batch-norm epilogue.
+//! * [`ExecPlan::run_batch`] — the **executor**: replays the program over a
+//!   batch with zero `Graph`/`Var` construction and zero heap allocations
+//!   on the warm path (two preallocated ping-pong slabs; pinned by the
+//!   counting-allocator test in `tests/compiled_inference.rs`). Outputs are
+//!   bit-identical to the tape forward with noise off, and identical to
+//!   `evaluate_seeded`'s frozen noisy weights for the same seed.
+//! * [`serve()`] — the **serving runtime**: a request queue that coalesces
+//!   single-sample requests into mini-batches (size cap + fill deadline),
+//!   shards batches across the shared `adept_tensor::pool` workers (each
+//!   with a private plan clone), and reports req/s with p50/p99 latency
+//!   ([`ServeReport`]). Batch size and worker count follow
+//!   `ONN_SERVE_BATCH` / `ONN_SERVE_THREADS` (validated like
+//!   `ONN_THREADS`: junk panics, `0`/empty/unset = auto).
+
+pub mod plan;
+pub mod serve;
+
+pub use plan::ExecPlan;
+pub use serve::{serve, ServeConfig, ServeReport};

@@ -1,0 +1,494 @@
+//! Compiling lowered models into flat, allocation-free execution plans.
+//!
+//! [`ExecPlan::compile`] takes the [`adept_nn::lower_model`] step list and
+//! turns it into a closed program: weight matrices frozen as contiguous
+//! tensors, every convolution lowered to the same im2col + GEMM + NCHW
+//! reorder the tape runs, per-plan scratch sized once for the maximum
+//! batch, and activations fused into the producing step's epilogue where
+//! possible. [`ExecPlan::run_batch`] then replays the program with nothing
+//! but slice arithmetic — no `Graph`, no `Var`, and **zero heap
+//! allocations** on the warm path (pinned by `tests/compiled_inference.rs`
+//! under the counting allocator).
+//!
+//! Arithmetic is deliberately a bit-for-bit mirror of the tape forward:
+//! GEMMs go through [`adept_tensor::matmul_into`] (same k-order at any
+//! thread count), convolution reorder/bias/activation apply in the tape's
+//! element order, and batch-norm keeps the tape's two-step
+//! normalize-then-affine form. With noise off, compiled outputs equal the
+//! tape's exactly; with phase noise on, compiling with seed `s` freezes the
+//! same noisy weights `evaluate_seeded(…, s)` would draw.
+
+use adept_nn::layers::Layer;
+use adept_nn::{lower_model, LowerError, LoweredStep, ParamStore};
+use adept_tensor::{im2col_slice_into, matmul_into, Conv2dGeometry, Tensor};
+
+/// One compiled step. Producing steps read the source slab and write the
+/// destination slab; in-place steps rewrite the source slab directly.
+#[derive(Debug, Clone)]
+enum Step {
+    /// `y = x·w_t + b` with optional fused ReLU epilogue. Producing.
+    Linear {
+        w_t: Tensor,
+        bias: Tensor,
+        in_f: usize,
+        out_f: usize,
+        relu: bool,
+    },
+    /// im2col + GEMM + NCHW reorder with fused bias (+ optional ReLU).
+    /// Producing; owns its patch-matrix and GEMM scratch.
+    Conv {
+        w: Tensor,
+        bias: Tensor,
+        geom: Conv2dGeometry,
+        oc: usize,
+        relu: bool,
+        cols: Vec<f64>,
+        gemm: Vec<f64>,
+    },
+    /// Eval-mode batch norm (+ optional ReLU). In place.
+    BatchNorm {
+        mean: Vec<f64>,
+        inv_std: Vec<f64>,
+        gamma: Vec<f64>,
+        beta: Vec<f64>,
+        channels: usize,
+        hw: usize,
+        relu: bool,
+    },
+    /// Standalone `max(x, 0)` (nothing to fuse into). In place.
+    Relu { elems: usize },
+    /// Average pooling, window = stride = `k`. Producing.
+    AvgPool {
+        k: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+    },
+    /// Max pooling, window = stride = `k`. Producing.
+    MaxPool {
+        k: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+    },
+}
+
+impl Step {
+    /// Per-sample element count this step produces.
+    fn out_elems(&self) -> usize {
+        match self {
+            Step::Linear { out_f, .. } => *out_f,
+            Step::Conv { geom, oc, .. } => oc * geom.out_h() * geom.out_w(),
+            Step::BatchNorm { channels, hw, .. } => channels * hw,
+            Step::Relu { elems } => *elems,
+            Step::AvgPool { k, c, h, w } | Step::MaxPool { k, c, h, w } => c * (h / k) * (w / k),
+        }
+    }
+
+    fn is_in_place(&self) -> bool {
+        matches!(self, Step::BatchNorm { .. } | Step::Relu { .. })
+    }
+}
+
+/// A frozen, tape-free inference program for one trained model.
+///
+/// Created by [`ExecPlan::compile`]; executed by [`ExecPlan::run_batch`].
+/// Holds everything the warm path needs — frozen weights, conv scratch and
+/// two ping-pong activation slabs sized for `max_batch` — so repeated
+/// forwards allocate nothing. Clone a plan to give each serving worker
+/// private scratch; the frozen weight tensors are shared structurally.
+#[derive(Debug, Clone)]
+pub struct ExecPlan {
+    steps: Vec<Step>,
+    in_shape: Vec<usize>,
+    in_elems: usize,
+    out_features: usize,
+    max_batch: usize,
+    fingerprint: u64,
+    seed: u64,
+    buf_a: Vec<f64>,
+    buf_b: Vec<f64>,
+}
+
+/// FNV-1a over every parameter tensor's shape and f64 bit pattern, in
+/// `model.param_ids()` order. Cheap change detection for [`ExecPlan::refresh`].
+fn param_fingerprint(model: &dyn Layer, store: &ParamStore) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for id in model.param_ids() {
+        let t = store.value(id);
+        for &d in t.shape() {
+            mix(d as u64);
+        }
+        for &x in t.as_slice() {
+            mix(x.to_bits());
+        }
+    }
+    h
+}
+
+impl ExecPlan {
+    /// Freezes `model` into an executable plan.
+    ///
+    /// `sample_shape` is the per-sample input shape (no batch dimension —
+    /// e.g. `[C, H, W]` for a CNN, `[features]` for an MLP); `max_batch`
+    /// sizes the plan's scratch, and `seed` fixes the phase-noise stream
+    /// exactly as `evaluate_seeded`'s first batch would draw it.
+    ///
+    /// Lowering walks the model once, then a shape pass checks every step
+    /// against the declared input, fuses each ReLU into the producing step
+    /// before it (GEMM/batch-norm epilogue) and drops `Flatten` (pure
+    /// metadata: slabs are already flat).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LowerError`] if any layer lacks a tape-free lowering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch == 0` or a step disagrees with the incoming
+    /// shape (wrong feature count, non-NCHW input to a conv/pool).
+    pub fn compile(
+        model: &dyn Layer,
+        store: &ParamStore,
+        sample_shape: &[usize],
+        max_batch: usize,
+        seed: u64,
+    ) -> Result<Self, LowerError> {
+        assert!(max_batch > 0, "max_batch must be positive");
+        let lowered = lower_model(model, store, seed)?;
+        let in_shape = sample_shape.to_vec();
+        let in_elems: usize = in_shape.iter().product();
+        let mut shape = in_shape.clone();
+        let mut steps: Vec<Step> = Vec::new();
+        let mut max_elems = in_elems;
+        for step in lowered {
+            match step {
+                LoweredStep::Flatten => {
+                    shape = vec![shape.iter().product()];
+                    continue;
+                }
+                LoweredStep::Relu => {
+                    // Fuse into the previous producing step's epilogue when
+                    // it has one free; otherwise keep a standalone pass.
+                    match steps.last_mut() {
+                        Some(
+                            Step::Linear { relu, .. }
+                            | Step::Conv { relu, .. }
+                            | Step::BatchNorm { relu, .. },
+                        ) if !*relu => *relu = true,
+                        _ => steps.push(Step::Relu {
+                            elems: shape.iter().product(),
+                        }),
+                    }
+                    continue;
+                }
+                LoweredStep::Linear { w_t, bias } => {
+                    let elems: usize = shape.iter().product();
+                    let (in_f, out_f) = (w_t.shape()[0], w_t.shape()[1]);
+                    assert_eq!(elems, in_f, "linear input features mismatch");
+                    steps.push(Step::Linear {
+                        w_t,
+                        bias,
+                        in_f,
+                        out_f,
+                        relu: false,
+                    });
+                    shape = vec![out_f];
+                }
+                LoweredStep::Conv2d {
+                    w,
+                    bias,
+                    geom,
+                    out_channels,
+                } => {
+                    assert_eq!(
+                        shape,
+                        [geom.in_channels, geom.in_h, geom.in_w],
+                        "conv input shape mismatch"
+                    );
+                    let ccols = geom.col_cols(max_batch);
+                    steps.push(Step::Conv {
+                        w,
+                        bias,
+                        geom,
+                        oc: out_channels,
+                        relu: false,
+                        cols: vec![0.0; geom.col_rows() * ccols],
+                        gemm: vec![0.0; out_channels * ccols],
+                    });
+                    shape = vec![out_channels, geom.out_h(), geom.out_w()];
+                }
+                LoweredStep::BatchNorm2d {
+                    mean,
+                    inv_std,
+                    gamma,
+                    beta,
+                } => {
+                    assert_eq!(shape.len(), 3, "batch norm expects CHW input");
+                    assert_eq!(shape[0], mean.len(), "batch norm channel mismatch");
+                    steps.push(Step::BatchNorm {
+                        mean,
+                        inv_std,
+                        gamma,
+                        beta,
+                        channels: shape[0],
+                        hw: shape[1] * shape[2],
+                        relu: false,
+                    });
+                }
+                LoweredStep::AvgPool2d { kernel } => {
+                    assert_eq!(shape.len(), 3, "avg pool expects CHW input");
+                    let (c, h, w) = (shape[0], shape[1], shape[2]);
+                    steps.push(Step::AvgPool { k: kernel, c, h, w });
+                    shape = vec![c, h / kernel, w / kernel];
+                }
+                LoweredStep::MaxPool2d { kernel } => {
+                    assert_eq!(shape.len(), 3, "max pool expects CHW input");
+                    let (c, h, w) = (shape[0], shape[1], shape[2]);
+                    steps.push(Step::MaxPool { k: kernel, c, h, w });
+                    shape = vec![c, h / kernel, w / kernel];
+                }
+            }
+            max_elems = max_elems.max(steps.last().map_or(0, Step::out_elems));
+        }
+        let out_features = shape.iter().product();
+        let slab = max_batch * max_elems;
+        Ok(Self {
+            steps,
+            in_shape,
+            in_elems,
+            out_features,
+            max_batch,
+            fingerprint: param_fingerprint(model, store),
+            seed,
+            buf_a: vec![0.0; slab],
+            buf_b: vec![0.0; slab],
+        })
+    }
+
+    /// Per-sample input element count (`sample_shape` product).
+    pub fn input_elems(&self) -> usize {
+        self.in_elems
+    }
+
+    /// Per-sample output feature count.
+    pub fn output_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Largest batch [`ExecPlan::run_batch`] accepts.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Number of compiled steps (after fusion and `Flatten` elision).
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Rebuilds the frozen weights if (and only if) the model's parameters
+    /// changed since this plan was compiled — e.g. after phases moved in a
+    /// training step. The noise seed is kept, so a refreshed plan stays
+    /// comparable to `evaluate_seeded` under the same seed. Returns whether
+    /// a rebuild happened.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LowerError`] if the (changed) model no longer lowers.
+    pub fn refresh(&mut self, model: &dyn Layer, store: &ParamStore) -> Result<bool, LowerError> {
+        if param_fingerprint(model, store) == self.fingerprint {
+            return Ok(false);
+        }
+        *self = Self::compile(model, store, &self.in_shape, self.max_batch, self.seed)?;
+        Ok(true)
+    }
+
+    /// Runs `n` samples through the plan: `input` is `n × input_elems`
+    /// row-major, `out` receives `n × output_features` logits.
+    ///
+    /// Warm path: zero heap allocations, zero tape nodes. Per-sample
+    /// results are independent of batch composition (every step is
+    /// per-sample and GEMM k-order is fixed), so serving may coalesce
+    /// requests into arbitrary batches without changing any output bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds `max_batch`, or slice lengths
+    /// disagree with `n`.
+    pub fn run_batch(&mut self, input: &[f64], n: usize, out: &mut [f64]) {
+        assert!(n > 0, "empty batch");
+        assert!(
+            n <= self.max_batch,
+            "batch {n} exceeds max {}",
+            self.max_batch
+        );
+        assert_eq!(input.len(), n * self.in_elems, "input length mismatch");
+        assert_eq!(out.len(), n * self.out_features, "output length mismatch");
+        let mut src = std::mem::take(&mut self.buf_a);
+        let mut dst = std::mem::take(&mut self.buf_b);
+        src[..input.len()].copy_from_slice(input);
+        for step in &mut self.steps {
+            if step.is_in_place() {
+                run_in_place(step, &mut src, n);
+            } else {
+                run_producing(step, &src, &mut dst, n);
+                std::mem::swap(&mut src, &mut dst);
+            }
+        }
+        out.copy_from_slice(&src[..out.len()]);
+        self.buf_a = src;
+        self.buf_b = dst;
+    }
+}
+
+/// Executes a slab-rewriting step over `n` samples.
+fn run_in_place(step: &Step, src: &mut [f64], n: usize) {
+    match step {
+        Step::Relu { elems } => {
+            for v in &mut src[..n * elems] {
+                *v = v.max(0.0);
+            }
+        }
+        Step::BatchNorm {
+            mean,
+            inv_std,
+            gamma,
+            beta,
+            channels,
+            hw,
+            relu,
+        } => {
+            // Tape parity: normalize then affine as two separate rounding
+            // steps (batch_norm2d_op), never folded into one multiply-add.
+            for ni in 0..n {
+                for c in 0..*channels {
+                    let off = (ni * channels + c) * hw;
+                    for v in &mut src[off..off + hw] {
+                        let xhat = (*v - mean[c]) * inv_std[c];
+                        let y = xhat * gamma[c] + beta[c];
+                        *v = if *relu { y.max(0.0) } else { y };
+                    }
+                }
+            }
+        }
+        _ => unreachable!("producing step dispatched as in-place"),
+    }
+}
+
+/// Executes a producing step: reads `src`, writes `dst`.
+fn run_producing(step: &mut Step, src: &[f64], dst: &mut [f64], n: usize) {
+    match step {
+        Step::Linear {
+            w_t,
+            bias,
+            in_f,
+            out_f,
+            relu,
+        } => {
+            matmul_into(
+                &src[..n * *in_f],
+                w_t.as_slice(),
+                &mut dst[..n * *out_f],
+                n,
+                *in_f,
+                *out_f,
+            );
+            let b = bias.as_slice();
+            for row in dst[..n * *out_f].chunks_exact_mut(*out_f) {
+                for (v, &bj) in row.iter_mut().zip(b) {
+                    let y = *v + bj;
+                    *v = if *relu { y.max(0.0) } else { y };
+                }
+            }
+        }
+        Step::Conv {
+            w,
+            bias,
+            geom,
+            oc,
+            relu,
+            cols,
+            gemm,
+        } => {
+            let p = geom.out_h() * geom.out_w();
+            let crows = geom.col_rows();
+            let ccols = geom.col_cols(n);
+            let in_elems = geom.in_channels * geom.in_h * geom.in_w;
+            im2col_slice_into(&src[..n * in_elems], n, geom, &mut cols[..crows * ccols]);
+            matmul_into(
+                w.as_slice(),
+                &cols[..crows * ccols],
+                &mut gemm[..*oc * ccols],
+                *oc,
+                crows,
+                ccols,
+            );
+            // The tape's cols_to_nchw gather + broadcast bias add, as one
+            // fused reorder pass.
+            let b = bias.as_slice();
+            for ni in 0..n {
+                for c in 0..*oc {
+                    let dst_off = (ni * *oc + c) * p;
+                    let gemm_off = c * ccols + ni * p;
+                    for pix in 0..p {
+                        let y = gemm[gemm_off + pix] + b[c];
+                        dst[dst_off + pix] = if *relu { y.max(0.0) } else { y };
+                    }
+                }
+            }
+        }
+        Step::AvgPool { k, c, h, w } => {
+            let (k, c, h, w) = (*k, *c, *h, *w);
+            let (oh, ow) = (h / k, w / k);
+            let scale = (k * k) as f64;
+            for ni in 0..n {
+                for ci in 0..c {
+                    let src_off = (ni * c + ci) * h * w;
+                    let dst_off = (ni * c + ci) * oh * ow;
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut s = 0.0;
+                            for dy in 0..k {
+                                for dx in 0..k {
+                                    s += src[src_off + (oy * k + dy) * w + ox * k + dx];
+                                }
+                            }
+                            dst[dst_off + oy * ow + ox] = s / scale;
+                        }
+                    }
+                }
+            }
+        }
+        Step::MaxPool { k, c, h, w } => {
+            let (k, c, h, w) = (*k, *c, *h, *w);
+            let (oh, ow) = (h / k, w / k);
+            for ni in 0..n {
+                for ci in 0..c {
+                    let src_off = (ni * c + ci) * h * w;
+                    let dst_off = (ni * c + ci) * oh * ow;
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut best = f64::NEG_INFINITY;
+                            for dy in 0..k {
+                                for dx in 0..k {
+                                    let v = src[src_off + (oy * k + dy) * w + ox * k + dx];
+                                    if v > best {
+                                        best = v;
+                                    }
+                                }
+                            }
+                            dst[dst_off + oy * ow + ox] = best;
+                        }
+                    }
+                }
+            }
+        }
+        _ => unreachable!("in-place step dispatched as producing"),
+    }
+}

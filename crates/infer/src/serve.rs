@@ -1,0 +1,270 @@
+//! Batching serving runtime over a compiled [`ExecPlan`].
+//!
+//! Single-sample requests land in a queue; workers coalesce them into
+//! mini-batches under a size/deadline policy (take what is there, wait up
+//! to `max_wait` to fill the batch) and run each batch through a private
+//! clone of the plan on the shared [`adept_tensor::pool`] worker set.
+//! Because compiled per-sample outputs are independent of batch
+//! composition (see [`ExecPlan::run_batch`]), coalescing is invisible in
+//! the results — only in the latency histogram, which [`ServeReport`]
+//! summarizes as req/s plus p50/p99.
+
+use crate::plan::ExecPlan;
+use adept_tensor::pool;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Knobs for one serving session.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Mini-batch size cap; `0` = auto (`ONN_SERVE_BATCH`, else 8, capped
+    /// at the plan's `max_batch`).
+    pub max_batch: usize,
+    /// Worker count; `0` = auto (`ONN_SERVE_THREADS`, else the GEMM pool
+    /// width).
+    pub threads: usize,
+    /// How long a worker holding a partial batch waits for more arrivals
+    /// before running what it has.
+    pub max_wait: Duration,
+    /// Synthetic request-stream pacing: delay between enqueues. Zero means
+    /// an open firehose (every request available immediately).
+    pub arrival_spacing: Duration,
+}
+
+impl ServeConfig {
+    /// Everything on auto: env-tuned batch/threads, 200µs fill deadline,
+    /// firehose arrivals.
+    pub fn auto() -> Self {
+        Self {
+            max_batch: 0,
+            threads: 0,
+            max_wait: Duration::from_micros(200),
+            arrival_spacing: Duration::ZERO,
+        }
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+/// Throughput/latency summary of one [`serve`] session.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Requests served.
+    pub requests: usize,
+    /// Mini-batches executed (≤ requests; smaller is better coalescing).
+    pub batches: usize,
+    /// Effective mini-batch cap after auto resolution.
+    pub max_batch: usize,
+    /// Effective worker count after auto resolution.
+    pub threads: usize,
+    /// Wall-clock of the whole session.
+    pub elapsed: Duration,
+    /// Requests per second over the session.
+    pub req_per_sec: f64,
+    /// Median enqueue-to-completion latency.
+    pub p50_latency: Duration,
+    /// 99th-percentile enqueue-to-completion latency.
+    pub p99_latency: Duration,
+}
+
+/// FIFO of pending request indices with their enqueue stamps.
+struct Queue {
+    inner: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+struct QueueState {
+    pending: VecDeque<(usize, Instant)>,
+    closed: bool,
+}
+
+impl Queue {
+    fn new() -> Self {
+        Self {
+            inner: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, idx: usize) {
+        let mut st = self.inner.lock().unwrap();
+        st.pending.push_back((idx, Instant::now()));
+        drop(st);
+        self.ready.notify_one();
+    }
+
+    fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Pops up to `max` requests into `out`. Blocks for the first request;
+    /// once holding a partial batch, waits at most `max_wait` for it to
+    /// fill before returning. Returns `false` when the queue is closed and
+    /// drained — the worker's signal to exit.
+    fn pop_batch(&self, max: usize, max_wait: Duration, out: &mut Vec<(usize, Instant)>) -> bool {
+        out.clear();
+        let mut st = self.inner.lock().unwrap();
+        loop {
+            while let Some(item) = st.pending.pop_front() {
+                out.push(item);
+                if out.len() == max {
+                    return true;
+                }
+            }
+            if !out.is_empty() {
+                // Partial batch in hand: give stragglers one deadline.
+                let (next, timeout) = self.ready.wait_timeout(st, max_wait).unwrap();
+                st = next;
+                while out.len() < max {
+                    match st.pending.pop_front() {
+                        Some(item) => out.push(item),
+                        None => break,
+                    }
+                }
+                if timeout.timed_out() || out.len() == max || st.closed {
+                    return true;
+                }
+                continue;
+            }
+            if st.closed {
+                return false;
+            }
+            st = self.ready.wait(st).unwrap();
+        }
+    }
+}
+
+/// Raw output cursor handed to workers. Each request index owns a disjoint
+/// `out_features` slice of the output buffer, so concurrent writes never
+/// alias.
+struct OutPtr(*mut f64);
+unsafe impl Send for OutPtr {}
+unsafe impl Sync for OutPtr {}
+
+/// Serves `n_requests` single-sample requests drawn from `inputs`
+/// (row-major `n_requests × plan.input_elems()`), coalescing them into
+/// mini-batches across worker threads. Returns all outputs (request order)
+/// and the latency/throughput report.
+///
+/// Workers run on [`pool::scope`] with a private clone of the plan each;
+/// the caller's thread is the producer, pacing arrivals by
+/// `cfg.arrival_spacing`. Outputs are bit-identical to running each
+/// request alone through the plan, whatever batches form.
+///
+/// # Panics
+///
+/// Panics if `inputs` does not hold `n_requests` samples.
+pub fn serve(
+    plan: &ExecPlan,
+    inputs: &[f64],
+    n_requests: usize,
+    cfg: &ServeConfig,
+) -> (Vec<f64>, ServeReport) {
+    let in_elems = plan.input_elems();
+    let out_f = plan.output_features();
+    assert_eq!(
+        inputs.len(),
+        n_requests * in_elems,
+        "inputs must hold n_requests samples"
+    );
+    let max_batch = resolve(cfg.max_batch, pool::env_serve_batch(), 8).min(plan.max_batch());
+    let threads = resolve(cfg.threads, pool::env_serve_threads(), {
+        adept_tensor::gemm_thread_count().max(1)
+    });
+
+    let mut outputs = vec![0.0; n_requests * out_f];
+    let latencies: Mutex<Vec<Duration>> = Mutex::new(Vec::with_capacity(n_requests));
+    let batches = std::sync::atomic::AtomicUsize::new(0);
+    let queue = Queue::new();
+    let out_ptr = OutPtr(outputs.as_mut_ptr());
+    let started = Instant::now();
+
+    pool::scope(|scope| {
+        for _ in 0..threads {
+            let queue = &queue;
+            let latencies = &latencies;
+            let batches = &batches;
+            let out_ptr = &out_ptr;
+            let mut plan = plan.clone();
+            let cfg = cfg.clone();
+            scope.spawn(move || {
+                let mut batch: Vec<(usize, Instant)> = Vec::with_capacity(max_batch);
+                let mut staged = vec![0.0; max_batch * in_elems];
+                let mut logits = vec![0.0; max_batch * out_f];
+                while queue.pop_batch(max_batch, cfg.max_wait, &mut batch) {
+                    let n = batch.len();
+                    for (slot, &(idx, _)) in batch.iter().enumerate() {
+                        staged[slot * in_elems..(slot + 1) * in_elems]
+                            .copy_from_slice(&inputs[idx * in_elems..(idx + 1) * in_elems]);
+                    }
+                    plan.run_batch(&staged[..n * in_elems], n, &mut logits[..n * out_f]);
+                    let done = Instant::now();
+                    for (slot, &(idx, enqueued)) in batch.iter().enumerate() {
+                        // Disjoint per-request slice: idx is unique across
+                        // all batches, so no two workers touch it.
+                        unsafe {
+                            std::ptr::copy_nonoverlapping(
+                                logits[slot * out_f..].as_ptr(),
+                                out_ptr.0.add(idx * out_f),
+                                out_f,
+                            );
+                        }
+                        latencies.lock().unwrap().push(done - enqueued);
+                    }
+                    batches.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+        }
+        // Producer on the caller thread: enqueue the synthetic stream,
+        // then close so drained workers exit.
+        for idx in 0..n_requests {
+            if !cfg.arrival_spacing.is_zero() {
+                std::thread::sleep(cfg.arrival_spacing);
+            }
+            queue.push(idx);
+        }
+        queue.close();
+    });
+
+    let elapsed = started.elapsed();
+    let mut lat = latencies.into_inner().unwrap();
+    lat.sort_unstable();
+    let report = ServeReport {
+        requests: n_requests,
+        batches: batches.into_inner(),
+        max_batch,
+        threads,
+        elapsed,
+        req_per_sec: n_requests as f64 / elapsed.as_secs_f64().max(1e-12),
+        p50_latency: percentile(&lat, 50.0),
+        p99_latency: percentile(&lat, 99.0),
+    };
+    (outputs, report)
+}
+
+/// Explicit value, else env override, else fallback.
+fn resolve(explicit: usize, env: Option<usize>, fallback: usize) -> usize {
+    if explicit > 0 {
+        explicit
+    } else {
+        env.unwrap_or(fallback)
+    }
+}
+
+/// Nearest-rank percentile of sorted durations (empty → zero).
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}

@@ -1,5 +1,6 @@
 //! Electronic (non-photonic) layers lowered onto the autodiff tape.
 
+use crate::lower::{LowerError, LoweredStep};
 use crate::param::{ForwardCtx, ParamId, ParamStore};
 use adept_autodiff::Var;
 use adept_photonics::DeviceCount;
@@ -39,6 +40,21 @@ pub trait Layer {
     fn mesh_weights<'g>(&self) -> Vec<&dyn crate::mesh::MeshWeight<'g>> {
         Vec::new()
     }
+
+    /// Appends this layer's tape-free inference steps to `out`
+    /// (see [`crate::lower`]). `ctx` is the staging context of
+    /// [`crate::lower::lower_model`]: photonic layers build their frozen
+    /// weight matrices through it, consuming the prebuilt cache and the
+    /// shared RNG exactly as a tape forward would. The default declines,
+    /// naming the layer type — only layers whose eval-mode arithmetic is
+    /// expressible as [`LoweredStep`]s opt in.
+    fn lower<'g>(
+        &self,
+        _ctx: &ForwardCtx<'g, '_>,
+        _out: &mut Vec<LoweredStep>,
+    ) -> Result<(), LowerError> {
+        Err(LowerError::unsupported(std::any::type_name::<Self>()))
+    }
 }
 
 impl<L: Layer + ?Sized> Layer for Box<L> {
@@ -60,6 +76,14 @@ impl<L: Layer + ?Sized> Layer for Box<L> {
 
     fn mesh_weights<'g>(&self) -> Vec<&dyn crate::mesh::MeshWeight<'g>> {
         (**self).mesh_weights()
+    }
+
+    fn lower<'g>(
+        &self,
+        ctx: &ForwardCtx<'g, '_>,
+        out: &mut Vec<LoweredStep>,
+    ) -> Result<(), LowerError> {
+        (**self).lower(ctx, out)
     }
 }
 
@@ -127,6 +151,19 @@ impl Layer for Sequential {
     fn mesh_weights<'g>(&self) -> Vec<&dyn crate::mesh::MeshWeight<'g>> {
         self.layers.iter().flat_map(|l| l.mesh_weights()).collect()
     }
+
+    fn lower<'g>(
+        &self,
+        ctx: &ForwardCtx<'g, '_>,
+        out: &mut Vec<LoweredStep>,
+    ) -> Result<(), LowerError> {
+        // Forward order — photonic layers consume prebuilt weights and any
+        // noise draws in the same sequence as the tape forward.
+        for layer in &self.layers {
+            layer.lower(ctx, out)?;
+        }
+        Ok(())
+    }
 }
 
 /// Rectified linear unit.
@@ -136,6 +173,15 @@ pub struct Relu;
 impl Layer for Relu {
     fn forward<'g>(&mut self, _ctx: &ForwardCtx<'g, '_>, x: Var<'g>) -> Var<'g> {
         x.relu()
+    }
+
+    fn lower<'g>(
+        &self,
+        _ctx: &ForwardCtx<'g, '_>,
+        out: &mut Vec<LoweredStep>,
+    ) -> Result<(), LowerError> {
+        out.push(LoweredStep::Relu);
+        Ok(())
     }
 }
 
@@ -149,6 +195,15 @@ impl Layer for Flatten {
         let n = shape[0];
         let rest: usize = shape[1..].iter().product();
         x.reshape(&[n, rest])
+    }
+
+    fn lower<'g>(
+        &self,
+        _ctx: &ForwardCtx<'g, '_>,
+        out: &mut Vec<LoweredStep>,
+    ) -> Result<(), LowerError> {
+        out.push(LoweredStep::Flatten);
+        Ok(())
     }
 }
 
@@ -185,6 +240,20 @@ impl Layer for Linear {
 
     fn param_ids(&self) -> Vec<ParamId> {
         vec![self.w, self.b]
+    }
+
+    fn lower<'g>(
+        &self,
+        ctx: &ForwardCtx<'g, '_>,
+        out: &mut Vec<LoweredStep>,
+    ) -> Result<(), LowerError> {
+        // The tape multiplies by the materialized `w.transpose()` node
+        // value — capture exactly that tensor so GEMMs see the same bits.
+        out.push(LoweredStep::Linear {
+            w_t: ctx.store.value(self.w).transpose(),
+            bias: ctx.store.value(self.b).clone(),
+        });
+        Ok(())
     }
 }
 
@@ -245,6 +314,20 @@ impl Layer for Conv2d {
 
     fn param_ids(&self) -> Vec<ParamId> {
         vec![self.w, self.b]
+    }
+
+    fn lower<'g>(
+        &self,
+        ctx: &ForwardCtx<'g, '_>,
+        out: &mut Vec<LoweredStep>,
+    ) -> Result<(), LowerError> {
+        out.push(LoweredStep::Conv2d {
+            w: ctx.store.value(self.w).clone(),
+            bias: ctx.store.value(self.b).clone(),
+            geom: self.geom,
+            out_channels: self.out_channels,
+        });
+        Ok(())
     }
 }
 
@@ -458,6 +541,26 @@ impl Layer for BatchNorm2d {
     fn param_ids(&self) -> Vec<ParamId> {
         vec![self.gamma, self.beta]
     }
+
+    fn lower<'g>(
+        &self,
+        ctx: &ForwardCtx<'g, '_>,
+        out: &mut Vec<LoweredStep>,
+    ) -> Result<(), LowerError> {
+        // Freeze the eval-mode path of `batch_norm2d_op`: running stats
+        // with inv_std precomputed the same way (`1/sqrt(var + eps)`).
+        out.push(LoweredStep::BatchNorm2d {
+            mean: self.running_mean.clone(),
+            inv_std: self
+                .running_var
+                .iter()
+                .map(|&v| 1.0 / (v + self.eps).sqrt())
+                .collect(),
+            gamma: ctx.store.value(self.gamma).as_slice().to_vec(),
+            beta: ctx.store.value(self.beta).as_slice().to_vec(),
+        });
+        Ok(())
+    }
 }
 
 /// Average pooling with square window and equal stride.
@@ -529,6 +632,17 @@ impl Layer for AvgPool2d {
             }),
         )
     }
+
+    fn lower<'g>(
+        &self,
+        _ctx: &ForwardCtx<'g, '_>,
+        out: &mut Vec<LoweredStep>,
+    ) -> Result<(), LowerError> {
+        out.push(LoweredStep::AvgPool2d {
+            kernel: self.kernel,
+        });
+        Ok(())
+    }
 }
 
 /// Max pooling with square window and equal stride.
@@ -594,6 +708,17 @@ impl Layer for MaxPool2d {
                 vec![Some(dx)]
             }),
         )
+    }
+
+    fn lower<'g>(
+        &self,
+        _ctx: &ForwardCtx<'g, '_>,
+        out: &mut Vec<LoweredStep>,
+    ) -> Result<(), LowerError> {
+        out.push(LoweredStep::MaxPool2d {
+            kernel: self.kernel,
+        });
+        Ok(())
     }
 }
 

@@ -27,10 +27,16 @@
 //!   parallel scheduler records every layer's mesh unitaries on private
 //!   sub-tapes across the shared thread pool and splices back in layer
 //!   order, bit-identical (node ids, values, noise draws, gradients) to
-//!   the serial walk at any thread count.
+//!   the serial walk at any thread count;
+//! * [`lower`] — the tape-free lowering surface: [`lower::lower_model`]
+//!   freezes a trained model into flat [`lower::LoweredStep`]s (weight
+//!   matrices materialized once through the tape builder, bit-identical to
+//!   a forward pass) that the `adept-infer` compiler turns into an
+//!   allocation-free execution plan.
 
 pub mod build;
 pub mod layers;
+pub mod lower;
 pub mod mesh;
 pub mod models;
 pub mod onn;
@@ -39,5 +45,6 @@ mod param;
 pub mod train;
 
 pub use build::prebuild_ptc_weights;
+pub use lower::{lower_model, LowerError, LoweredStep};
 pub use mesh::{build_mesh_weight, prebuild_mesh_weights, MeshWeight, StagedBuild};
 pub use param::{next_weight_uid, ForwardCtx, ParamId, ParamStore};

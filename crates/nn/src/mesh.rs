@@ -83,6 +83,15 @@ pub trait MeshWeight<'g>: Sync {
         0
     }
 
+    /// Whether the next build will draw from the shared RNG stream (phase
+    /// noise enabled). Noise-free builds of `build_tag() == 0` weights are
+    /// pure functions of their parameters, which is what lets evaluation
+    /// loops and the inference compiler reuse a materialized value instead
+    /// of re-walking the mesh. Defaults to `false`.
+    fn noise_active(&self) -> bool {
+        false
+    }
+
     /// Build phase 1 (main thread): creates the parameter leaves on the
     /// shared tape and draws any noise from the shared RNG — both in the
     /// exact order of the serial walk, so staging all weights in layer

@@ -23,6 +23,7 @@
 //! implementation and the batched path is pinned bit-equal to it.
 
 use crate::layers::{cols_to_nchw, im2col_var_scratch, Layer};
+use crate::lower::{LowerError, LoweredStep};
 use crate::mesh::{build_mesh_weight, MeshWeight, StagedBuild};
 use crate::param::{next_weight_uid, ForwardCtx, ParamId, ParamStore};
 use adept_autodiff::{
@@ -335,6 +336,10 @@ impl<'g> MeshWeight<'g> for PtcWeight {
         PtcWeight::param_ids(self)
     }
 
+    fn noise_active(&self) -> bool {
+        self.phase_noise_std > 0.0
+    }
+
     /// Build phase 1 (main thread): creates the phase-parameter leaves on
     /// the shared tape and draws this weight's phase noise from the shared
     /// RNG stream — both in the exact order of the serial walk, so staging
@@ -542,6 +547,22 @@ impl Layer for OnnLinear {
     fn mesh_weights<'g>(&self) -> Vec<&dyn MeshWeight<'g>> {
         vec![&self.weight]
     }
+
+    fn lower<'g>(
+        &self,
+        ctx: &ForwardCtx<'g, '_>,
+        out: &mut Vec<LoweredStep>,
+    ) -> Result<(), LowerError> {
+        // Materialize Re(U·diag(σ)·V) through the tape builder itself —
+        // consuming the prebuilt variable (and its staged noise draws), so
+        // the frozen matrix is bit-identical to the forward pass's.
+        let w = self.weight.build(ctx).value();
+        out.push(LoweredStep::Linear {
+            w_t: w.transpose(),
+            bias: ctx.store.value(self.bias).clone(),
+        });
+        Ok(())
+    }
 }
 
 /// Convolutional photonic layer: `im2col` lowering onto a PTC weight.
@@ -618,6 +639,20 @@ impl Layer for OnnConv2d {
 
     fn mesh_weights<'g>(&self) -> Vec<&dyn MeshWeight<'g>> {
         vec![&self.weight]
+    }
+
+    fn lower<'g>(
+        &self,
+        ctx: &ForwardCtx<'g, '_>,
+        out: &mut Vec<LoweredStep>,
+    ) -> Result<(), LowerError> {
+        out.push(LoweredStep::Conv2d {
+            w: self.weight.build(ctx).value(),
+            bias: ctx.store.value(self.bias).clone(),
+            geom: self.geom,
+            out_channels: self.out_channels,
+        });
+        Ok(())
     }
 }
 
@@ -732,6 +767,22 @@ impl MziLinear {
         }
         noisy.block(0, 0, self.out_features, self.in_features)
     }
+
+    /// The weight value a tape forward would multiply by under the current
+    /// noise setting: clean `W`, or the straight-through `W + (W̃ − W)`
+    /// computed with the same elementwise ops as the tape's `w.add(delta)`
+    /// — the FP rounding of `w + (noisy − w)` is *not* the bits of
+    /// `noisy`, so the compiled plan must replay the tape's arithmetic.
+    fn frozen_weight(&self, ctx: &ForwardCtx<'_, '_>) -> Tensor {
+        let wv = ctx.store.value(self.w).clone();
+        if self.phase_noise_std > 0.0 {
+            let noisy = ctx.with_rng(|rng| self.noisy_weight(&wv, rng));
+            let delta = &noisy - &wv;
+            &wv + &delta
+        } else {
+            wv
+        }
+    }
 }
 
 fn real_to_cmatrix(t: &Tensor) -> CMatrix {
@@ -769,6 +820,18 @@ impl Layer for MziLinear {
 
     fn device_count(&self) -> Option<DeviceCount> {
         Some(self.mzi_device_count())
+    }
+
+    fn lower<'g>(
+        &self,
+        ctx: &ForwardCtx<'g, '_>,
+        out: &mut Vec<LoweredStep>,
+    ) -> Result<(), LowerError> {
+        out.push(LoweredStep::Linear {
+            w_t: self.frozen_weight(ctx).transpose(),
+            bias: ctx.store.value(self.bias).clone(),
+        });
+        Ok(())
     }
 }
 
@@ -835,6 +898,20 @@ impl Layer for MziConv2d {
 
     fn device_count(&self) -> Option<DeviceCount> {
         Some(self.inner.mzi_device_count())
+    }
+
+    fn lower<'g>(
+        &self,
+        ctx: &ForwardCtx<'g, '_>,
+        out: &mut Vec<LoweredStep>,
+    ) -> Result<(), LowerError> {
+        out.push(LoweredStep::Conv2d {
+            w: self.inner.frozen_weight(ctx),
+            bias: ctx.store.value(self.inner.bias).clone(),
+            geom: self.geom,
+            out_channels: self.out_channels,
+        });
+        Ok(())
     }
 }
 

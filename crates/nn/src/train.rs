@@ -17,11 +17,12 @@
 //! different fixed sequence than the historical interleaving.
 
 use crate::layers::Layer;
-use crate::mesh::prebuild_mesh_weights;
+use crate::mesh::{prebuild_mesh_weights, MeshWeight};
 use crate::optim::{Adam, CosineLr};
 use crate::param::{ForwardCtx, ParamStore};
 use adept_autodiff::Graph;
 use adept_datasets::Dataset;
+use adept_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -148,6 +149,14 @@ pub fn evaluate(
 
 /// Like [`evaluate`] but with an explicit noise seed — used by the Fig. 4
 /// robustness sweeps where each run draws fresh phase drift.
+///
+/// Evaluation never updates parameters, so any mesh weight whose build
+/// depends only on its own parameters (`build_tag() == 0`) and draws no
+/// noise is identical in every batch. The first batch materializes all
+/// weights through the normal prebuild; later batches replay the captured
+/// noise-free values as constants and only re-stage the noisy rest —
+/// per-batch outputs (and the noise stream consumed by noisy weights) stay
+/// bit-identical to rebuilding everything.
 pub fn evaluate_seeded(
     model: &mut dyn Layer,
     store: &ParamStore,
@@ -158,6 +167,7 @@ pub fn evaluate_seeded(
     let mut correct = 0usize;
     let mut start = 0;
     let mut batch_idx = 0u64;
+    let mut frozen: Option<Vec<(u64, Tensor)>> = None;
     while start < data.len() {
         let count = batch_size.min(data.len() - start);
         let (images, labels) = data.batch(start, count);
@@ -165,7 +175,37 @@ pub fn evaluate_seeded(
         let graph = Graph::new();
         let ctx = ForwardCtx::new(&graph, store, false, seed.wrapping_add(batch_idx));
         batch_idx += 1;
-        prebuild_mesh_weights(&ctx, &model.mesh_weights());
+        let mesh = model.mesh_weights();
+        let cacheable = |w: &dyn MeshWeight<'_>| w.build_tag() == 0 && !w.noise_active();
+        match &frozen {
+            None => {
+                prebuild_mesh_weights(&ctx, &mesh);
+                // Capture the noise-free weight values out of the prebuilt
+                // cache (re-registering each variable, so this batch's
+                // forward still consumes it normally).
+                let mut cache = Vec::new();
+                for w in mesh.iter().filter(|w| cacheable(**w)) {
+                    if let Some(var) = ctx.take_prebuilt(w.uid(), 0) {
+                        cache.push((w.uid(), var.value()));
+                        ctx.register_prebuilt(w.uid(), 0, var);
+                    }
+                }
+                frozen = Some(cache);
+            }
+            Some(cache) => {
+                // Stage only the weights that genuinely change per batch;
+                // the noise-free rest replays as constants. Noisy weights
+                // stage in the same relative order as a full prebuild
+                // (noise-free stagings draw nothing), so the RNG stream is
+                // unchanged.
+                let rebuild: Vec<&dyn MeshWeight<'_>> =
+                    mesh.iter().filter(|w| !cacheable(**w)).copied().collect();
+                prebuild_mesh_weights(&ctx, &rebuild);
+                for (uid, value) in cache {
+                    ctx.register_prebuilt(*uid, 0, graph.constant(value.clone()));
+                }
+            }
+        }
         let x = graph.constant(images);
         let logits = model.forward(&ctx, x).value();
         let classes = logits.shape()[1];

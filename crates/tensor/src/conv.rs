@@ -102,7 +102,6 @@ pub fn im2col_into(input: &Tensor, geom: &Conv2dGeometry, out: &mut Tensor) {
     assert_eq!(c, geom.in_channels, "channel mismatch");
     assert_eq!(h, geom.in_h, "height mismatch");
     assert_eq!(w, geom.in_w, "width mismatch");
-    let (oh, ow) = (geom.out_h(), geom.out_w());
     let rows = geom.col_rows();
     let cols = geom.col_cols(n);
     // Reuse only an exactly matching, exclusively owned full-buffer window;
@@ -115,8 +114,28 @@ pub fn im2col_into(input: &Tensor, geom: &Conv2dGeometry, out: &mut Tensor) {
     if !reusable {
         *out = Tensor::zeros(&[rows, cols]);
     }
-    let src = input.as_slice();
-    let dst = out.as_mut_slice();
+    im2col_slice_into(input.as_slice(), n, geom, out.as_mut_slice());
+}
+
+/// [`im2col_into`] over raw slices: unrolls a flat NCHW batch of `n`
+/// samples into a pre-sized `(C·k·k) × (N·out_h·out_w)` patch matrix.
+///
+/// This is the allocation-free core the tensor path above delegates to;
+/// the compiled inference engine (`adept-infer`) calls it directly on its
+/// preallocated plan scratch, so warm-path convolutions never touch a
+/// `Tensor`. Every element of `dst` is written exactly once (zero-padded
+/// positions included), and the write order is identical to the tensor
+/// path — the resulting patch matrix is bit-identical.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with `n` and `geom`.
+pub fn im2col_slice_into(src: &[f64], n: usize, geom: &Conv2dGeometry, dst: &mut [f64]) {
+    let (c, h, w) = (geom.in_channels, geom.in_h, geom.in_w);
+    assert_eq!(src.len(), n * c * h * w, "input length mismatch");
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let cols = geom.col_cols(n);
+    assert_eq!(dst.len(), geom.col_rows() * cols, "patch matrix mismatch");
     let k = geom.kernel;
     for ni in 0..n {
         for ci in 0..c {

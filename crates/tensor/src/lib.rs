@@ -60,7 +60,7 @@ mod tensor;
 mod view;
 
 pub use batched::{batched_row_combine, batched_row_dot, batched_row_scale};
-pub use conv::{col2im, im2col, im2col_into, Conv2dGeometry};
+pub use conv::{col2im, im2col, im2col_into, im2col_slice_into, Conv2dGeometry};
 #[doc(hidden)]
 pub use matmul::matmul_into_one_axis_partition;
 pub use matmul::{

@@ -206,6 +206,30 @@ pub(crate) fn env_wide_cols() -> Option<usize> {
     })
 }
 
+/// Reads `ONN_SERVE_BATCH` once — the serving runtime's coalescing batch
+/// size (`adept-infer`) — through the same validated parse as
+/// `ONN_THREADS`: `0`, empty or unset mean "auto", typos panic.
+pub fn env_serve_batch() -> Option<usize> {
+    static CACHE: OnceLock<Option<usize>> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("ONN_SERVE_BATCH")
+            .ok()
+            .and_then(|v| parse_env_count("ONN_SERVE_BATCH", &v))
+    })
+}
+
+/// Reads `ONN_SERVE_THREADS` once — the serving runtime's worker count
+/// (`adept-infer`) — through the same validated parse as `ONN_THREADS`:
+/// `0`, empty or unset mean "auto", typos panic.
+pub fn env_serve_threads() -> Option<usize> {
+    static CACHE: OnceLock<Option<usize>> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("ONN_SERVE_THREADS")
+            .ok()
+            .and_then(|v| parse_env_count("ONN_SERVE_THREADS", &v))
+    })
+}
+
 /// The auto thread count: `ONN_THREADS` if set, else the machine's
 /// parallelism capped at 8. The single source both the GEMM partitioners
 /// and the pool size derive from, so partition granularity and worker
@@ -459,5 +483,33 @@ mod tests {
     #[should_panic(expected = "invalid ONN_THREADS=\"-1\"")]
     fn env_count_parser_rejects_negative_counts() {
         let _ = parse_env_count("ONN_THREADS", "-1");
+    }
+
+    #[test]
+    fn serving_knobs_share_the_validated_parse() {
+        // The serving runtime's knobs go through the exact same contract
+        // as ONN_THREADS: 0/empty/unset = auto, positive counts apply.
+        assert_eq!(parse_env_count("ONN_SERVE_BATCH", "0"), None);
+        assert_eq!(parse_env_count("ONN_SERVE_BATCH", ""), None);
+        assert_eq!(parse_env_count("ONN_SERVE_BATCH", "16"), Some(16));
+        assert_eq!(parse_env_count("ONN_SERVE_THREADS", " 4 "), Some(4));
+        if let Some(n) = env_serve_batch() {
+            assert!(n > 0);
+        }
+        if let Some(n) = env_serve_threads() {
+            assert!(n > 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ONN_SERVE_BATCH=\"fast\"")]
+    fn serve_batch_typo_panics_instead_of_meaning_auto() {
+        let _ = parse_env_count("ONN_SERVE_BATCH", "fast");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ONN_SERVE_THREADS=\"-2\"")]
+    fn serve_threads_negative_count_panics() {
+        let _ = parse_env_count("ONN_SERVE_THREADS", "-2");
     }
 }

@@ -1,0 +1,123 @@
+//! Serving demo: train a small photonic CNN, freeze it into a tape-free
+//! `adept-infer` execution plan, then serve a synthetic request stream
+//! through the batching runtime.
+//!
+//! Run with: `cargo run --release --example serve_demo`
+//!
+//! Deterministic results (accuracy, plan shape, per-class prediction
+//! counts, output checksum) go to **stdout** — the CI determinism job
+//! diffs it across `ONN_THREADS` legs. Timing (req/s, p50/p99, batch
+//! count) is machine-dependent and goes to **stderr**.
+
+use adept_bench as _;
+use adept_datasets::{DatasetKind, SyntheticConfig};
+use adept_infer::{serve, ExecPlan, ServeConfig};
+use adept_nn::models::{proxy_cnn, Backend, InputShape};
+use adept_nn::train::{evaluate, train_classifier, TrainConfig};
+use adept_nn::ParamStore;
+
+fn main() {
+    // 1. Train briefly: butterfly-mesh proxy CNN on a synthetic task.
+    let image = 10;
+    let (classes, channels) = (4, 4);
+    let (train, test) = SyntheticConfig::new(DatasetKind::MnistLike)
+        .with_image_size(image)
+        .with_classes(classes)
+        .with_sizes(192, 96)
+        .generate(42);
+    let mut store = ParamStore::new();
+    let mut model = proxy_cnn(
+        &mut store,
+        InputShape::new(1, image, image),
+        channels,
+        classes,
+        &Backend::butterfly(4),
+        42,
+    );
+    let cfg = TrainConfig {
+        epochs: 4,
+        batch_size: 32,
+        ..TrainConfig::default()
+    };
+    let report = train_classifier(&mut model, &mut store, &train, &test, &cfg);
+    println!(
+        "trained proxy CNN: test accuracy {:.1}%",
+        report.test_accuracy * 100.0
+    );
+    let tape_acc = evaluate(&mut model, &store, &test, 32);
+
+    // 2. Freeze into a compiled plan (noise off, seed 0 — same weights the
+    //    tape evaluation uses).
+    let max_batch = 16;
+    let plan = ExecPlan::compile(&model, &store, &[1, image, image], max_batch, 0)
+        .expect("proxy CNN lowers");
+    println!(
+        "compiled plan: {} steps, {} -> {} features, max batch {}",
+        plan.num_steps(),
+        plan.input_elems(),
+        plan.output_features(),
+        plan.max_batch()
+    );
+
+    // 3. Serve a synthetic stream: every test image requested several
+    //    times, coalesced into mini-batches across the pool workers.
+    let rounds = 5;
+    let n_requests = rounds * test.len();
+    let in_elems = plan.input_elems();
+    let mut inputs = vec![0.0; n_requests * in_elems];
+    let src = test.images.as_slice();
+    for r in 0..n_requests {
+        let s = r % test.len();
+        inputs[r * in_elems..(r + 1) * in_elems]
+            .copy_from_slice(&src[s * in_elems..(s + 1) * in_elems]);
+    }
+    let (outputs, rep) = serve(&plan, &inputs, n_requests, &ServeConfig::auto());
+
+    // 4. Deterministic digest of the served outputs: compiled predictions
+    //    must reproduce the tape's accuracy, and the logits checksum must
+    //    be bit-stable across thread counts and batch compositions.
+    let out_f = plan.output_features();
+    let mut correct = 0usize;
+    let mut counts = vec![0usize; classes];
+    for r in 0..n_requests {
+        let logits = &outputs[r * out_f..(r + 1) * out_f];
+        let pred = logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        counts[pred] += 1;
+        if pred == test.labels[r % test.len()] {
+            correct += 1;
+        }
+    }
+    let served_acc = correct as f64 / n_requests as f64;
+    assert!(
+        (served_acc - tape_acc).abs() < 1e-12,
+        "served accuracy {served_acc} diverged from tape accuracy {tape_acc}"
+    );
+    println!(
+        "served accuracy: {:.1}% over {} requests",
+        served_acc * 100.0,
+        n_requests
+    );
+    println!("prediction counts per class: {counts:?}");
+    let checksum: f64 = outputs
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| v * (i % 7 + 1) as f64)
+        .sum();
+    println!("logits checksum: {checksum:.12e}");
+
+    // 5. Timing (nondeterministic) to stderr.
+    eprintln!(
+        "served {} requests in {:?}: {:.0} req/s across {} batches (cap {}, {} workers)",
+        rep.requests, rep.elapsed, rep.req_per_sec, rep.batches, rep.max_batch, rep.threads
+    );
+    eprintln!(
+        "latency: p50 {:.1} µs, p99 {:.1} µs",
+        rep.p50_latency.as_secs_f64() * 1e6,
+        rep.p99_latency.as_secs_f64() * 1e6
+    );
+}

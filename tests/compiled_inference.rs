@@ -1,0 +1,265 @@
+//! Parity and allocation pins for the tape-free compiled inference engine.
+//!
+//! `adept_infer::ExecPlan` promises two things: its outputs match the tape
+//! forward **bit-for-bit** (noise off; and with phase noise on under the
+//! same seed, since it freezes the very weights `evaluate_seeded` draws),
+//! and its warm path performs **zero heap allocations and zero tape
+//! nodes**. Both are pinned here — parity across dense MZI, butterfly,
+//! frozen-`SearchOutcome` and ragged (non-multiple-of-K) models at 1 and 8
+//! GEMM threads, allocations by the same counting global allocator as
+//! `tests/zero_copy.rs` (zero bytes implies zero `Graph`/`Var` nodes: a
+//! node allocates).
+
+use adept::search::{search, AdeptConfig};
+use adept_autodiff::Graph;
+use adept_infer::ExecPlan;
+use adept_nn::layers::{Flatten, Layer, Relu, Sequential};
+use adept_nn::models::{proxy_cnn, Backend, InputShape};
+use adept_nn::onn::OnnLinear;
+use adept_nn::{prebuild_mesh_weights, ForwardCtx, ParamStore};
+use adept_photonics::{BlockMeshTopology, Pdk};
+use adept_tensor::{set_gemm_threads, Tensor};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::Mutex;
+
+struct CountingAlloc;
+
+thread_local! {
+    // Per-thread accounting so GEMM worker threads and the parallel test
+    // harness can't attribute their allocations to a measurement running
+    // on another thread (same harness as tests/zero_copy.rs).
+    static LOCAL_BYTES: Cell<usize> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = LOCAL_BYTES.try_with(|b| b.set(b.get() + layout.size()));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Bytes allocated on this thread while running `f`.
+fn bytes_allocated<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    let before = LOCAL_BYTES.with(Cell::get);
+    let out = f();
+    (LOCAL_BYTES.with(Cell::get) - before, out)
+}
+
+/// Tests mutate the global GEMM thread override; serialize them.
+static THREAD_OVERRIDE: Mutex<()> = Mutex::new(());
+
+/// Deterministic pseudo-input covering positive and negative values.
+fn synth_input(elems: usize) -> Vec<f64> {
+    (0..elems)
+        .map(|i| ((i * 37 + 11) % 101) as f64 / 50.5 - 1.0)
+        .collect()
+}
+
+/// The tape forward `evaluate_seeded`'s first batch would run: throwaway
+/// graph, eval-mode ctx under `seed`, full mesh prebuild, then the model.
+fn tape_forward(model: &mut dyn Layer, store: &ParamStore, x: Tensor, seed: u64) -> Tensor {
+    let graph = Graph::new();
+    let ctx = ForwardCtx::new(&graph, store, false, seed);
+    prebuild_mesh_weights(&ctx, &model.mesh_weights());
+    let x = graph.constant(x);
+    model.forward(&ctx, x).value()
+}
+
+/// Asserts plan-vs-tape parity for `model` over a 3-sample batch at 1 and
+/// 8 GEMM threads. `bitwise` demands exact equality; otherwise ≤ 1e-12
+/// (the noisy-model bound from the issue — in practice still exact, since
+/// the plan freezes the tape's own weight bits).
+fn assert_parity(
+    model: &mut Sequential,
+    store: &ParamStore,
+    sample_shape: &[usize],
+    seed: u64,
+    bitwise: bool,
+) {
+    let n = 3;
+    let elems: usize = sample_shape.iter().product();
+    let input = synth_input(n * elems);
+    let mut tape_shape = vec![n];
+    tape_shape.extend_from_slice(sample_shape);
+    let _guard = THREAD_OVERRIDE.lock().unwrap();
+    for threads in [1usize, 8] {
+        set_gemm_threads(threads);
+        let expected = tape_forward(
+            model,
+            store,
+            Tensor::from_vec(input.clone(), &tape_shape),
+            seed,
+        );
+        let mut plan = ExecPlan::compile(model, store, sample_shape, n, seed).unwrap();
+        let mut got = vec![0.0; n * plan.output_features()];
+        plan.run_batch(&input, n, &mut got);
+        assert_eq!(expected.as_slice().len(), got.len());
+        for (i, (&e, &g)) in expected.as_slice().iter().zip(&got).enumerate() {
+            if bitwise {
+                assert!(
+                    e.to_bits() == g.to_bits(),
+                    "threads={threads} elem {i}: tape {e:?} vs plan {g:?}"
+                );
+            } else {
+                assert!(
+                    (e - g).abs() <= 1e-12,
+                    "threads={threads} elem {i}: tape {e:?} vs plan {g:?}"
+                );
+            }
+        }
+        // Single-sample runs must reproduce the batched bits exactly —
+        // this is what lets the serving runtime coalesce freely.
+        let mut single = vec![0.0; plan.output_features()];
+        for s in 0..n {
+            plan.run_batch(&input[s * elems..(s + 1) * elems], 1, &mut single);
+            assert_eq!(
+                &got[s * plan.output_features()..(s + 1) * plan.output_features()],
+                &single[..],
+                "sample {s} differs between batched and single-sample runs"
+            );
+        }
+    }
+    set_gemm_threads(0);
+}
+
+#[test]
+fn dense_mzi_cnn_matches_tape() {
+    let mut store = ParamStore::new();
+    let input = InputShape::new(3, 8, 8);
+    let mut model = proxy_cnn(&mut store, input, 4, 5, &Backend::Mzi { k: 8 }, 7);
+    assert_parity(&mut model, &store, &[3, 8, 8], 21, true);
+    // Decompose–perturb–reconstruct phase noise, same seed both sides.
+    model.set_phase_noise(0.02);
+    assert_parity(&mut model, &store, &[3, 8, 8], 21, false);
+}
+
+#[test]
+fn butterfly_cnn_matches_tape() {
+    let mut store = ParamStore::new();
+    let input = InputShape::new(2, 8, 8);
+    let mut model = proxy_cnn(&mut store, input, 4, 4, &Backend::butterfly(4), 3);
+    assert_parity(&mut model, &store, &[2, 8, 8], 9, true);
+    model.set_phase_noise(0.05);
+    assert_parity(&mut model, &store, &[2, 8, 8], 9, false);
+}
+
+#[test]
+fn ragged_shapes_match_tape() {
+    // 10→6→3 with K=4 tiles: every matrix dimension is a non-multiple of
+    // K, exercising the ragged GemmSpec sweep and partial tiles.
+    let mut store = ParamStore::new();
+    let topo = BlockMeshTopology::butterfly(4);
+    let mut model = Sequential::new();
+    model.push(Flatten);
+    model.push(OnnLinear::new(
+        &mut store,
+        "fc1",
+        10,
+        6,
+        topo.clone(),
+        topo.clone(),
+        11,
+    ));
+    model.push(Relu);
+    model.push(OnnLinear::new(
+        &mut store,
+        "fc2",
+        6,
+        3,
+        topo.clone(),
+        topo,
+        12,
+    ));
+    assert_parity(&mut model, &store, &[10], 33, true);
+}
+
+#[test]
+fn frozen_search_outcome_matches_tape() {
+    let mut cfg = AdeptConfig::quick(8, Pdk::amf(), 240.0, 300.0);
+    cfg.epochs = 3;
+    cfg.warmup_epochs = 1;
+    cfg.spl_epoch = 2;
+    cfg.n_train = 32;
+    cfg.n_test = 16;
+    cfg.image_size = 8;
+    cfg.channels = 4;
+    cfg.classes = 4;
+    cfg.max_blocks_per_side = 4;
+    cfg.seed = 5;
+    let outcome = search(&cfg);
+    let mut store = ParamStore::new();
+    let mut model = outcome.frozen_proxy_cnn(&mut store, InputShape::new(1, 8, 8), 4, 4, 17);
+    assert_parity(&mut model, &store, &[1, 8, 8], 29, true);
+}
+
+#[test]
+fn warm_path_allocates_nothing() {
+    let _guard = THREAD_OVERRIDE.lock().unwrap();
+    // Pin the GEMM to the serial kernel: the pool's spawn boxes closures,
+    // which is a real (bounded) allocation but not part of the arithmetic
+    // warm path under measurement.
+    set_gemm_threads(1);
+    let mut store = ParamStore::new();
+    let model = proxy_cnn(
+        &mut store,
+        InputShape::new(2, 8, 8),
+        4,
+        4,
+        &Backend::butterfly(4),
+        1,
+    );
+    let n = 4;
+    let mut plan = ExecPlan::compile(&model, &store, &[2, 8, 8], n, 0).unwrap();
+    let input = synth_input(n * plan.input_elems());
+    let mut out = vec![0.0; n * plan.output_features()];
+    // Warm twice, then measure.
+    plan.run_batch(&input, n, &mut out);
+    plan.run_batch(&input, n, &mut out);
+    let (bytes, ()) = bytes_allocated(|| plan.run_batch(&input, n, &mut out));
+    set_gemm_threads(0);
+    assert_eq!(
+        bytes, 0,
+        "compiled warm path allocated {bytes} bytes (must be allocation-free)"
+    );
+}
+
+#[test]
+fn refresh_rebuilds_only_on_parameter_change() {
+    let mut store = ParamStore::new();
+    let model = proxy_cnn(
+        &mut store,
+        InputShape::new(1, 8, 8),
+        4,
+        4,
+        &Backend::butterfly(4),
+        2,
+    );
+    let mut plan = ExecPlan::compile(&model, &store, &[1, 8, 8], 2, 0).unwrap();
+    assert!(
+        !plan.refresh(&model, &store).unwrap(),
+        "clean refresh must no-op"
+    );
+    // Nudge one parameter: the fingerprint must notice and recompile.
+    let id = model.param_ids()[0];
+    let delta = Tensor::full(store.value(id).shape(), 1e-3);
+    store.apply_delta(id, &delta);
+    assert!(
+        plan.refresh(&model, &store).unwrap(),
+        "changed params must rebuild"
+    );
+    let input = synth_input(plan.input_elems());
+    let mut got = vec![0.0; plan.output_features()];
+    plan.run_batch(&input, 1, &mut got);
+    let mut fresh = ExecPlan::compile(&model, &store, &[1, 8, 8], 2, 0).unwrap();
+    let mut want = vec![0.0; fresh.output_features()];
+    fresh.run_batch(&input, 1, &mut want);
+    assert_eq!(got, want, "refreshed plan must match a fresh compile");
+}
