@@ -18,7 +18,9 @@ use adept_nn::layers::{Layer, Sequential};
 use adept_nn::models::{lenet5, proxy_cnn, vgg8, Backend, InputShape};
 use adept_nn::train::{evaluate_seeded, train_classifier, TrainConfig};
 use adept_nn::ParamStore;
-use adept_photonics::{butterfly::butterfly_topology, DeviceCount, Pdk};
+use adept_photonics::{butterfly::butterfly_topology, DeviceCount, FaultScenario, Pdk};
+
+pub mod sweep;
 
 /// Experiment scale selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -216,6 +218,31 @@ pub fn retrain(
     s: &RetrainSettings,
     seed: u64,
 ) -> RetrainOutcome {
+    retrain_impl(kind, dataset, backend, s, seed, None)
+}
+
+/// Like [`retrain`], but with a static [`FaultScenario`] active during
+/// training **and** the final evaluation — fault-aware retraining on
+/// damaged hardware, reporting the accuracy that hardware achieves.
+pub fn retrain_faulted(
+    kind: ModelKind,
+    dataset: DatasetKind,
+    backend: &Backend,
+    s: &RetrainSettings,
+    seed: u64,
+    fault: FaultScenario,
+) -> RetrainOutcome {
+    retrain_impl(kind, dataset, backend, s, seed, Some(fault))
+}
+
+fn retrain_impl(
+    kind: ModelKind,
+    dataset: DatasetKind,
+    backend: &Backend,
+    s: &RetrainSettings,
+    seed: u64,
+    fault: Option<FaultScenario>,
+) -> RetrainOutcome {
     let data_cfg = SyntheticConfig::new(dataset)
         .with_image_size(s.image_size)
         .with_sizes(s.n_train, s.n_test);
@@ -228,6 +255,7 @@ pub fn retrain(
         lr: s.lr,
         seed,
         phase_noise_std: s.noise_std,
+        fault,
     };
     let report = train_classifier(&mut model, &mut store, &train, &test, &cfg);
     RetrainOutcome {

@@ -770,7 +770,7 @@ impl<'g> MeshWeight<'g> for BoundSuperWeight<'_> {
         imports.extend(self.frame_vars.iter().cloned());
         StagedBuild {
             imports,
-            noise: Vec::new(),
+            ..StagedBuild::default()
         }
     }
 

@@ -28,10 +28,27 @@
 //!   with a private plan clone), and reports req/s with p50/p99 latency
 //!   ([`ServeReport`]). Batch size and worker count follow
 //!   `ONN_SERVE_BATCH` / `ONN_SERVE_THREADS` (validated like
-//!   `ONN_THREADS`: junk panics, `0`/empty/unset = auto).
+//!   `ONN_THREADS`: junk panics, `0`/empty/unset = auto). The runtime is
+//!   hardened against overload and faulty workers: the pending queue is
+//!   bounded (`ONN_SERVE_QUEUE`, arrivals past capacity are shed),
+//!   requests can carry deadlines (`ONN_SERVE_DEADLINE_MS`, expired
+//!   requests are dropped instead of served late), a panicking batch
+//!   fails only its own requests (the worker swaps in a pristine runner
+//!   and keeps serving), and shutdown drains every admitted request.
+//!   Every submitted request ends in exactly one [`RequestOutcome`] and
+//!   the report's counts sum to the submitted total. Tests drive these
+//!   paths through [`serve_with`] + the [`BatchRunner`] trait, injecting
+//!   mock runners that panic or stall on cue.
+//!
+//! Fault injection composes with compilation: [`ExecPlan::compile_faulted`]
+//! freezes a model *as degraded hardware would run it* — a
+//! [`adept_photonics::FaultScenario`] (dead/stuck phase shifters, dead
+//! couplers, thermal drift, phase quantization) is applied during the
+//! mesh-weight materialization, and [`ExecPlan::refresh`] re-freezes
+//! whenever the parameter **or** fault fingerprint changes.
 
 pub mod plan;
 pub mod serve;
 
 pub use plan::ExecPlan;
-pub use serve::{serve, ServeConfig, ServeReport};
+pub use serve::{serve, serve_with, BatchRunner, RequestOutcome, ServeConfig, ServeReport};

@@ -19,8 +19,10 @@
 //! same noisy weights `evaluate_seeded(…, s)` would draw.
 
 use adept_nn::layers::Layer;
-use adept_nn::{lower_model, LowerError, LoweredStep, ParamStore};
+use adept_nn::{lower_model_faulted, LowerError, LoweredStep, ParamStore};
+use adept_photonics::FaultScenario;
 use adept_tensor::{im2col_slice_into, matmul_into, Conv2dGeometry, Tensor};
+use std::sync::Arc;
 
 /// One compiled step. Producing steps read the source slab and write the
 /// destination slab; in-place steps rewrite the source slab directly.
@@ -106,6 +108,12 @@ pub struct ExecPlan {
     max_batch: usize,
     fingerprint: u64,
     seed: u64,
+    /// Static hardware damage the frozen weights realize (`None` =
+    /// healthy hardware).
+    faults: Option<Arc<FaultScenario>>,
+    /// Fingerprint of `faults` at compile time; [`ExecPlan::refresh_faults`]
+    /// re-freezes when the deployed scenario's fingerprint moves.
+    fault_fp: u64,
     buf_a: Vec<f64>,
     buf_b: Vec<f64>,
 }
@@ -160,8 +168,33 @@ impl ExecPlan {
         max_batch: usize,
         seed: u64,
     ) -> Result<Self, LowerError> {
+        Self::compile_faulted(model, store, sample_shape, max_batch, seed, None)
+    }
+
+    /// Like [`ExecPlan::compile`], but freezes the weights as realized on
+    /// hardware damaged by `faults`: the plan's matrices bake in the
+    /// scenario's dead/stuck shifters, dead couplers, frozen drift and
+    /// quantization, bit-identical to `evaluate_faulted` under the same
+    /// seed. `None` (or an empty scenario) is exactly [`ExecPlan::compile`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LowerError`] if any layer lacks a tape-free lowering.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`ExecPlan::compile`].
+    pub fn compile_faulted(
+        model: &dyn Layer,
+        store: &ParamStore,
+        sample_shape: &[usize],
+        max_batch: usize,
+        seed: u64,
+        faults: Option<Arc<FaultScenario>>,
+    ) -> Result<Self, LowerError> {
         assert!(max_batch > 0, "max_batch must be positive");
-        let lowered = lower_model(model, store, seed)?;
+        let faults = faults.filter(|f| !f.is_empty());
+        let lowered = lower_model_faulted(model, store, seed, faults.clone())?;
         let in_shape = sample_shape.to_vec();
         let in_elems: usize = in_shape.iter().product();
         let mut shape = in_shape.clone();
@@ -259,6 +292,7 @@ impl ExecPlan {
         }
         let out_features = shape.iter().product();
         let slab = max_batch * max_elems;
+        let fault_fp = faults.as_ref().map_or(0, |f| f.fingerprint());
         Ok(Self {
             steps,
             in_shape,
@@ -267,6 +301,8 @@ impl ExecPlan {
             max_batch,
             fingerprint: param_fingerprint(model, store),
             seed,
+            faults,
+            fault_fp,
             buf_a: vec![0.0; slab],
             buf_b: vec![0.0; slab],
         })
@@ -302,11 +338,45 @@ impl ExecPlan {
     ///
     /// Returns [`LowerError`] if the (changed) model no longer lowers.
     pub fn refresh(&mut self, model: &dyn Layer, store: &ParamStore) -> Result<bool, LowerError> {
-        if param_fingerprint(model, store) == self.fingerprint {
+        let faults = self.faults.clone();
+        self.refresh_faults(model, store, faults)
+    }
+
+    /// Like [`ExecPlan::refresh`], but also re-freezes when the deployed
+    /// fault scenario changed (its [`FaultScenario::fingerprint`] differs
+    /// from the one this plan was compiled against) — the in-field
+    /// recalibration path: a newly diagnosed dead shifter, or repaired
+    /// hardware (`None`), rebuilds the frozen weights without touching an
+    /// unchanged plan. Returns whether a rebuild happened.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LowerError`] if the (changed) model no longer lowers.
+    pub fn refresh_faults(
+        &mut self,
+        model: &dyn Layer,
+        store: &ParamStore,
+        faults: Option<Arc<FaultScenario>>,
+    ) -> Result<bool, LowerError> {
+        let faults = faults.filter(|f| !f.is_empty());
+        let fault_fp = faults.as_ref().map_or(0, |f| f.fingerprint());
+        if param_fingerprint(model, store) == self.fingerprint && fault_fp == self.fault_fp {
             return Ok(false);
         }
-        *self = Self::compile(model, store, &self.in_shape, self.max_batch, self.seed)?;
+        *self = Self::compile_faulted(
+            model,
+            store,
+            &self.in_shape,
+            self.max_batch,
+            self.seed,
+            faults,
+        )?;
         Ok(true)
+    }
+
+    /// The fault scenario the frozen weights realize, if any.
+    pub fn fault_scenario(&self) -> Option<&Arc<FaultScenario>> {
+        self.faults.as_ref()
     }
 
     /// Runs `n` samples through the plan: `input` is `n × input_elems`

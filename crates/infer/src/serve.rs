@@ -1,17 +1,47 @@
-//! Batching serving runtime over a compiled [`ExecPlan`].
+//! Batching serving runtime over a compiled [`ExecPlan`] — hardened for
+//! faulty inputs and overload.
 //!
-//! Single-sample requests land in a queue; workers coalesce them into
-//! mini-batches under a size/deadline policy (take what is there, wait up
-//! to `max_wait` to fill the batch) and run each batch through a private
-//! clone of the plan on the shared [`adept_tensor::pool`] worker set.
-//! Because compiled per-sample outputs are independent of batch
-//! composition (see [`ExecPlan::run_batch`]), coalescing is invisible in
-//! the results — only in the latency histogram, which [`ServeReport`]
-//! summarizes as req/s plus p50/p99.
+//! Single-sample requests land in a **bounded** queue; workers coalesce
+//! them into mini-batches under a size/deadline policy (take what is
+//! there, wait up to `max_wait` to fill the batch) and run each batch
+//! through a private [`BatchRunner`] on the shared [`adept_tensor::pool`]
+//! worker set. Because compiled per-sample outputs are independent of
+//! batch composition (see [`ExecPlan::run_batch`]), coalescing is
+//! invisible in the results — only in the latency histogram, which
+//! [`ServeReport`] summarizes as req/s plus p50/p99 over the *served*
+//! requests.
+//!
+//! # Failure semantics
+//!
+//! The runtime never lets one bad request (or one overload burst) take the
+//! session down; instead every submitted request ends in exactly one of
+//! four [`RequestOutcome`]s, and the report's counts always sum to the
+//! submitted total:
+//!
+//! * **Backpressure / shed** — the pending queue is bounded
+//!   ([`ServeConfig::queue_cap`], `ONN_SERVE_QUEUE`, auto 1024). An
+//!   arrival that finds it full is *shed* immediately
+//!   ([`RequestOutcome::Shed`]): its output slice stays zeroed and no
+//!   worker ever sees it, instead of the queue growing without bound.
+//! * **Deadlines** — with a per-request deadline configured
+//!   ([`ServeConfig::deadline`], `ONN_SERVE_DEADLINE_MS`, default none), a
+//!   request still waiting past its deadline when a worker picks it up is
+//!   dropped as [`RequestOutcome::TimedOut`] rather than served late.
+//!   Timed-out requests are excluded from the latency percentiles.
+//! * **Worker panic isolation** — each batch executes under
+//!   [`std::panic::catch_unwind`]. A panicking runner fails *only that
+//!   batch* ([`RequestOutcome::Failed`]); the worker replaces its runner
+//!   with a pristine instance (a mid-run panic may leave internal scratch
+//!   in a torn state) and keeps serving subsequent batches.
+//! * **Graceful shutdown** — closing the queue stops admissions but
+//!   workers drain everything already admitted before exiting, so no
+//!   request is silently dropped on shutdown.
 
 use crate::plan::ExecPlan;
 use adept_tensor::pool;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -30,17 +60,26 @@ pub struct ServeConfig {
     /// Synthetic request-stream pacing: delay between enqueues. Zero means
     /// an open firehose (every request available immediately).
     pub arrival_spacing: Duration,
+    /// Bounded-queue capacity: arrivals finding this many requests already
+    /// pending are shed. `0` = auto (`ONN_SERVE_QUEUE`, else 1024).
+    pub queue_cap: usize,
+    /// Per-request deadline measured from enqueue: a request still queued
+    /// past it is dropped as timed out instead of served late. Zero = auto
+    /// (`ONN_SERVE_DEADLINE_MS`, else no deadline).
+    pub deadline: Duration,
 }
 
 impl ServeConfig {
-    /// Everything on auto: env-tuned batch/threads, 200µs fill deadline,
-    /// firehose arrivals.
+    /// Everything on auto: env-tuned batch/threads/queue/deadline, 200µs
+    /// fill deadline, firehose arrivals.
     pub fn auto() -> Self {
         Self {
             max_batch: 0,
             threads: 0,
             max_wait: Duration::from_micros(200),
             arrival_spacing: Duration::ZERO,
+            queue_cap: 0,
+            deadline: Duration::ZERO,
         }
     }
 }
@@ -51,12 +90,37 @@ impl Default for ServeConfig {
     }
 }
 
+/// What happened to one submitted request (see the module docs for the
+/// full failure semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// Ran through the plan; its output slice holds the logits.
+    Served,
+    /// Rejected at admission: the bounded queue was full.
+    Shed,
+    /// Admitted but still queued past its deadline; never ran.
+    TimedOut,
+    /// Its batch's runner panicked; output slice stays zeroed.
+    Failed,
+}
+
 /// Throughput/latency summary of one [`serve`] session.
 #[derive(Debug, Clone)]
 pub struct ServeReport {
-    /// Requests served.
+    /// Requests submitted (served + shed + timed out + failed).
     pub requests: usize,
-    /// Mini-batches executed (≤ requests; smaller is better coalescing).
+    /// Requests that ran to completion.
+    pub served: usize,
+    /// Requests shed at admission (bounded queue full).
+    pub shed: usize,
+    /// Requests dropped because their deadline expired while queued.
+    pub timed_out: usize,
+    /// Requests lost to a panicking batch.
+    pub failed: usize,
+    /// Per-request outcomes, in submission order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Mini-batches executed successfully (≤ served; smaller is better
+    /// coalescing).
     pub batches: usize,
     /// Effective mini-batch cap after auto resolution.
     pub max_batch: usize,
@@ -64,18 +128,53 @@ pub struct ServeReport {
     pub threads: usize,
     /// Wall-clock of the whole session.
     pub elapsed: Duration,
-    /// Requests per second over the session.
+    /// Served requests per second over the session.
     pub req_per_sec: f64,
-    /// Median enqueue-to-completion latency.
+    /// Median enqueue-to-completion latency over served requests.
     pub p50_latency: Duration,
-    /// 99th-percentile enqueue-to-completion latency.
+    /// 99th-percentile enqueue-to-completion latency over served requests.
     pub p99_latency: Duration,
 }
 
-/// FIFO of pending request indices with their enqueue stamps.
+/// The executable a worker replays batches through. [`ExecPlan`] is the
+/// production implementation; tests inject mock runners to pin the
+/// runtime's failure semantics (panicking shards, slow batches) without a
+/// trained model.
+pub trait BatchRunner: Send {
+    /// Per-sample input element count.
+    fn input_elems(&self) -> usize;
+    /// Per-sample output feature count.
+    fn output_features(&self) -> usize;
+    /// Largest batch one `run_batch` call accepts.
+    fn max_batch(&self) -> usize;
+    /// Runs `n` samples: `input` is `n × input_elems`, `out` receives
+    /// `n × output_features`.
+    fn run_batch(&mut self, input: &[f64], n: usize, out: &mut [f64]);
+}
+
+impl BatchRunner for ExecPlan {
+    fn input_elems(&self) -> usize {
+        ExecPlan::input_elems(self)
+    }
+
+    fn output_features(&self) -> usize {
+        ExecPlan::output_features(self)
+    }
+
+    fn max_batch(&self) -> usize {
+        ExecPlan::max_batch(self)
+    }
+
+    fn run_batch(&mut self, input: &[f64], n: usize, out: &mut [f64]) {
+        ExecPlan::run_batch(self, input, n, out);
+    }
+}
+
+/// Bounded FIFO of pending request indices with their enqueue stamps.
 struct Queue {
     inner: Mutex<QueueState>,
     ready: Condvar,
+    cap: usize,
 }
 
 struct QueueState {
@@ -84,21 +183,28 @@ struct QueueState {
 }
 
 impl Queue {
-    fn new() -> Self {
+    fn new(cap: usize) -> Self {
         Self {
             inner: Mutex::new(QueueState {
                 pending: VecDeque::new(),
                 closed: false,
             }),
             ready: Condvar::new(),
+            cap,
         }
     }
 
-    fn push(&self, idx: usize) {
+    /// Admits a request unless the queue is at capacity; a `false` return
+    /// is the shed signal — the request was **not** enqueued.
+    fn try_push(&self, idx: usize) -> bool {
         let mut st = self.inner.lock().unwrap();
+        if st.pending.len() >= self.cap {
+            return false;
+        }
         st.pending.push_back((idx, Instant::now()));
         drop(st);
         self.ready.notify_one();
+        true
     }
 
     fn close(&self) {
@@ -109,7 +215,8 @@ impl Queue {
     /// Pops up to `max` requests into `out`. Blocks for the first request;
     /// once holding a partial batch, waits at most `max_wait` for it to
     /// fill before returning. Returns `false` when the queue is closed and
-    /// drained — the worker's signal to exit.
+    /// drained — the worker's signal to exit. Closing therefore never
+    /// drops admitted requests: they all pass through some worker's batch.
     fn pop_batch(&self, max: usize, max_wait: Duration, out: &mut Vec<(usize, Instant)>) -> bool {
         out.clear();
         let mut st = self.inner.lock().unwrap();
@@ -150,15 +257,25 @@ struct OutPtr(*mut f64);
 unsafe impl Send for OutPtr {}
 unsafe impl Sync for OutPtr {}
 
+/// Outcome-slot encoding (request outcomes land in a shared `AtomicU8`
+/// array; relaxed ordering suffices — the pool scope's join is the
+/// happens-before edge the final read relies on).
+const PENDING: u8 = 0;
+const SERVED: u8 = 1;
+const SHED: u8 = 2;
+const TIMED_OUT: u8 = 3;
+const FAILED: u8 = 4;
+
 /// Serves `n_requests` single-sample requests drawn from `inputs`
 /// (row-major `n_requests × plan.input_elems()`), coalescing them into
-/// mini-batches across worker threads. Returns all outputs (request order)
-/// and the latency/throughput report.
+/// mini-batches across worker threads. Returns all outputs (request
+/// order; shed/timed-out/failed slices stay zeroed) and the report.
 ///
 /// Workers run on [`pool::scope`] with a private clone of the plan each;
 /// the caller's thread is the producer, pacing arrivals by
 /// `cfg.arrival_spacing`. Outputs are bit-identical to running each
-/// request alone through the plan, whatever batches form.
+/// request alone through the plan, whatever batches form. See the module
+/// docs for the shed/deadline/panic/drain semantics.
 ///
 /// # Panics
 ///
@@ -169,22 +286,51 @@ pub fn serve(
     n_requests: usize,
     cfg: &ServeConfig,
 ) -> (Vec<f64>, ServeReport) {
-    let in_elems = plan.input_elems();
-    let out_f = plan.output_features();
+    serve_with(&|| Box::new(plan.clone()), inputs, n_requests, cfg)
+}
+
+/// [`serve`] over any [`BatchRunner`] factory: each worker calls
+/// `make_runner` for its private instance, and again for a pristine
+/// replacement after a panic (a torn runner must never serve another
+/// batch). This is the seam the `serve_faults` suite injects mock runners
+/// through; production code uses [`serve`].
+///
+/// # Panics
+///
+/// Panics if `inputs` does not hold `n_requests` samples of the runner's
+/// `input_elems`.
+pub fn serve_with(
+    make_runner: &(dyn Fn() -> Box<dyn BatchRunner> + Sync),
+    inputs: &[f64],
+    n_requests: usize,
+    cfg: &ServeConfig,
+) -> (Vec<f64>, ServeReport) {
+    let probe = make_runner();
+    let in_elems = probe.input_elems();
+    let out_f = probe.output_features();
+    let runner_cap = probe.max_batch();
+    drop(probe);
     assert_eq!(
         inputs.len(),
         n_requests * in_elems,
         "inputs must hold n_requests samples"
     );
-    let max_batch = resolve(cfg.max_batch, pool::env_serve_batch(), 8).min(plan.max_batch());
+    let max_batch = resolve(cfg.max_batch, pool::env_serve_batch(), 8).min(runner_cap);
     let threads = resolve(cfg.threads, pool::env_serve_threads(), {
         adept_tensor::gemm_thread_count().max(1)
     });
+    let queue_cap = resolve(cfg.queue_cap, pool::env_serve_queue(), 1024);
+    let deadline = if cfg.deadline.is_zero() {
+        pool::env_serve_deadline_ms().map(|ms| Duration::from_millis(ms as u64))
+    } else {
+        Some(cfg.deadline)
+    };
 
     let mut outputs = vec![0.0; n_requests * out_f];
+    let outcomes: Vec<AtomicU8> = (0..n_requests).map(|_| AtomicU8::new(PENDING)).collect();
     let latencies: Mutex<Vec<Duration>> = Mutex::new(Vec::with_capacity(n_requests));
-    let batches = std::sync::atomic::AtomicUsize::new(0);
-    let queue = Queue::new();
+    let batches = AtomicUsize::new(0);
+    let queue = Queue::new(queue_cap);
     let out_ptr = OutPtr(outputs.as_mut_ptr());
     let started = Instant::now();
 
@@ -194,43 +340,79 @@ pub fn serve(
             let latencies = &latencies;
             let batches = &batches;
             let out_ptr = &out_ptr;
-            let mut plan = plan.clone();
+            let outcomes = outcomes.as_slice();
             let cfg = cfg.clone();
             scope.spawn(move || {
+                let mut runner = make_runner();
                 let mut batch: Vec<(usize, Instant)> = Vec::with_capacity(max_batch);
+                let mut live: Vec<(usize, Instant)> = Vec::with_capacity(max_batch);
                 let mut staged = vec![0.0; max_batch * in_elems];
                 let mut logits = vec![0.0; max_batch * out_f];
                 while queue.pop_batch(max_batch, cfg.max_wait, &mut batch) {
-                    let n = batch.len();
-                    for (slot, &(idx, _)) in batch.iter().enumerate() {
-                        staged[slot * in_elems..(slot + 1) * in_elems]
-                            .copy_from_slice(&inputs[idx * in_elems..(idx + 1) * in_elems]);
-                    }
-                    plan.run_batch(&staged[..n * in_elems], n, &mut logits[..n * out_f]);
-                    let done = Instant::now();
-                    for (slot, &(idx, enqueued)) in batch.iter().enumerate() {
-                        // Disjoint per-request slice: idx is unique across
-                        // all batches, so no two workers touch it.
-                        unsafe {
-                            std::ptr::copy_nonoverlapping(
-                                logits[slot * out_f..].as_ptr(),
-                                out_ptr.0.add(idx * out_f),
-                                out_f,
-                            );
+                    // Expire requests that waited past their deadline
+                    // before spending any compute on them.
+                    live.clear();
+                    let now = Instant::now();
+                    for &(idx, enqueued) in &batch {
+                        if deadline.is_some_and(|d| now.duration_since(enqueued) > d) {
+                            outcomes[idx].store(TIMED_OUT, Ordering::Relaxed);
+                        } else {
+                            let slot = live.len();
+                            staged[slot * in_elems..(slot + 1) * in_elems]
+                                .copy_from_slice(&inputs[idx * in_elems..(idx + 1) * in_elems]);
+                            live.push((idx, enqueued));
                         }
-                        latencies.lock().unwrap().push(done - enqueued);
                     }
-                    batches.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let n = live.len();
+                    if n == 0 {
+                        continue;
+                    }
+                    let ran = catch_unwind(AssertUnwindSafe(|| {
+                        runner.run_batch(&staged[..n * in_elems], n, &mut logits[..n * out_f]);
+                    }));
+                    match ran {
+                        Ok(()) => {
+                            let done = Instant::now();
+                            let mut lat = latencies.lock().unwrap();
+                            for (slot, &(idx, enqueued)) in live.iter().enumerate() {
+                                // Disjoint per-request slice: idx is unique
+                                // across all batches, so no two workers
+                                // touch it.
+                                unsafe {
+                                    std::ptr::copy_nonoverlapping(
+                                        logits[slot * out_f..].as_ptr(),
+                                        out_ptr.0.add(idx * out_f),
+                                        out_f,
+                                    );
+                                }
+                                outcomes[idx].store(SERVED, Ordering::Relaxed);
+                                lat.push(done - enqueued);
+                            }
+                            batches.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            // Fail only this batch; a torn runner (panic
+                            // mid-run may have consumed its scratch slabs)
+                            // must not serve again — replace it and keep
+                            // draining the queue.
+                            for &(idx, _) in &live {
+                                outcomes[idx].store(FAILED, Ordering::Relaxed);
+                            }
+                            runner = make_runner();
+                        }
+                    }
                 }
             });
         }
-        // Producer on the caller thread: enqueue the synthetic stream,
-        // then close so drained workers exit.
+        // Producer on the caller thread: enqueue the synthetic stream
+        // (shedding on a full queue), then close so drained workers exit.
         for idx in 0..n_requests {
             if !cfg.arrival_spacing.is_zero() {
                 std::thread::sleep(cfg.arrival_spacing);
             }
-            queue.push(idx);
+            if !queue.try_push(idx) {
+                outcomes[idx].store(SHED, Ordering::Relaxed);
+            }
         }
         queue.close();
     });
@@ -238,13 +420,35 @@ pub fn serve(
     let elapsed = started.elapsed();
     let mut lat = latencies.into_inner().unwrap();
     lat.sort_unstable();
+    let outcomes: Vec<RequestOutcome> = outcomes
+        .into_iter()
+        .map(|o| match o.into_inner() {
+            SERVED => RequestOutcome::Served,
+            SHED => RequestOutcome::Shed,
+            TIMED_OUT => RequestOutcome::TimedOut,
+            FAILED => RequestOutcome::Failed,
+            state => unreachable!("request left in state {state} after drain"),
+        })
+        .collect();
+    let count = |want: RequestOutcome| outcomes.iter().filter(|&&o| o == want).count();
+    let (served, shed) = (count(RequestOutcome::Served), count(RequestOutcome::Shed));
+    let (timed_out, failed) = (
+        count(RequestOutcome::TimedOut),
+        count(RequestOutcome::Failed),
+    );
+    debug_assert_eq!(served + shed + timed_out + failed, n_requests);
     let report = ServeReport {
         requests: n_requests,
+        served,
+        shed,
+        timed_out,
+        failed,
+        outcomes,
         batches: batches.into_inner(),
         max_batch,
         threads,
         elapsed,
-        req_per_sec: n_requests as f64 / elapsed.as_secs_f64().max(1e-12),
+        req_per_sec: served as f64 / elapsed.as_secs_f64().max(1e-12),
         p50_latency: percentile(&lat, 50.0),
         p99_latency: percentile(&lat, 99.0),
     };

@@ -19,7 +19,12 @@
 //!   parametrized by a photonic backend;
 //! * [`optim`] — Adam/SGD with cosine learning-rate schedule;
 //! * [`train`] — training/eval loops including variation-aware training
-//!   (Gaussian phase noise injected during training, paper §4.1);
+//!   (Gaussian phase noise injected during training, paper §4.1) and
+//!   fault-aware retraining: [`ForwardCtx::with_faults`] carries a static
+//!   [`adept_photonics::FaultScenario`] that the mesh build realizes as
+//!   stage-time phase deltas ([`train::TrainConfig`]'s `fault`,
+//!   [`train::evaluate_faulted`]) — with faults off the tape stays
+//!   byte-identical;
 //! * [`mesh`] — the topology-driven mesh-weight API: the object-safe
 //!   [`mesh::MeshWeight`] trait (stage → record → splice + finish) and the
 //!   **single** build engine behind every mesh family — fixed-topology PTC
@@ -45,6 +50,6 @@ mod param;
 pub mod train;
 
 pub use build::prebuild_ptc_weights;
-pub use lower::{lower_model, LowerError, LoweredStep};
+pub use lower::{lower_model, lower_model_faulted, LowerError, LoweredStep};
 pub use mesh::{build_mesh_weight, prebuild_mesh_weights, MeshWeight, StagedBuild};
 pub use param::{next_weight_uid, ForwardCtx, ParamId, ParamStore};

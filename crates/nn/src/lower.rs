@@ -125,8 +125,26 @@ pub fn lower_model(
     store: &ParamStore,
     seed: u64,
 ) -> Result<Vec<LoweredStep>, LowerError> {
+    lower_model_faulted(model, store, seed, None)
+}
+
+/// Like [`lower_model`], but every photonic weight is materialized on
+/// hardware damaged by `faults`: the frozen matrices bake in the
+/// scenario's dead/stuck shifters, dead couplers, frozen drift and
+/// quantization, bit-identical to what `evaluate_faulted` would multiply
+/// by. `None` (or an empty scenario) is exactly [`lower_model`].
+///
+/// # Errors
+///
+/// Returns [`LowerError`] if any layer lacks a lowering.
+pub fn lower_model_faulted(
+    model: &dyn Layer,
+    store: &ParamStore,
+    seed: u64,
+    faults: Option<std::sync::Arc<adept_photonics::FaultScenario>>,
+) -> Result<Vec<LoweredStep>, LowerError> {
     let graph = Graph::new();
-    let ctx = ForwardCtx::new(&graph, store, false, seed);
+    let ctx = ForwardCtx::with_faults(&graph, store, false, seed, faults);
     prebuild_mesh_weights(&ctx, &model.mesh_weights());
     let mut steps = Vec::new();
     model.lower(&ctx, &mut steps)?;

@@ -43,6 +43,7 @@ use std::sync::Mutex;
 ///
 /// The field layout is interpreted by the weight's own
 /// [`MeshWeight::record_build_segment`]; the engine never looks inside.
+#[derive(Default)]
 pub struct StagedBuild {
     /// Import proxies for the sub-tape build, in the implementation's
     /// order (typically the phase-parameter leaves followed by any
@@ -51,6 +52,18 @@ pub struct StagedBuild {
     /// Pre-drawn noise tensors (drawn from the shared RNG during staging
     /// to pin the stream order); empty when noise is disabled.
     pub noise: Vec<Tensor>,
+    /// Fault deltas: per-phase constants computed at stage time from the
+    /// active [`adept_photonics::FaultScenario`] such that adding them to
+    /// the (noisy) programmed phases yields the faulted realized phases.
+    /// Empty when no faults are active — the record phase then skips the
+    /// add entirely and the tape is byte-identical to the healthy build.
+    pub fault_deltas: Vec<Tensor>,
+    /// Degraded `(U, V)` mesh topologies under coupler faults; `None`
+    /// leaves the weight's own topologies in place.
+    pub fault_topos: Option<(
+        adept_photonics::BlockMeshTopology,
+        adept_photonics::BlockMeshTopology,
+    )>,
 }
 
 /// A weight materialized from a parameterized photonic mesh.

@@ -32,7 +32,7 @@ use adept_autodiff::{
 };
 use adept_linalg::{svd, CMatrix, C64};
 use adept_photonics::clements::decompose;
-use adept_photonics::{BlockMeshTopology, DeviceCount, PhaseNoise};
+use adept_photonics::{BlockMeshTopology, DeviceCount, FaultScenario, PhaseNoise};
 use adept_tensor::{Conv2dGeometry, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -305,6 +305,63 @@ impl PtcWeight {
         (nu, nv)
     }
 
+    /// Computes the stage-time fault payload for an active
+    /// [`FaultScenario`]: per-phase delta constants such that
+    /// `programmed + delta` is the faulted realized phase (recomputed
+    /// against the *current* parameter values each build, so a dead
+    /// shifter stays pinned at 0 while gradients keep flowing
+    /// straight-through to the programmed phase), plus the degraded mesh
+    /// topologies under coupler faults.
+    ///
+    /// Fault sites are keyed by the tile-0 parameter names (`"{name}.u0"`
+    /// / `"{name}.v0"`): a PTC time-multiplexes one physical mesh across
+    /// all tiles, so every tile shares the same damage.
+    fn stage_faults(
+        &self,
+        ctx: &ForwardCtx<'_, '_>,
+        scenario: &FaultScenario,
+        noise: &[Tensor],
+        n_tiles: usize,
+    ) -> (Vec<Tensor>, Option<(BlockMeshTopology, BlockMeshTopology)>) {
+        let k = self.k;
+        let key_u = ctx.store.name(self.phases_u[0]);
+        let key_v = ctx.store.name(self.phases_v[0]);
+        let (bu, bv) = (self.topo_u.blocks().len(), self.topo_v.blocks().len());
+        let mut du = Tensor::zeros(&[n_tiles, bu, k]);
+        let mut dv = Tensor::zeros(&[n_tiles, bv, k]);
+        let fill =
+            |delta: &mut [f64], ids: &[ParamId], b: usize, key: &str, noise: Option<&Tensor>| {
+                for (tile, &id) in ids.iter().enumerate() {
+                    let phases = ctx.store.value(id).as_slice();
+                    for block in 0..b {
+                        for wire in 0..k {
+                            let idx = block * k + wire;
+                            let programmed = phases[idx]
+                                + noise.map_or(0.0, |n| n.as_slice()[tile * b * k + idx]);
+                            let site = FaultScenario::shifter_site(key, block, wire);
+                            delta[tile * b * k + idx] =
+                                scenario.apply_phase(site, programmed) - programmed;
+                        }
+                    }
+                }
+            };
+        let (nu, nv) = match noise {
+            [nu, nv] => (Some(nu), Some(nv)),
+            _ => (None, None),
+        };
+        fill(du.as_mut_slice(), &self.phases_u, bu, key_u, nu);
+        fill(dv.as_mut_slice(), &self.phases_v, bv, key_v, nv);
+        let topos = if scenario.has_coupler_faults() {
+            Some((
+                scenario.faulted_topology(key_u, &self.topo_u),
+                scenario.faulted_topology(key_v, &self.topo_v),
+            ))
+        } else {
+            None
+        };
+        (vec![du, dv], topos)
+    }
+
     /// Materializes the `[out_features, in_features]` weight on the tape.
     ///
     /// All tiles' unitaries are built by **one** walk over the mesh blocks
@@ -360,11 +417,22 @@ impl<'g> MeshWeight<'g> for PtcWeight {
         } else {
             Vec::new()
         };
-        StagedBuild { imports, noise }
+        let (fault_deltas, fault_topos) = match ctx.fault_scenario() {
+            Some(scenario) => self.stage_faults(ctx, scenario, &noise, n_tiles),
+            None => (Vec::new(), None),
+        };
+        StagedBuild {
+            imports,
+            noise,
+            fault_deltas,
+            fault_topos,
+        }
     }
 
-    /// Build phase 2 (any thread): records `[stack, stack, noise, U-walk,
-    /// V-walk]` on a private sub-tape. With `parallel_uv` set the two mesh
+    /// Build phase 2 (any thread): records `[stack, stack, noise, fault
+    /// delta, U-walk, V-walk]` on a private sub-tape (the noise and fault
+    /// adds only when active, and the walks against the fault-degraded
+    /// topologies when couplers died). With `parallel_uv` set the two mesh
     /// walks — independent until the tile product — record as two sub-tape
     /// builds running concurrently on the shared pool, spliced back in
     /// U-then-V order so the node sequence is identical to the serial walk.
@@ -378,8 +446,15 @@ impl<'g> MeshWeight<'g> for PtcWeight {
                 su = su.add(g.constant(nu.clone()));
                 sv = sv.add(g.constant(nv.clone()));
             }
+            if let [fu, fv] = staged.fault_deltas.as_slice() {
+                su = su.add(g.constant(fu.clone()));
+                sv = sv.add(g.constant(fv.clone()));
+            }
+            let (topo_u, topo_v) = match &staged.fault_topos {
+                Some((tu, tv)) => (tu, tv),
+                None => (&self.topo_u, &self.topo_v),
+            };
             let (u_re, u_im, v_re, v_im) = if parallel_uv {
-                let (topo_u, topo_v) = (&self.topo_u, &self.topo_v);
                 let (seg_u, seg_v) = record_segment_pair(
                     &[su.export_import()],
                     |g2, v| {
@@ -396,8 +471,8 @@ impl<'g> MeshWeight<'g> for PtcWeight {
                 let v = g.splice(seg_v);
                 (u[0], u[1], v[0], v[1])
             } else {
-                let (u_re, u_im) = batched_tile_unitary_on(g, &self.topo_u, su);
-                let (v_re, v_im) = batched_tile_unitary_on(g, &self.topo_v, sv);
+                let (u_re, u_im) = batched_tile_unitary_on(g, topo_u, su);
+                let (v_re, v_im) = batched_tile_unitary_on(g, topo_v, sv);
                 (u_re, u_im, v_re, v_im)
             };
             vec![u_re, u_im, v_re, v_im]
@@ -436,7 +511,9 @@ impl PtcWeight {
     /// pin the batched path bit-equal to the paper's literal per-tile
     /// construction (bit-equivalence tests, the `unitary_build` benchmark)
     /// and is never on a hot path — production code always goes through
-    /// [`PtcWeight::build`] / the [`MeshWeight`] engine.
+    /// [`PtcWeight::build`] / the [`MeshWeight`] engine. Fault scenarios
+    /// are deliberately not applied here: the reference pins the healthy
+    /// construction only.
     pub fn build_per_tile<'g>(&self, ctx: &ForwardCtx<'g, '_>) -> Var<'g> {
         let k = self.k;
         let n_tiles = self.grid_rows * self.grid_cols;

@@ -6,11 +6,13 @@
 //! accumulate gradients correctly).
 
 use adept_autodiff::{Gradients, Graph, Var};
+use adept_photonics::FaultScenario;
 use adept_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Handle to a parameter inside a [`ParamStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -170,6 +172,9 @@ pub struct ForwardCtx<'g, 's> {
     /// build scheduler, keyed by weight uid and tagged with the inputs
     /// they were built against. Consumed on first use.
     prebuilt: RefCell<HashMap<u64, (u64, Var<'g>)>>,
+    /// Static hardware damage the step's mesh builds must realize
+    /// (`None` = healthy hardware, the default).
+    faults: Option<Arc<FaultScenario>>,
 }
 
 impl<'g, 's> ForwardCtx<'g, 's> {
@@ -182,7 +187,29 @@ impl<'g, 's> ForwardCtx<'g, 's> {
             leaves: RefCell::new(HashMap::new()),
             rng: RefCell::new(StdRng::seed_from_u64(seed)),
             prebuilt: RefCell::new(HashMap::new()),
+            faults: None,
         }
+    }
+
+    /// Creates a context whose mesh builds realize a static fault
+    /// scenario (fault-aware training and faulted evaluation). An empty
+    /// or absent scenario leaves the tape byte-identical to
+    /// [`ForwardCtx::new`].
+    pub fn with_faults(
+        graph: &'g Graph,
+        store: &'s ParamStore,
+        training: bool,
+        seed: u64,
+        faults: Option<Arc<FaultScenario>>,
+    ) -> Self {
+        let mut ctx = Self::new(graph, store, training, seed);
+        ctx.faults = faults.filter(|f| !f.is_empty());
+        ctx
+    }
+
+    /// The active fault scenario, if any (never an empty scenario).
+    pub fn fault_scenario(&self) -> Option<&Arc<FaultScenario>> {
+        self.faults.as_ref()
     }
 
     /// Registers a weight materialized ahead of the forward pass, so the

@@ -22,9 +22,11 @@ use crate::optim::{Adam, CosineLr};
 use crate::param::{ForwardCtx, ParamStore};
 use adept_autodiff::Graph;
 use adept_datasets::Dataset;
+use adept_photonics::FaultScenario;
 use adept_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Hyper-parameters of a training run.
 #[derive(Debug, Clone)]
@@ -40,6 +42,11 @@ pub struct TrainConfig {
     /// Variation-aware training noise: Gaussian phase-drift std applied to
     /// photonic layers during training (0 disables).
     pub phase_noise_std: f64,
+    /// Static hardware damage realized by every photonic build — training
+    /// *and* the final evaluation (fault-aware retraining targets the
+    /// damaged hardware the model will actually run on). `None` trains on
+    /// healthy hardware.
+    pub fault: Option<FaultScenario>,
 }
 
 impl Default for TrainConfig {
@@ -50,6 +57,7 @@ impl Default for TrainConfig {
             lr: 2e-3,
             seed: 0,
             phase_noise_std: 0.0,
+            fault: None,
         }
     }
 }
@@ -83,6 +91,11 @@ pub fn train_classifier(
     let steps_per_epoch = train.len().div_ceil(cfg.batch_size).max(1);
     let sched = CosineLr::new(cfg.lr, cfg.lr * 0.1, cfg.epochs * steps_per_epoch);
     let mut shuffle_rng = StdRng::seed_from_u64(cfg.seed);
+    let faults = cfg
+        .fault
+        .as_ref()
+        .filter(|f| !f.is_empty())
+        .map(|f| Arc::new(f.clone()));
     if cfg.phase_noise_std > 0.0 {
         model.set_phase_noise(cfg.phase_noise_std);
     }
@@ -98,13 +111,14 @@ pub fn train_classifier(
             let (images, labels) = data.batch(start, count);
             start += count;
             let graph = Graph::new();
-            let ctx = ForwardCtx::new(
+            let ctx = ForwardCtx::with_faults(
                 &graph,
                 store,
                 true,
                 cfg.seed
                     .wrapping_mul(0x9E37_79B9)
                     .wrapping_add((epoch * steps_per_epoch + batches) as u64),
+                faults.clone(),
             );
             prebuild_mesh_weights(&ctx, &model.mesh_weights());
             let x = graph.constant(images);
@@ -128,7 +142,9 @@ pub fn train_classifier(
     if cfg.phase_noise_std > 0.0 {
         model.set_phase_noise(0.0);
     }
-    let test_accuracy = evaluate(model, store, test, cfg.batch_size);
+    // Noise off for the final evaluation, but static damage persists: a
+    // fault-aware run reports accuracy on the hardware it retrained for.
+    let test_accuracy = evaluate_impl(model, store, test, cfg.batch_size, 0, faults);
     TrainReport {
         final_loss: *loss_history.last().unwrap_or(&f64::NAN),
         test_accuracy,
@@ -164,6 +180,41 @@ pub fn evaluate_seeded(
     batch_size: usize,
     seed: u64,
 ) -> f64 {
+    evaluate_impl(model, store, data, batch_size, seed, None)
+}
+
+/// Classification accuracy on hardware damaged by a static
+/// [`FaultScenario`]: every photonic build realizes the scenario's
+/// dead/stuck shifters, dead couplers, frozen drift and quantization.
+///
+/// Faults are static per scenario — unlike per-build phase noise — so the
+/// frozen-weight replay of [`evaluate_seeded`] applies unchanged: the
+/// first batch materializes the *faulted* weights once and later batches
+/// replay them as constants.
+pub fn evaluate_faulted(
+    model: &mut dyn Layer,
+    store: &ParamStore,
+    data: &Dataset,
+    batch_size: usize,
+    seed: u64,
+    faults: &FaultScenario,
+) -> f64 {
+    let faults = if faults.is_empty() {
+        None
+    } else {
+        Some(Arc::new(faults.clone()))
+    };
+    evaluate_impl(model, store, data, batch_size, seed, faults)
+}
+
+fn evaluate_impl(
+    model: &mut dyn Layer,
+    store: &ParamStore,
+    data: &Dataset,
+    batch_size: usize,
+    seed: u64,
+    faults: Option<Arc<FaultScenario>>,
+) -> f64 {
     let mut correct = 0usize;
     let mut start = 0;
     let mut batch_idx = 0u64;
@@ -173,7 +224,13 @@ pub fn evaluate_seeded(
         let (images, labels) = data.batch(start, count);
         start += count;
         let graph = Graph::new();
-        let ctx = ForwardCtx::new(&graph, store, false, seed.wrapping_add(batch_idx));
+        let ctx = ForwardCtx::with_faults(
+            &graph,
+            store,
+            false,
+            seed.wrapping_add(batch_idx),
+            faults.clone(),
+        );
         batch_idx += 1;
         let mesh = model.mesh_weights();
         let cacheable = |w: &dyn MeshWeight<'_>| w.build_tag() == 0 && !w.noise_active();

@@ -17,12 +17,16 @@
 //!   decomposition (Reck-style), used to inject phase noise into the MZI
 //!   baseline;
 //! * [`PhaseNoise`] — the Gaussian phase-drift model of the robustness
-//!   experiments (Fig. 4).
+//!   experiments (Fig. 4);
+//! * [`fault`] — seeded, composable static-fault scenarios
+//!   ([`FaultScenario`]): dead/stuck phase shifters, dead couplers, frozen
+//!   thermal drift and phase quantization, applied per physical device site.
 
 pub mod butterfly;
 pub mod clements;
 mod cost;
 pub mod devices;
+pub mod fault;
 pub mod io;
 mod noise;
 mod pdk;
@@ -30,6 +34,7 @@ mod topology;
 
 pub use cost::{block_count_bounds, BlockBounds, DeviceCount};
 pub use devices::{coupler_matrix, crossing_matrix, mzi_matrix, phase_column, DC_50_50_T};
+pub use fault::{FaultKind, FaultScenario};
 pub use noise::{DeadShifterFault, PhaseNoise};
 pub use pdk::Pdk;
 pub use topology::{BlockMeshTopology, MeshBlock};

@@ -89,11 +89,23 @@ impl DeadShifterFault {
     }
 
     /// Applies the fault: dead shifters are forced to phase 0.
+    ///
+    /// Allocating wrapper around [`Self::inject_into`], kept for callers
+    /// that want a fresh column.
     pub fn inject<R: Rng + ?Sized>(&self, phases: &[f64], rng: &mut R) -> Vec<f64> {
-        phases
-            .iter()
-            .map(|&p| if rng.gen_bool(self.p) { 0.0 } else { p })
-            .collect()
+        let mut out = phases.to_vec();
+        self.inject_into(&mut out, rng);
+        out
+    }
+
+    /// Applies the fault in place — the sweep hot path, which reuses one
+    /// scratch column per mesh instead of allocating per column.
+    pub fn inject_into<R: Rng + ?Sized>(&self, phases: &mut [f64], rng: &mut R) {
+        for p in phases {
+            if rng.gen_bool(self.p) {
+                *p = 0.0;
+            }
+        }
     }
 }
 

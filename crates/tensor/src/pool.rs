@@ -230,6 +230,32 @@ pub fn env_serve_threads() -> Option<usize> {
     })
 }
 
+/// Reads `ONN_SERVE_QUEUE` once — the serving runtime's bounded pending
+/// queue capacity (`adept-infer` sheds arrivals past it) — through the
+/// same validated parse as `ONN_THREADS`: `0`, empty or unset mean
+/// "auto", typos panic.
+pub fn env_serve_queue() -> Option<usize> {
+    static CACHE: OnceLock<Option<usize>> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("ONN_SERVE_QUEUE")
+            .ok()
+            .and_then(|v| parse_env_count("ONN_SERVE_QUEUE", &v))
+    })
+}
+
+/// Reads `ONN_SERVE_DEADLINE_MS` once — the serving runtime's per-request
+/// deadline in milliseconds (`adept-infer` times out requests still queued
+/// past it) — through the same validated parse as `ONN_THREADS`: `0`,
+/// empty or unset mean "no deadline", typos panic.
+pub fn env_serve_deadline_ms() -> Option<usize> {
+    static CACHE: OnceLock<Option<usize>> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("ONN_SERVE_DEADLINE_MS")
+            .ok()
+            .and_then(|v| parse_env_count("ONN_SERVE_DEADLINE_MS", &v))
+    })
+}
+
 /// The auto thread count: `ONN_THREADS` if set, else the machine's
 /// parallelism capped at 8. The single source both the GEMM partitioners
 /// and the pool size derive from, so partition granularity and worker
@@ -493,10 +519,20 @@ mod tests {
         assert_eq!(parse_env_count("ONN_SERVE_BATCH", ""), None);
         assert_eq!(parse_env_count("ONN_SERVE_BATCH", "16"), Some(16));
         assert_eq!(parse_env_count("ONN_SERVE_THREADS", " 4 "), Some(4));
+        assert_eq!(parse_env_count("ONN_SERVE_QUEUE", "0"), None);
+        assert_eq!(parse_env_count("ONN_SERVE_QUEUE", "2048"), Some(2048));
+        assert_eq!(parse_env_count("ONN_SERVE_DEADLINE_MS", ""), None);
+        assert_eq!(parse_env_count("ONN_SERVE_DEADLINE_MS", " 250 "), Some(250));
         if let Some(n) = env_serve_batch() {
             assert!(n > 0);
         }
         if let Some(n) = env_serve_threads() {
+            assert!(n > 0);
+        }
+        if let Some(n) = env_serve_queue() {
+            assert!(n > 0);
+        }
+        if let Some(n) = env_serve_deadline_ms() {
             assert!(n > 0);
         }
     }
@@ -511,5 +547,17 @@ mod tests {
     #[should_panic(expected = "invalid ONN_SERVE_THREADS=\"-2\"")]
     fn serve_threads_negative_count_panics() {
         let _ = parse_env_count("ONN_SERVE_THREADS", "-2");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ONN_SERVE_QUEUE=\"big\"")]
+    fn serve_queue_typo_panics_instead_of_meaning_auto() {
+        let _ = parse_env_count("ONN_SERVE_QUEUE", "big");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ONN_SERVE_DEADLINE_MS=\"1.5\"")]
+    fn serve_deadline_fractional_count_panics() {
+        let _ = parse_env_count("ONN_SERVE_DEADLINE_MS", "1.5");
     }
 }

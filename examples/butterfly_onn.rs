@@ -43,6 +43,7 @@ fn main() {
         lr: 5e-3,
         seed: 0,
         phase_noise_std: 0.0,
+        fault: None,
     };
     let report = train_classifier(&mut model, &mut store, &train, &test, &cfg);
     println!(

@@ -1,0 +1,78 @@
+//! Robustness sweep: proxy-CNN accuracy across dead-shifter probability ×
+//! frozen phase noise × PTC topology, plus the fault-aware retraining
+//! recovery experiment.
+//!
+//! ```text
+//! cargo run --release --example fault_sweep            # repro grid
+//! cargo run --release --example fault_sweep -- --fast  # reduced CI grid
+//! cargo run --release --example fault_sweep -- --scale full
+//! ```
+//!
+//! Everything printed to **stdout** is seeded and bit-stable across
+//! `ONN_THREADS` — CI diffs it across {1, 8, default}. Timings go to
+//! stderr. The grid is also written to `crates/bench/BENCH_robustness.json`
+//! next to the other bench artifacts.
+
+use adept_bench::sweep::{robustness_json, run_sweep, SweepSettings};
+use adept_bench::Scale;
+use adept_nn::models::Backend;
+use std::time::Instant;
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let settings = if fast {
+        SweepSettings::reduced()
+    } else {
+        SweepSettings::for_scale(Scale::from_args())
+    };
+    let topologies = vec![
+        ("butterfly8".to_string(), Backend::butterfly(8)),
+        ("dense8x4".to_string(), Backend::dense(8, 4)),
+    ];
+
+    println!("fault sweep: dead shifters x frozen phase noise x topology");
+    println!(
+        "grid: {} topologies x {} fault levels x {} noise levels, seed {}",
+        topologies.len(),
+        settings.fault_levels.len(),
+        settings.noise_levels.len(),
+        settings.seed
+    );
+
+    let started = Instant::now();
+    let outcome = run_sweep(&topologies, &settings);
+    eprintln!("sweep completed in {:.1?}", started.elapsed());
+
+    for t in &outcome.topologies {
+        println!(
+            "\n{} | clean {:.4}% | footprint {:.1} kum^2 | PS/DC/CR/Blk {}/{}/{}/{}",
+            t.name,
+            t.clean_accuracy_pct,
+            t.footprint_kum2,
+            t.counts.ps,
+            t.counts.dc,
+            t.counts.cr,
+            t.counts.blocks
+        );
+        println!("{:>8} | {:>8} | {:>8}", "fault_p", "noise", "acc(%)");
+        for c in outcome.cells.iter().filter(|c| c.topology == t.name) {
+            println!(
+                "{:>8.3} | {:>8.3} | {:>8.4}",
+                c.fault_p, c.noise_std, c.accuracy_pct
+            );
+        }
+    }
+
+    let r = &outcome.recovery;
+    println!(
+        "\nrecovery on {} at p={:.2} dead shifters: clean {:.4}% -> damaged {:.4}% -> retrained {:.4}%",
+        r.topology, r.fault_p, r.clean_pct, r.faulted_pct, r.retrained_pct
+    );
+
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/crates/bench/BENCH_robustness.json"
+    );
+    std::fs::write(path, robustness_json(&outcome)).expect("write robustness json");
+    println!("wrote BENCH_robustness.json");
+}

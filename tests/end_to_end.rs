@@ -77,6 +77,7 @@ fn pipeline_search_export_retrain() {
             lr: 5e-3,
             seed: 0,
             phase_noise_std: 0.02,
+            fault: None,
         },
     );
     assert!(

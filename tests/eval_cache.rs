@@ -56,7 +56,7 @@ impl<'g> MeshWeight<'g> for CountingWeight {
     fn stage(&self, ctx: &ForwardCtx<'g, '_>) -> StagedBuild {
         StagedBuild {
             imports: vec![ctx.param(self.id).export_import()],
-            noise: Vec::new(),
+            ..StagedBuild::default()
         }
     }
 
