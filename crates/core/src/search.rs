@@ -223,6 +223,40 @@ impl SearchOutcome {
     ) -> adept_nn::layers::Sequential {
         adept_nn::models::proxy_cnn(store, input, channels, classes, &self.backend(), seed)
     }
+
+    /// Freezes a trained frozen-design model into a versioned
+    /// [`adept_nn::Checkpoint`]: the searched topology descriptor, every
+    /// parameter as exact bits, the BN running statistics, and the serving
+    /// noise seed / fault scenario. `model`/`store` must come from
+    /// [`SearchOutcome::frozen_proxy_cnn`] with the same
+    /// `input`/`channels`/`classes`/`seed`, so a later
+    /// `Checkpoint::instantiate` re-registers parameters identically.
+    #[allow(clippy::too_many_arguments)]
+    pub fn freeze_checkpoint(
+        &self,
+        model: &adept_nn::layers::Sequential,
+        store: &ParamStore,
+        input: adept_nn::models::InputShape,
+        channels: usize,
+        classes: usize,
+        seed: u64,
+        noise_seed: u64,
+        fault: Option<&adept_photonics::FaultScenario>,
+    ) -> adept_nn::Checkpoint {
+        adept_nn::Checkpoint::capture(
+            adept_nn::ModelArch::ProxyCnn {
+                input,
+                channels,
+                classes,
+                seed,
+            },
+            &self.backend(),
+            model,
+            store,
+            noise_seed,
+            fault,
+        )
+    }
 }
 
 /// The proxy 2-layer CNN whose conv/FC weights are SuperMesh PTCs.

@@ -50,5 +50,5 @@
 pub mod plan;
 pub mod serve;
 
-pub use plan::ExecPlan;
+pub use plan::{ExecPlan, PlanFromCheckpointError};
 pub use serve::{serve, serve_with, BatchRunner, RequestOutcome, ServeConfig, ServeReport};

@@ -19,10 +19,46 @@
 //! same noisy weights `evaluate_seeded(…, s)` would draw.
 
 use adept_nn::layers::Layer;
-use adept_nn::{lower_model_faulted, LowerError, LoweredStep, ParamStore};
+use adept_nn::{
+    lower_model_faulted, Checkpoint, CheckpointError, LowerError, LoweredStep, ParamStore,
+};
 use adept_photonics::FaultScenario;
 use adept_tensor::{im2col_slice_into, matmul_into, Conv2dGeometry, Tensor};
+use std::fmt;
 use std::sync::Arc;
+
+/// Why [`ExecPlan::compile_from_checkpoint`] failed: either the checkpoint
+/// itself is bad, or the rebuilt model does not lower.
+#[derive(Debug)]
+pub enum PlanFromCheckpointError {
+    /// The checkpoint file could not be read, parsed or instantiated.
+    Checkpoint(CheckpointError),
+    /// The rebuilt model has a layer without a tape-free lowering.
+    Lower(LowerError),
+}
+
+impl fmt::Display for PlanFromCheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanFromCheckpointError::Checkpoint(e) => write!(f, "{e}"),
+            PlanFromCheckpointError::Lower(e) => write!(f, "cannot lower checkpointed model: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanFromCheckpointError {}
+
+impl From<CheckpointError> for PlanFromCheckpointError {
+    fn from(e: CheckpointError) -> Self {
+        PlanFromCheckpointError::Checkpoint(e)
+    }
+}
+
+impl From<LowerError> for PlanFromCheckpointError {
+    fn from(e: LowerError) -> Self {
+        PlanFromCheckpointError::Lower(e)
+    }
+}
 
 /// One compiled step. Producing steps read the source slab and write the
 /// destination slab; in-place steps rewrite the source slab directly.
@@ -306,6 +342,43 @@ impl ExecPlan {
             buf_a: vec![0.0; slab],
             buf_b: vec![0.0; slab],
         })
+    }
+
+    /// Compiles a plan straight from a checkpoint file: loads and verifies
+    /// the checkpoint, re-instantiates the trained model
+    /// ([`Checkpoint::instantiate`]), and compiles with the **stored**
+    /// noise seed and fault scenario — so the plan reproduces the saving
+    /// process's `run_batch` outputs bit-for-bit at any `ONN_THREADS`.
+    ///
+    /// Returns the plan together with the parsed [`Checkpoint`] so callers
+    /// can inspect the architecture or re-serve under different faults.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanFromCheckpointError::Checkpoint`] if the file is missing,
+    /// corrupted or architecturally incompatible;
+    /// [`PlanFromCheckpointError::Lower`] if the rebuilt model lacks a
+    /// tape-free lowering.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`ExecPlan::compile`].
+    pub fn compile_from_checkpoint(
+        path: impl AsRef<std::path::Path>,
+        max_batch: usize,
+    ) -> Result<(Self, Checkpoint), PlanFromCheckpointError> {
+        let ckpt = adept_nn::load_backend(path)?;
+        let (model, store) = ckpt.instantiate()?;
+        let faults = ckpt.fault.clone().map(Arc::new);
+        let plan = Self::compile_faulted(
+            &model,
+            &store,
+            &ckpt.sample_shape(),
+            max_batch,
+            ckpt.noise_seed,
+            faults,
+        )?;
+        Ok((plan, ckpt))
     }
 
     /// Per-sample input element count (`sample_shape` product).

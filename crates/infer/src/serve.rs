@@ -32,7 +32,11 @@
 //!   [`std::panic::catch_unwind`]. A panicking runner fails *only that
 //!   batch* ([`RequestOutcome::Failed`]); the worker replaces its runner
 //!   with a pristine instance (a mid-run panic may leave internal scratch
-//!   in a torn state) and keeps serving subsequent batches.
+//!   in a torn state) and keeps serving subsequent batches. The shared
+//!   queue and latency locks recover from [`std::sync::PoisonError`]
+//!   (every critical section only moves complete items, so a poisoned
+//!   guard still protects coherent state) — a thread that dies while
+//!   holding a lock cannot cascade panics into every later lock site.
 //! * **Graceful shutdown** — closing the queue stops admissions but
 //!   workers drain everything already admitted before exiting, so no
 //!   request is silently dropped on shutdown.
@@ -42,8 +46,17 @@ use adept_tensor::pool;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+/// Locks `m`, recovering the guard from a poisoned mutex. Every critical
+/// section in this module only pushes/pops complete items, so the state
+/// behind a poisoned lock is still coherent; recovering (instead of
+/// unwrapping) keeps one panicked holder from cascading panics into every
+/// subsequent lock site — the blast radius stays the batch.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Knobs for one serving session.
 #[derive(Debug, Clone)]
@@ -197,7 +210,7 @@ impl Queue {
     /// Admits a request unless the queue is at capacity; a `false` return
     /// is the shed signal — the request was **not** enqueued.
     fn try_push(&self, idx: usize) -> bool {
-        let mut st = self.inner.lock().unwrap();
+        let mut st = lock_recover(&self.inner);
         if st.pending.len() >= self.cap {
             return false;
         }
@@ -208,7 +221,7 @@ impl Queue {
     }
 
     fn close(&self) {
-        self.inner.lock().unwrap().closed = true;
+        lock_recover(&self.inner).closed = true;
         self.ready.notify_all();
     }
 
@@ -219,7 +232,7 @@ impl Queue {
     /// drops admitted requests: they all pass through some worker's batch.
     fn pop_batch(&self, max: usize, max_wait: Duration, out: &mut Vec<(usize, Instant)>) -> bool {
         out.clear();
-        let mut st = self.inner.lock().unwrap();
+        let mut st = lock_recover(&self.inner);
         loop {
             while let Some(item) = st.pending.pop_front() {
                 out.push(item);
@@ -229,7 +242,10 @@ impl Queue {
             }
             if !out.is_empty() {
                 // Partial batch in hand: give stragglers one deadline.
-                let (next, timeout) = self.ready.wait_timeout(st, max_wait).unwrap();
+                let (next, timeout) = self
+                    .ready
+                    .wait_timeout(st, max_wait)
+                    .unwrap_or_else(|e| e.into_inner());
                 st = next;
                 while out.len() < max {
                     match st.pending.pop_front() {
@@ -245,7 +261,7 @@ impl Queue {
             if st.closed {
                 return false;
             }
-            st = self.ready.wait(st).unwrap();
+            st = self.ready.wait(st).unwrap_or_else(|e| e.into_inner());
         }
     }
 }
@@ -373,7 +389,7 @@ pub fn serve_with(
                     match ran {
                         Ok(()) => {
                             let done = Instant::now();
-                            let mut lat = latencies.lock().unwrap();
+                            let mut lat = lock_recover(latencies);
                             for (slot, &(idx, enqueued)) in live.iter().enumerate() {
                                 // Disjoint per-request slice: idx is unique
                                 // across all batches, so no two workers
@@ -418,7 +434,7 @@ pub fn serve_with(
     });
 
     let elapsed = started.elapsed();
-    let mut lat = latencies.into_inner().unwrap();
+    let mut lat = latencies.into_inner().unwrap_or_else(|e| e.into_inner());
     lat.sort_unstable();
     let outcomes: Vec<RequestOutcome> = outcomes
         .into_iter()
@@ -464,11 +480,88 @@ fn resolve(explicit: usize, env: Option<usize>, fallback: usize) -> usize {
     }
 }
 
-/// Nearest-rank percentile of sorted durations (empty → zero).
+/// Nearest-rank percentile of sorted durations (empty → zero): the
+/// smallest 1-based rank `r` with `r ≥ p/100 · N`, i.e. `ceil(p/100 · N)`
+/// clamped to `[1, N]`. Unlike midpoint/rounding schemes this never
+/// over-reports: p50 of an even-length sample is the lower middle value,
+/// and p99 only reaches the maximum once `N` is small enough that the top
+/// sample really does hold ≥ 1% of the mass.
 fn percentile(sorted: &[Duration], p: f64) -> Duration {
     if sorted.is_empty() {
         return Duration::ZERO;
     }
-    let idx = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
+    let rank = (p / 100.0 * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `[1ms, 2ms, ..., n ms]` — sorted, distinct, easy to index.
+    fn ladder(n: usize) -> Vec<Duration> {
+        (1..=n).map(|i| Duration::from_millis(i as u64)).collect()
+    }
+
+    /// Nearest-rank pins for p50/p99 at N ∈ {1, 2, 4, 100}. The old
+    /// `((N-1) · p/100).round()` index over-reported p50 on even N
+    /// (N = 2 gave the max, not the lower middle) — these are the exact
+    /// nearest-rank values.
+    #[test]
+    fn percentile_is_nearest_rank() {
+        for (n, p50_idx, p99_idx) in [(1, 0, 0), (2, 0, 1), (4, 1, 3), (100, 49, 98)] {
+            let lat = ladder(n);
+            assert_eq!(percentile(&lat, 50.0), lat[p50_idx], "p50 at N={n}");
+            assert_eq!(percentile(&lat, 99.0), lat[p99_idx], "p99 at N={n}");
+        }
+        assert_eq!(percentile(&[], 50.0), Duration::ZERO);
+        // p100 is the max, and a tiny p still returns the minimum.
+        let lat = ladder(10);
+        assert_eq!(percentile(&lat, 100.0), lat[9]);
+        assert_eq!(percentile(&lat, 0.1), lat[0]);
+    }
+
+    /// A thread that panics **while holding** the queue lock must not take
+    /// later queue users down with it: try_push/close/pop_batch recover the
+    /// poisoned guard and keep working on the (still coherent) state.
+    #[test]
+    fn queue_survives_panic_while_holding_lock() {
+        let queue = Queue::new(8);
+        assert!(queue.try_push(0));
+        std::thread::scope(|s| {
+            let poisoner = s.spawn(|| {
+                let _guard = queue.inner.lock().unwrap();
+                panic!("die holding the queue lock");
+            });
+            assert!(poisoner.join().is_err(), "poisoner must have panicked");
+        });
+        assert!(queue.inner.is_poisoned(), "lock must actually be poisoned");
+        assert!(queue.try_push(1), "push after poison must still admit");
+        let mut batch = Vec::new();
+        assert!(queue.pop_batch(2, Duration::ZERO, &mut batch));
+        let idxs: Vec<usize> = batch.iter().map(|&(i, _)| i).collect();
+        assert_eq!(idxs, vec![0, 1], "pre- and post-poison pushes both drain");
+        queue.close();
+        assert!(!queue.pop_batch(2, Duration::ZERO, &mut batch));
+    }
+
+    /// Same recovery for a latency-style `Mutex<Vec<_>>`: both the lock
+    /// helper and the final `into_inner` must yield the samples recorded
+    /// before and after the poisoning panic.
+    #[test]
+    fn latency_mutex_recovers_from_poison() {
+        let latencies: Mutex<Vec<Duration>> = Mutex::new(Vec::new());
+        lock_recover(&latencies).push(Duration::from_millis(1));
+        std::thread::scope(|s| {
+            let poisoner = s.spawn(|| {
+                let _guard = latencies.lock().unwrap();
+                panic!("die holding the latency lock");
+            });
+            assert!(poisoner.join().is_err());
+        });
+        assert!(latencies.is_poisoned());
+        lock_recover(&latencies).push(Duration::from_millis(2));
+        let lat = latencies.into_inner().unwrap_or_else(|e| e.into_inner());
+        assert_eq!(lat.len(), 2, "samples on both sides of the poison remain");
+    }
 }

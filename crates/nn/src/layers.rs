@@ -41,6 +41,23 @@ pub trait Layer {
         Vec::new()
     }
 
+    /// Non-parameter state that must survive checkpointing, as named flat
+    /// f64 vectors — batch-norm running statistics are the one case in
+    /// this workspace. Stateless layers report none. Names are
+    /// `{layer}.{stat}` (e.g. `bn1.running_mean`), unique within a model,
+    /// so a [`Sequential`] can concatenate its children's entries.
+    fn state(&self) -> Vec<(String, Vec<f64>)> {
+        Vec::new()
+    }
+
+    /// Restores state captured by [`Layer::state`]. Each layer picks out
+    /// its own entries by name and ignores the rest, so a [`Sequential`]
+    /// can broadcast one flat map to every child. Returns an error naming
+    /// the entry on a missing stat or a length mismatch.
+    fn load_state(&mut self, _state: &[(String, Vec<f64>)]) -> Result<(), String> {
+        Ok(())
+    }
+
     /// Appends this layer's tape-free inference steps to `out`
     /// (see [`crate::lower`]). `ctx` is the staging context of
     /// [`crate::lower::lower_model`]: photonic layers build their frozen
@@ -76,6 +93,14 @@ impl<L: Layer + ?Sized> Layer for Box<L> {
 
     fn mesh_weights<'g>(&self) -> Vec<&dyn crate::mesh::MeshWeight<'g>> {
         (**self).mesh_weights()
+    }
+
+    fn state(&self) -> Vec<(String, Vec<f64>)> {
+        (**self).state()
+    }
+
+    fn load_state(&mut self, state: &[(String, Vec<f64>)]) -> Result<(), String> {
+        (**self).load_state(state)
     }
 
     fn lower<'g>(
@@ -150,6 +175,17 @@ impl Layer for Sequential {
 
     fn mesh_weights<'g>(&self) -> Vec<&dyn crate::mesh::MeshWeight<'g>> {
         self.layers.iter().flat_map(|l| l.mesh_weights()).collect()
+    }
+
+    fn state(&self) -> Vec<(String, Vec<f64>)> {
+        self.layers.iter().flat_map(|l| l.state()).collect()
+    }
+
+    fn load_state(&mut self, state: &[(String, Vec<f64>)]) -> Result<(), String> {
+        for layer in &mut self.layers {
+            layer.load_state(state)?;
+        }
+        Ok(())
     }
 
     fn lower<'g>(
@@ -492,6 +528,8 @@ pub fn batch_norm2d_op<'g>(
 pub struct BatchNorm2d {
     gamma: ParamId,
     beta: ParamId,
+    /// Construction name; keys the running statistics in [`Layer::state`].
+    name: String,
     running_mean: Vec<f64>,
     running_var: Vec<f64>,
     momentum: f64,
@@ -505,6 +543,7 @@ impl BatchNorm2d {
         Self {
             gamma: store.register(format!("{name}.gamma"), Tensor::ones(&[channels]), 0.0),
             beta: store.register(format!("{name}.beta"), Tensor::zeros(&[channels]), 0.0),
+            name: name.to_owned(),
             running_mean: vec![0.0; channels],
             running_var: vec![1.0; channels],
             momentum: 0.1,
@@ -540,6 +579,41 @@ impl Layer for BatchNorm2d {
 
     fn param_ids(&self) -> Vec<ParamId> {
         vec![self.gamma, self.beta]
+    }
+
+    fn state(&self) -> Vec<(String, Vec<f64>)> {
+        vec![
+            (
+                format!("{}.running_mean", self.name),
+                self.running_mean.clone(),
+            ),
+            (
+                format!("{}.running_var", self.name),
+                self.running_var.clone(),
+            ),
+        ]
+    }
+
+    fn load_state(&mut self, state: &[(String, Vec<f64>)]) -> Result<(), String> {
+        for (field, dst) in [
+            ("running_mean", &mut self.running_mean),
+            ("running_var", &mut self.running_var),
+        ] {
+            let key = format!("{}.{field}", self.name);
+            let entry = state
+                .iter()
+                .find(|(name, _)| *name == key)
+                .ok_or_else(|| format!("missing layer state `{key}`"))?;
+            if entry.1.len() != self.channels {
+                return Err(format!(
+                    "layer state `{key}` holds {} values, expected {}",
+                    entry.1.len(),
+                    self.channels
+                ));
+            }
+            dst.copy_from_slice(&entry.1);
+        }
+        Ok(())
     }
 
     fn lower<'g>(

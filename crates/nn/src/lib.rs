@@ -40,6 +40,7 @@
 //!   allocation-free execution plan.
 
 pub mod build;
+pub mod checkpoint;
 pub mod layers;
 pub mod lower;
 pub mod mesh;
@@ -50,6 +51,7 @@ mod param;
 pub mod train;
 
 pub use build::prebuild_ptc_weights;
+pub use checkpoint::{load_backend, save_backend, Checkpoint, CheckpointError, ModelArch};
 pub use lower::{lower_model, lower_model_faulted, LowerError, LoweredStep};
 pub use mesh::{build_mesh_weight, prebuild_mesh_weights, MeshWeight, StagedBuild};
 pub use param::{next_weight_uid, ForwardCtx, ParamId, ParamStore};

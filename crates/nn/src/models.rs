@@ -59,6 +59,18 @@ impl Backend {
         Backend::Topology { u, v }
     }
 
+    /// The backend a registry device spec describes: the MZI baseline for
+    /// `kind = "mzi"`, otherwise the spec's block mesh programmed into
+    /// both unitaries.
+    pub fn from_device(spec: &adept_photonics::DeviceSpec) -> Self {
+        match spec.topology.mesh() {
+            None => Backend::Mzi {
+                k: spec.topology.k(),
+            },
+            Some(t) => Backend::Topology { u: t.clone(), v: t },
+        }
+    }
+
     /// PTC size of the backend.
     pub fn k(&self) -> usize {
         match self {

@@ -20,7 +20,10 @@
 //!   experiments (Fig. 4);
 //! * [`fault`] — seeded, composable static-fault scenarios
 //!   ([`FaultScenario`]): dead/stuck phase shifters, dead couplers, frozen
-//!   thermal drift and phase quantization, applied per physical device site.
+//!   thermal drift and phase quantization, applied per physical device site;
+//! * [`registry`] — runtime-loaded declarative device specs
+//!   ([`DeviceSpec`]): PDK corners, noise sigma, fault priors and the mesh
+//!   topology in one TOML-like text file with line-numbered validation.
 
 pub mod butterfly;
 pub mod clements;
@@ -30,6 +33,7 @@ pub mod fault;
 pub mod io;
 mod noise;
 mod pdk;
+pub mod registry;
 mod topology;
 
 pub use cost::{block_count_bounds, BlockBounds, DeviceCount};
@@ -37,4 +41,5 @@ pub use devices::{coupler_matrix, crossing_matrix, mzi_matrix, phase_column, DC_
 pub use fault::{FaultKind, FaultScenario};
 pub use noise::{DeadShifterFault, PhaseNoise};
 pub use pdk::Pdk;
+pub use registry::{DeviceSpec, SpecError, TopologySpec};
 pub use topology::{BlockMeshTopology, MeshBlock};

@@ -6,7 +6,11 @@
 //! cargo run --release --example fault_sweep            # repro grid
 //! cargo run --release --example fault_sweep -- --fast  # reduced CI grid
 //! cargo run --release --example fault_sweep -- --scale full
+//! cargo run --release --example fault_sweep -- --device registry/devices/amf_butterfly8.toml
 //! ```
+//!
+//! `--device <spec>` adds a registry device's topology to the sweep grid
+//! under its declared name, alongside the built-in baselines.
 //!
 //! Everything printed to **stdout** is seeded and bit-stable across
 //! `ONN_THREADS` — CI diffs it across {1, 8, default}. Timings go to
@@ -16,19 +20,34 @@
 use adept_bench::sweep::{robustness_json, run_sweep, SweepSettings};
 use adept_bench::Scale;
 use adept_nn::models::Backend;
+use adept_photonics::DeviceSpec;
 use std::time::Instant;
 
 fn main() {
-    let fast = std::env::args().any(|a| a == "--fast");
+    let args: Vec<String> = std::env::args().collect();
+    let fast = args.iter().any(|a| a == "--fast");
     let settings = if fast {
         SweepSettings::reduced()
     } else {
         SweepSettings::for_scale(Scale::from_args())
     };
-    let topologies = vec![
+    let mut topologies = vec![
         ("butterfly8".to_string(), Backend::butterfly(8)),
         ("dense8x4".to_string(), Backend::dense(8, 4)),
     ];
+    if let Some(i) = args.iter().position(|a| a == "--device") {
+        let path = args.get(i + 1).unwrap_or_else(|| {
+            eprintln!("error: --device needs a spec path");
+            std::process::exit(2);
+        });
+        match DeviceSpec::load(path) {
+            Ok(spec) => topologies.push((spec.name.clone(), Backend::from_device(&spec))),
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     println!("fault sweep: dead shifters x frozen phase noise x topology");
     println!(

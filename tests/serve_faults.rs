@@ -203,6 +203,51 @@ fn blast_radius_is_the_batch_not_the_session() {
     }
 }
 
+/// Panicked batches must not poison the runtime's shared locks: a stream
+/// where every worker panics repeatedly (poison on every 5th request,
+/// more poisoned requests than workers) still serves every healthy
+/// request with correct outputs — including the healthy tail submitted
+/// *after* all the panics — and the accounting stays exact. Before the
+/// `PoisonError` recovery fix, one panicked holder of the latency/queue
+/// locks would cascade panics into every subsequent lock site instead of
+/// failing only its own batch.
+#[test]
+fn repeated_panics_do_not_poison_subsequent_requests() {
+    let n = 60;
+    let mut inputs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    // 8 poisoned requests spread through the first 40, so each of the 3
+    // workers replaces its runner at least once; the last 20 are healthy.
+    let poisoned: Vec<usize> = (0..40).step_by(5).collect();
+    for &i in &poisoned {
+        inputs[i] = POISON;
+    }
+    let make = MockRunner::factory(Duration::ZERO);
+    // max_batch 1: exactly the poisoned requests fail, everything else
+    // must be served — any cascade would show up as extra failures or a
+    // propagated panic out of serve_with.
+    let (out, report) = serve_with(&make, &inputs, n, &cfg(1, 3, 1024, Duration::ZERO));
+    assert_counts_sum(&report);
+    assert_eq!(report.failed, poisoned.len(), "only poisoned batches fail");
+    assert_eq!(
+        report.served,
+        n - poisoned.len(),
+        "every healthy request must be served after repeated panics"
+    );
+    for (i, &o) in report.outcomes.iter().enumerate() {
+        if inputs[i] == POISON {
+            assert_eq!(o, RequestOutcome::Failed, "request {i}");
+            assert_eq!(out[i], 0.0, "failed slot must stay zeroed");
+        } else {
+            assert_eq!(o, RequestOutcome::Served, "request {i}");
+            assert_eq!(out[i], 2.0 * i as f64 + 1.0, "request {i}");
+        }
+    }
+    assert!(
+        report.p99_latency >= report.p50_latency,
+        "percentiles over served-only samples stay ordered"
+    );
+}
+
 /// Closing the queue stops admissions but drains everything already
 /// admitted: with capacity for all requests and no deadline, every
 /// request is served exactly once, across uneven batch splits and
