@@ -9,8 +9,9 @@ use adept_photonics::clements::decompose;
 use adept_photonics::devices::crossing_matrix;
 use adept_photonics::BlockMeshTopology;
 use adept_tensor::{
-    batched_matmul_into, im2col, im2col_into, matmul_into, matmul_into_one_axis_partition,
-    set_gemm_threads, set_wide_gemm_cols, Conv2dGeometry, Tensor, Tile,
+    batched_matmul_into, gemm_micro_into, gemm_scalar_ref_into, im2col, im2col_into, matmul_into,
+    matmul_into_one_axis_partition, set_gemm_threads, set_wide_gemm_cols, Conv2dGeometry, Tensor,
+    Tile,
 };
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -355,9 +356,40 @@ fn bench_conv_forward(c: &mut Criterion) {
     set_gemm_threads(0);
 }
 
+/// Scalar reference kernel vs the register-blocked packed microkernel on
+/// the same serial contiguous GEMMs: the conv-lowered wide shape
+/// `[16,144]·[144,4096]` plus square shapes. Both produce bit-identical
+/// results (pinned by `tests/mixed_precision.rs`); the CI bench gate
+/// requires `micro` to be no slower than `scalar` on these shapes.
+fn bench_gemm_micro(c: &mut Criterion) {
+    let shapes: [(usize, usize, usize); 3] = [(16, 144, 4096), (128, 128, 128), (256, 256, 256)];
+    let mut group = c.benchmark_group("gemm_micro");
+    for &(m, k, n) in &shapes {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = Tensor::rand_uniform(&mut rng, &[m, k], -1.0, 1.0);
+        let b = Tensor::rand_uniform(&mut rng, &[k, n], -1.0, 1.0);
+        let mut out = vec![0.0; m * n];
+        let tag = format!("{m}x{k}x{n}");
+        group.bench_function(format!("scalar_{tag}"), |bench| {
+            bench.iter(|| {
+                gemm_scalar_ref_into(a.as_slice(), b.as_slice(), &mut out, m, k, n, 1.0, false);
+                black_box(out[0])
+            });
+        });
+        group.bench_function(format!("micro_{tag}"), |bench| {
+            bench.iter(|| {
+                gemm_micro_into(a.as_slice(), b.as_slice(), &mut out, m, k, n, 1.0, false);
+                black_box(out[0])
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_gemm,
+    bench_gemm_micro,
     bench_im2col,
     bench_svd,
     bench_polar,

@@ -6,11 +6,13 @@
 //! compiled-inference PR (compiled single-sample forward ≥5× faster than
 //! the tape on the quickstart-scale proxy CNN); `serving_latency/p50`,
 //! `serving_latency/p99` and `serving_throughput/per_request` come from a
-//! real serve session and use nanoseconds in the same schema.
+//! real serve session and use nanoseconds in the same schema. The
+//! `f32_vs_f64/{f64,f32}` pair compares the same compiled forward at both
+//! plan precisions (`ONN_INFER_DTYPE` axis).
 
 use adept_autodiff::Graph;
 use adept_datasets::{DatasetKind, SyntheticConfig};
-use adept_infer::{serve, ExecPlan, ServeConfig};
+use adept_infer::{serve, ExecPlan, PlanPrecision, ServeConfig};
 use adept_nn::layers::Layer;
 use adept_nn::models::{proxy_cnn, Backend, InputShape};
 use adept_nn::{prebuild_mesh_weights, ForwardCtx, ParamStore};
@@ -58,7 +60,8 @@ fn main() {
         group.bench_function("tape", |b| {
             b.iter(|| black_box(tape_forward(&mut model, &store, &x)));
         });
-        let mut plan = ExecPlan::compile(&model, &store, &sample_shape, 16, 0).unwrap();
+        let mut plan =
+            ExecPlan::compile(&model, &store, &sample_shape, 16, 0, PlanPrecision::F64).unwrap();
         let mut out = vec![0.0; plan.output_features()];
         plan.run_batch(&input, 1, &mut out); // warm the slabs
         group.bench_function("compiled", |b| {
@@ -70,8 +73,28 @@ fn main() {
         group.finish();
     }
 
+    // Same compiled forward at both plan precisions: how much the f32
+    // storage/compute mode buys on the quickstart-scale CNN (weights
+    // quantized once at freeze; the run_batch interface stays f64).
+    {
+        let mut group = c.benchmark_group("f32_vs_f64");
+        for precision in [PlanPrecision::F64, PlanPrecision::F32] {
+            let mut plan =
+                ExecPlan::compile(&model, &store, &sample_shape, 16, 0, precision).unwrap();
+            let mut out = vec![0.0; plan.output_features()];
+            plan.run_batch(&input, 1, &mut out); // warm the slabs
+            group.bench_function(precision.dtype_name(), |b| {
+                b.iter(|| {
+                    plan.run_batch(black_box(&input), 1, &mut out);
+                    black_box(out[0])
+                });
+            });
+        }
+        group.finish();
+    }
+
     // Batched serving over a synthetic request stream.
-    let plan = ExecPlan::compile(&model, &store, &sample_shape, 16, 0).unwrap();
+    let plan = ExecPlan::compile(&model, &store, &sample_shape, 16, 0, PlanPrecision::F64).unwrap();
     let (_, test) = SyntheticConfig::new(DatasetKind::MnistLike)
         .with_image_size(image)
         .with_classes(10)

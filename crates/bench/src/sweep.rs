@@ -21,7 +21,7 @@
 
 use crate::{retrain, ModelKind, RetrainSettings, Scale};
 use adept_datasets::{Dataset, DatasetKind};
-use adept_infer::ExecPlan;
+use adept_infer::{ExecPlan, PlanPrecision};
 use adept_nn::layers::Layer;
 use adept_nn::models::Backend;
 use adept_nn::train::evaluate_faulted;
@@ -219,6 +219,7 @@ pub fn run_sweep(topologies: &[(String, Backend)], settings: &SweepSettings) -> 
                     s.batch_size,
                     settings.seed ^ 0x5EED,
                     scenario(settings.seed, p),
+                    PlanPrecision::F64,
                 )
                 .expect("proxy CNN lowers");
                 bundle.model.set_phase_noise(0.0);

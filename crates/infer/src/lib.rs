@@ -16,6 +16,13 @@
 //!   parameters actually change ([`ExecPlan::refresh`]). Convolutions lower
 //!   to the existing im2col + GEMM kernels with per-plan preallocated
 //!   scratch; ReLU fuses into the preceding GEMM/batch-norm epilogue.
+//!   Compilation takes a [`PlanPrecision`]: `F64` (default) is
+//!   bit-identical to the tape, `F32` quantizes the frozen weights once
+//!   and runs the whole warm path in single precision while keeping the
+//!   `run_batch` interface `f64` at both ends — training itself never
+//!   sees f32 (the "training stays f64" invariant). Serving reads the
+//!   knob from `ONN_INFER_DTYPE` ([`PlanPrecision::from_env`], validated
+//!   like `ONN_THREADS`).
 //! * [`ExecPlan::run_batch`] — the **executor**: replays the program over a
 //!   batch with zero `Graph`/`Var` construction and zero heap allocations
 //!   on the warm path (two preallocated ping-pong slabs; pinned by the
@@ -50,5 +57,5 @@
 pub mod plan;
 pub mod serve;
 
-pub use plan::{ExecPlan, PlanFromCheckpointError};
+pub use plan::{ExecPlan, PlanFromCheckpointError, PlanPrecision};
 pub use serve::{serve, serve_with, BatchRunner, RequestOutcome, ServeConfig, ServeReport};

@@ -17,15 +17,30 @@
 //! normalize-then-affine form. With noise off, compiled outputs equal the
 //! tape's exactly; with phase noise on, compiling with seed `s` freezes the
 //! same noisy weights `evaluate_seeded(…, s)` would draw.
+//!
+//! # Plan precision and the "training stays f64" invariant
+//!
+//! [`ExecPlan::compile`] takes a [`PlanPrecision`]: under
+//! [`PlanPrecision::F64`] (the default) the program above is exactly the
+//! pre-dtype-axis engine, bit-identical to the tape. Under
+//! [`PlanPrecision::F32`] the frozen weights are quantized **once at
+//! freeze time** (`Tensor::to_f32`) and the whole warm path — im2col
+//! scratch, GEMMs, ping-pong slabs, fused epilogues — runs in f32; only
+//! the `run_batch` boundary stays `f64` (inputs narrow into the
+//! preallocated slab, logits widen out of it), so serving, batching and
+//! checkpoints are precision-agnostic. Training and autodiff never see a
+//! plan, let alone an f32 one — quantization is a one-way, inference-only
+//! door, which is what keeps tape bit-determinism structurally safe (see
+//! `adept_tensor::element`).
 
 use adept_nn::layers::Layer;
 use adept_nn::{
     lower_model_faulted, Checkpoint, CheckpointError, LowerError, LoweredStep, ParamStore,
 };
 use adept_photonics::FaultScenario;
-use adept_tensor::{im2col_slice_into, matmul_into, Conv2dGeometry, Tensor};
+use adept_tensor::{im2col_slice_into, matmul_into, Conv2dGeometry, Element, TensorBase};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Why [`ExecPlan::compile_from_checkpoint`] failed: either the checkpoint
 /// itself is bad, or the rebuilt model does not lower.
@@ -60,14 +75,87 @@ impl From<LowerError> for PlanFromCheckpointError {
     }
 }
 
-/// One compiled step. Producing steps read the source slab and write the
-/// destination slab; in-place steps rewrite the source slab directly.
+/// The element dtype a compiled plan stores and computes in.
+///
+/// `F64` (the default) is bit-identical to the tape forward and is what
+/// every training-adjacent consumer uses. `F32` is an inference-only
+/// storage/compute mode: weights are quantized once at plan-freeze time
+/// and the warm path halves its memory traffic, while the plan's external
+/// `run_batch` interface stays `f64` on both ends. Training never sees a
+/// plan of either precision — the autodiff tape is `f64`-only by
+/// construction (the "training stays f64" invariant, see
+/// `adept_tensor::element`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanPrecision {
+    /// Double precision: the default, bit-identical to the tape forward.
+    #[default]
+    F64,
+    /// Single precision: inference-only; weights quantized at freeze time,
+    /// logits returned as `f64` after an exact widening.
+    F32,
+}
+
+impl PlanPrecision {
+    /// Parses a precision override. Empty (or whitespace) means "not
+    /// configured" (default `F64`); `f32`/`f64` (any case) select the
+    /// mode; anything else panics naming the variable, exactly like the
+    /// `ONN_THREADS` parse — a typo'd override must never silently run at
+    /// the default precision.
+    pub fn parse(name: &str, raw: &str) -> Option<PlanPrecision> {
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            return None;
+        }
+        if trimmed.eq_ignore_ascii_case("f64") {
+            Some(PlanPrecision::F64)
+        } else if trimmed.eq_ignore_ascii_case("f32") {
+            Some(PlanPrecision::F32)
+        } else {
+            panic!("invalid {name}={raw:?}: expected \"f32\", \"f64\" or empty/unset (= f64)")
+        }
+    }
+
+    /// Reads `ONN_INFER_DTYPE` once (cached): the serving/demo-facing
+    /// precision knob, validated like `ONN_THREADS`. Unset, empty or `0`
+    /// risk nothing — only `f32`/`f64` are accepted and junk panics at
+    /// first use.
+    pub fn from_env() -> PlanPrecision {
+        static CACHE: OnceLock<PlanPrecision> = OnceLock::new();
+        *CACHE.get_or_init(|| {
+            std::env::var("ONN_INFER_DTYPE")
+                .ok()
+                .and_then(|v| PlanPrecision::parse("ONN_INFER_DTYPE", &v))
+                .unwrap_or_default()
+        })
+    }
+
+    /// The dtype's canonical name (`"f64"` / `"f32"`).
+    pub fn dtype_name(self) -> &'static str {
+        match self {
+            PlanPrecision::F64 => "f64",
+            PlanPrecision::F32 => "f32",
+        }
+    }
+
+    /// Mixed into the plan fingerprint so `refresh` treats precision as
+    /// part of the frozen-weight identity, alongside params and faults.
+    fn tag(self) -> u64 {
+        match self {
+            PlanPrecision::F64 => 0,
+            PlanPrecision::F32 => 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+/// One compiled step, generic over the plan's element dtype. Producing
+/// steps read the source slab and write the destination slab; in-place
+/// steps rewrite the source slab directly.
 #[derive(Debug, Clone)]
-enum Step {
+enum Step<T: Element> {
     /// `y = x·w_t + b` with optional fused ReLU epilogue. Producing.
     Linear {
-        w_t: Tensor,
-        bias: Tensor,
+        w_t: TensorBase<T>,
+        bias: TensorBase<T>,
         in_f: usize,
         out_f: usize,
         relu: bool,
@@ -75,20 +163,20 @@ enum Step {
     /// im2col + GEMM + NCHW reorder with fused bias (+ optional ReLU).
     /// Producing; owns its patch-matrix and GEMM scratch.
     Conv {
-        w: Tensor,
-        bias: Tensor,
+        w: TensorBase<T>,
+        bias: TensorBase<T>,
         geom: Conv2dGeometry,
         oc: usize,
         relu: bool,
-        cols: Vec<f64>,
-        gemm: Vec<f64>,
+        cols: Vec<T>,
+        gemm: Vec<T>,
     },
     /// Eval-mode batch norm (+ optional ReLU). In place.
     BatchNorm {
-        mean: Vec<f64>,
-        inv_std: Vec<f64>,
-        gamma: Vec<f64>,
-        beta: Vec<f64>,
+        mean: Vec<T>,
+        inv_std: Vec<T>,
+        gamma: Vec<T>,
+        beta: Vec<T>,
         channels: usize,
         hw: usize,
         relu: bool,
@@ -111,7 +199,7 @@ enum Step {
     },
 }
 
-impl Step {
+impl<T: Element> Step<T> {
     /// Per-sample element count this step produces.
     fn out_elems(&self) -> usize {
         match self {
@@ -128,6 +216,47 @@ impl Step {
     }
 }
 
+/// The dtype-monomorphic half of a plan: the step list plus the two
+/// ping-pong activation slabs, everything that depends on the element
+/// type. The `f64` and `f32` instantiations share all of their code.
+#[derive(Debug, Clone)]
+struct Program<T: Element> {
+    steps: Vec<Step<T>>,
+    buf_a: Vec<T>,
+    buf_b: Vec<T>,
+}
+
+impl<T: Element> Program<T> {
+    /// Replays the program over `n` samples. The slab boundary does the
+    /// precision conversion: inputs narrow into `buf_a` (exact for f64),
+    /// logits widen back out (always exact) — no allocation either way.
+    fn run(&mut self, input: &[f64], n: usize, out: &mut [f64]) {
+        let mut src = std::mem::take(&mut self.buf_a);
+        let mut dst = std::mem::take(&mut self.buf_b);
+        T::slice_from_f64(input, &mut src[..input.len()]);
+        for step in &mut self.steps {
+            if step.is_in_place() {
+                run_in_place(step, &mut src, n);
+            } else {
+                run_producing(step, &src, &mut dst, n);
+                std::mem::swap(&mut src, &mut dst);
+            }
+        }
+        T::slice_to_f64(&src[..out.len()], out);
+        self.buf_a = src;
+        self.buf_b = dst;
+    }
+}
+
+/// The two dtype instantiations an [`ExecPlan`] can hold. `F64` stays the
+/// default and the bit-identical mirror of the tape; `F32` is the
+/// quantized inference mode.
+#[derive(Debug, Clone)]
+enum Body {
+    F64(Program<f64>),
+    F32(Program<f32>),
+}
+
 /// A frozen, tape-free inference program for one trained model.
 ///
 /// Created by [`ExecPlan::compile`]; executed by [`ExecPlan::run_batch`].
@@ -135,23 +264,24 @@ impl Step {
 /// two ping-pong activation slabs sized for `max_batch` — so repeated
 /// forwards allocate nothing. Clone a plan to give each serving worker
 /// private scratch; the frozen weight tensors are shared structurally.
+/// The external interface is `f64` at both ends regardless of the plan's
+/// [`PlanPrecision`].
 #[derive(Debug, Clone)]
 pub struct ExecPlan {
-    steps: Vec<Step>,
+    body: Body,
     in_shape: Vec<usize>,
     in_elems: usize,
     out_features: usize,
     max_batch: usize,
     fingerprint: u64,
     seed: u64,
+    precision: PlanPrecision,
     /// Static hardware damage the frozen weights realize (`None` =
     /// healthy hardware).
     faults: Option<Arc<FaultScenario>>,
     /// Fingerprint of `faults` at compile time; [`ExecPlan::refresh_faults`]
     /// re-freezes when the deployed scenario's fingerprint moves.
     fault_fp: u64,
-    buf_a: Vec<f64>,
-    buf_b: Vec<f64>,
 }
 
 /// FNV-1a over every parameter tensor's shape and f64 bit pattern, in
@@ -176,13 +306,133 @@ fn param_fingerprint(model: &dyn Layer, store: &ParamStore) -> u64 {
     h
 }
 
+/// Builds the dtype-monomorphic program from the lowered step list:
+/// weights quantized via [`Element::cast_tensor`] (a no-op `Arc` bump for
+/// f64 — the freeze-time quantization point for f32), scratch and slabs
+/// sized for `max_batch`. Returns the program and the output feature
+/// count.
+fn build_program<T: Element>(
+    lowered: Vec<LoweredStep>,
+    in_shape: &[usize],
+    in_elems: usize,
+    max_batch: usize,
+) -> (Program<T>, usize) {
+    let mut shape = in_shape.to_vec();
+    let mut steps: Vec<Step<T>> = Vec::new();
+    let mut max_elems = in_elems;
+    let narrow = |v: &[f64]| -> Vec<T> { v.iter().map(|&x| T::from_f64(x)).collect() };
+    for step in lowered {
+        match step {
+            LoweredStep::Flatten => {
+                shape = vec![shape.iter().product()];
+                continue;
+            }
+            LoweredStep::Relu => {
+                // Fuse into the previous producing step's epilogue when
+                // it has one free; otherwise keep a standalone pass.
+                match steps.last_mut() {
+                    Some(
+                        Step::Linear { relu, .. }
+                        | Step::Conv { relu, .. }
+                        | Step::BatchNorm { relu, .. },
+                    ) if !*relu => *relu = true,
+                    _ => steps.push(Step::Relu {
+                        elems: shape.iter().product(),
+                    }),
+                }
+                continue;
+            }
+            LoweredStep::Linear { w_t, bias } => {
+                let elems: usize = shape.iter().product();
+                let (in_f, out_f) = (w_t.shape()[0], w_t.shape()[1]);
+                assert_eq!(elems, in_f, "linear input features mismatch");
+                steps.push(Step::Linear {
+                    w_t: T::cast_tensor(&w_t),
+                    bias: T::cast_tensor(&bias),
+                    in_f,
+                    out_f,
+                    relu: false,
+                });
+                shape = vec![out_f];
+            }
+            LoweredStep::Conv2d {
+                w,
+                bias,
+                geom,
+                out_channels,
+            } => {
+                assert_eq!(
+                    shape,
+                    [geom.in_channels, geom.in_h, geom.in_w],
+                    "conv input shape mismatch"
+                );
+                let ccols = geom.col_cols(max_batch);
+                steps.push(Step::Conv {
+                    w: T::cast_tensor(&w),
+                    bias: T::cast_tensor(&bias),
+                    geom,
+                    oc: out_channels,
+                    relu: false,
+                    cols: vec![T::ZERO; geom.col_rows() * ccols],
+                    gemm: vec![T::ZERO; out_channels * ccols],
+                });
+                shape = vec![out_channels, geom.out_h(), geom.out_w()];
+            }
+            LoweredStep::BatchNorm2d {
+                mean,
+                inv_std,
+                gamma,
+                beta,
+            } => {
+                assert_eq!(shape.len(), 3, "batch norm expects CHW input");
+                assert_eq!(shape[0], mean.len(), "batch norm channel mismatch");
+                steps.push(Step::BatchNorm {
+                    mean: narrow(&mean),
+                    inv_std: narrow(&inv_std),
+                    gamma: narrow(&gamma),
+                    beta: narrow(&beta),
+                    channels: shape[0],
+                    hw: shape[1] * shape[2],
+                    relu: false,
+                });
+            }
+            LoweredStep::AvgPool2d { kernel } => {
+                assert_eq!(shape.len(), 3, "avg pool expects CHW input");
+                let (c, h, w) = (shape[0], shape[1], shape[2]);
+                steps.push(Step::AvgPool { k: kernel, c, h, w });
+                shape = vec![c, h / kernel, w / kernel];
+            }
+            LoweredStep::MaxPool2d { kernel } => {
+                assert_eq!(shape.len(), 3, "max pool expects CHW input");
+                let (c, h, w) = (shape[0], shape[1], shape[2]);
+                steps.push(Step::MaxPool { k: kernel, c, h, w });
+                shape = vec![c, h / kernel, w / kernel];
+            }
+        }
+        max_elems = max_elems.max(steps.last().map_or(0, Step::out_elems));
+    }
+    let out_features = shape.iter().product();
+    let slab = max_batch * max_elems;
+    (
+        Program {
+            steps,
+            buf_a: vec![T::ZERO; slab],
+            buf_b: vec![T::ZERO; slab],
+        },
+        out_features,
+    )
+}
+
 impl ExecPlan {
     /// Freezes `model` into an executable plan.
     ///
     /// `sample_shape` is the per-sample input shape (no batch dimension —
     /// e.g. `[C, H, W]` for a CNN, `[features]` for an MLP); `max_batch`
-    /// sizes the plan's scratch, and `seed` fixes the phase-noise stream
-    /// exactly as `evaluate_seeded`'s first batch would draw it.
+    /// sizes the plan's scratch, `seed` fixes the phase-noise stream
+    /// exactly as `evaluate_seeded`'s first batch would draw it, and
+    /// `precision` selects the plan's element dtype
+    /// ([`PlanPrecision::F64`] = bit-identical to the tape,
+    /// [`PlanPrecision::F32`] = freeze-time-quantized inference mode).
     ///
     /// Lowering walks the model once, then a shape pass checks every step
     /// against the declared input, fuses each ReLU into the producing step
@@ -203,8 +453,9 @@ impl ExecPlan {
         sample_shape: &[usize],
         max_batch: usize,
         seed: u64,
+        precision: PlanPrecision,
     ) -> Result<Self, LowerError> {
-        Self::compile_faulted(model, store, sample_shape, max_batch, seed, None)
+        Self::compile_faulted(model, store, sample_shape, max_batch, seed, None, precision)
     }
 
     /// Like [`ExecPlan::compile`], but freezes the weights as realized on
@@ -212,6 +463,10 @@ impl ExecPlan {
     /// scenario's dead/stuck shifters, dead couplers, frozen drift and
     /// quantization, bit-identical to `evaluate_faulted` under the same
     /// seed. `None` (or an empty scenario) is exactly [`ExecPlan::compile`].
+    ///
+    /// Faults apply in f64 during lowering; under [`PlanPrecision::F32`]
+    /// the already-faulted weights are then quantized, so the fault model
+    /// and the dtype axis compose without interaction.
     ///
     /// # Errors
     ///
@@ -227,128 +482,44 @@ impl ExecPlan {
         max_batch: usize,
         seed: u64,
         faults: Option<Arc<FaultScenario>>,
+        precision: PlanPrecision,
     ) -> Result<Self, LowerError> {
         assert!(max_batch > 0, "max_batch must be positive");
         let faults = faults.filter(|f| !f.is_empty());
         let lowered = lower_model_faulted(model, store, seed, faults.clone())?;
         let in_shape = sample_shape.to_vec();
         let in_elems: usize = in_shape.iter().product();
-        let mut shape = in_shape.clone();
-        let mut steps: Vec<Step> = Vec::new();
-        let mut max_elems = in_elems;
-        for step in lowered {
-            match step {
-                LoweredStep::Flatten => {
-                    shape = vec![shape.iter().product()];
-                    continue;
-                }
-                LoweredStep::Relu => {
-                    // Fuse into the previous producing step's epilogue when
-                    // it has one free; otherwise keep a standalone pass.
-                    match steps.last_mut() {
-                        Some(
-                            Step::Linear { relu, .. }
-                            | Step::Conv { relu, .. }
-                            | Step::BatchNorm { relu, .. },
-                        ) if !*relu => *relu = true,
-                        _ => steps.push(Step::Relu {
-                            elems: shape.iter().product(),
-                        }),
-                    }
-                    continue;
-                }
-                LoweredStep::Linear { w_t, bias } => {
-                    let elems: usize = shape.iter().product();
-                    let (in_f, out_f) = (w_t.shape()[0], w_t.shape()[1]);
-                    assert_eq!(elems, in_f, "linear input features mismatch");
-                    steps.push(Step::Linear {
-                        w_t,
-                        bias,
-                        in_f,
-                        out_f,
-                        relu: false,
-                    });
-                    shape = vec![out_f];
-                }
-                LoweredStep::Conv2d {
-                    w,
-                    bias,
-                    geom,
-                    out_channels,
-                } => {
-                    assert_eq!(
-                        shape,
-                        [geom.in_channels, geom.in_h, geom.in_w],
-                        "conv input shape mismatch"
-                    );
-                    let ccols = geom.col_cols(max_batch);
-                    steps.push(Step::Conv {
-                        w,
-                        bias,
-                        geom,
-                        oc: out_channels,
-                        relu: false,
-                        cols: vec![0.0; geom.col_rows() * ccols],
-                        gemm: vec![0.0; out_channels * ccols],
-                    });
-                    shape = vec![out_channels, geom.out_h(), geom.out_w()];
-                }
-                LoweredStep::BatchNorm2d {
-                    mean,
-                    inv_std,
-                    gamma,
-                    beta,
-                } => {
-                    assert_eq!(shape.len(), 3, "batch norm expects CHW input");
-                    assert_eq!(shape[0], mean.len(), "batch norm channel mismatch");
-                    steps.push(Step::BatchNorm {
-                        mean,
-                        inv_std,
-                        gamma,
-                        beta,
-                        channels: shape[0],
-                        hw: shape[1] * shape[2],
-                        relu: false,
-                    });
-                }
-                LoweredStep::AvgPool2d { kernel } => {
-                    assert_eq!(shape.len(), 3, "avg pool expects CHW input");
-                    let (c, h, w) = (shape[0], shape[1], shape[2]);
-                    steps.push(Step::AvgPool { k: kernel, c, h, w });
-                    shape = vec![c, h / kernel, w / kernel];
-                }
-                LoweredStep::MaxPool2d { kernel } => {
-                    assert_eq!(shape.len(), 3, "max pool expects CHW input");
-                    let (c, h, w) = (shape[0], shape[1], shape[2]);
-                    steps.push(Step::MaxPool { k: kernel, c, h, w });
-                    shape = vec![c, h / kernel, w / kernel];
-                }
+        let (body, out_features) = match precision {
+            PlanPrecision::F64 => {
+                let (p, o) = build_program::<f64>(lowered, &in_shape, in_elems, max_batch);
+                (Body::F64(p), o)
             }
-            max_elems = max_elems.max(steps.last().map_or(0, Step::out_elems));
-        }
-        let out_features = shape.iter().product();
-        let slab = max_batch * max_elems;
+            PlanPrecision::F32 => {
+                let (p, o) = build_program::<f32>(lowered, &in_shape, in_elems, max_batch);
+                (Body::F32(p), o)
+            }
+        };
         let fault_fp = faults.as_ref().map_or(0, |f| f.fingerprint());
         Ok(Self {
-            steps,
+            body,
             in_shape,
             in_elems,
             out_features,
             max_batch,
-            fingerprint: param_fingerprint(model, store),
+            fingerprint: param_fingerprint(model, store) ^ precision.tag(),
             seed,
+            precision,
             faults,
             fault_fp,
-            buf_a: vec![0.0; slab],
-            buf_b: vec![0.0; slab],
         })
     }
 
     /// Compiles a plan straight from a checkpoint file: loads and verifies
     /// the checkpoint, re-instantiates the trained model
     /// ([`Checkpoint::instantiate`]), and compiles with the **stored**
-    /// noise seed and fault scenario — so the plan reproduces the saving
-    /// process's `run_batch` outputs bit-for-bit at any `ONN_THREADS`.
+    /// noise seed and fault scenario — so an `F64` plan reproduces the
+    /// saving process's `run_batch` outputs bit-for-bit at any
+    /// `ONN_THREADS` (an `F32` plan quantizes those same frozen weights).
     ///
     /// Returns the plan together with the parsed [`Checkpoint`] so callers
     /// can inspect the architecture or re-serve under different faults.
@@ -366,6 +537,7 @@ impl ExecPlan {
     pub fn compile_from_checkpoint(
         path: impl AsRef<std::path::Path>,
         max_batch: usize,
+        precision: PlanPrecision,
     ) -> Result<(Self, Checkpoint), PlanFromCheckpointError> {
         let ckpt = adept_nn::load_backend(path)?;
         let (model, store) = ckpt.instantiate()?;
@@ -377,6 +549,7 @@ impl ExecPlan {
             max_batch,
             ckpt.noise_seed,
             faults,
+            precision,
         )?;
         Ok((plan, ckpt))
     }
@@ -396,14 +569,23 @@ impl ExecPlan {
         self.max_batch
     }
 
+    /// The element dtype this plan stores and computes in.
+    pub fn precision(&self) -> PlanPrecision {
+        self.precision
+    }
+
     /// Number of compiled steps (after fusion and `Flatten` elision).
     pub fn num_steps(&self) -> usize {
-        self.steps.len()
+        match &self.body {
+            Body::F64(p) => p.steps.len(),
+            Body::F32(p) => p.steps.len(),
+        }
     }
 
     /// Rebuilds the frozen weights if (and only if) the model's parameters
     /// changed since this plan was compiled — e.g. after phases moved in a
-    /// training step. The noise seed is kept, so a refreshed plan stays
+    /// training step. The noise seed and precision are kept (precision is
+    /// fingerprinted alongside the params), so a refreshed plan stays
     /// comparable to `evaluate_seeded` under the same seed. Returns whether
     /// a rebuild happened.
     ///
@@ -433,7 +615,9 @@ impl ExecPlan {
     ) -> Result<bool, LowerError> {
         let faults = faults.filter(|f| !f.is_empty());
         let fault_fp = faults.as_ref().map_or(0, |f| f.fingerprint());
-        if param_fingerprint(model, store) == self.fingerprint && fault_fp == self.fault_fp {
+        if param_fingerprint(model, store) ^ self.precision.tag() == self.fingerprint
+            && fault_fp == self.fault_fp
+        {
             return Ok(false);
         }
         *self = Self::compile_faulted(
@@ -443,6 +627,7 @@ impl ExecPlan {
             self.max_batch,
             self.seed,
             faults,
+            self.precision,
         )?;
         Ok(true)
     }
@@ -453,7 +638,9 @@ impl ExecPlan {
     }
 
     /// Runs `n` samples through the plan: `input` is `n × input_elems`
-    /// row-major, `out` receives `n × output_features` logits.
+    /// row-major, `out` receives `n × output_features` logits — `f64` on
+    /// both ends at either [`PlanPrecision`] (f32 plans convert at the
+    /// slab boundary, allocation-free).
     ///
     /// Warm path: zero heap allocations, zero tape nodes. Per-sample
     /// results are independent of batch composition (every step is
@@ -473,29 +660,19 @@ impl ExecPlan {
         );
         assert_eq!(input.len(), n * self.in_elems, "input length mismatch");
         assert_eq!(out.len(), n * self.out_features, "output length mismatch");
-        let mut src = std::mem::take(&mut self.buf_a);
-        let mut dst = std::mem::take(&mut self.buf_b);
-        src[..input.len()].copy_from_slice(input);
-        for step in &mut self.steps {
-            if step.is_in_place() {
-                run_in_place(step, &mut src, n);
-            } else {
-                run_producing(step, &src, &mut dst, n);
-                std::mem::swap(&mut src, &mut dst);
-            }
+        match &mut self.body {
+            Body::F64(p) => p.run(input, n, out),
+            Body::F32(p) => p.run(input, n, out),
         }
-        out.copy_from_slice(&src[..out.len()]);
-        self.buf_a = src;
-        self.buf_b = dst;
     }
 }
 
 /// Executes a slab-rewriting step over `n` samples.
-fn run_in_place(step: &Step, src: &mut [f64], n: usize) {
+fn run_in_place<T: Element>(step: &Step<T>, src: &mut [T], n: usize) {
     match step {
         Step::Relu { elems } => {
             for v in &mut src[..n * elems] {
-                *v = v.max(0.0);
+                *v = v.maximum(T::ZERO);
             }
         }
         Step::BatchNorm {
@@ -515,7 +692,7 @@ fn run_in_place(step: &Step, src: &mut [f64], n: usize) {
                     for v in &mut src[off..off + hw] {
                         let xhat = (*v - mean[c]) * inv_std[c];
                         let y = xhat * gamma[c] + beta[c];
-                        *v = if *relu { y.max(0.0) } else { y };
+                        *v = if *relu { y.maximum(T::ZERO) } else { y };
                     }
                 }
             }
@@ -525,7 +702,7 @@ fn run_in_place(step: &Step, src: &mut [f64], n: usize) {
 }
 
 /// Executes a producing step: reads `src`, writes `dst`.
-fn run_producing(step: &mut Step, src: &[f64], dst: &mut [f64], n: usize) {
+fn run_producing<T: Element>(step: &mut Step<T>, src: &[T], dst: &mut [T], n: usize) {
     match step {
         Step::Linear {
             w_t,
@@ -546,7 +723,7 @@ fn run_producing(step: &mut Step, src: &[f64], dst: &mut [f64], n: usize) {
             for row in dst[..n * *out_f].chunks_exact_mut(*out_f) {
                 for (v, &bj) in row.iter_mut().zip(b) {
                     let y = *v + bj;
-                    *v = if *relu { y.max(0.0) } else { y };
+                    *v = if *relu { y.maximum(T::ZERO) } else { y };
                 }
             }
         }
@@ -581,7 +758,7 @@ fn run_producing(step: &mut Step, src: &[f64], dst: &mut [f64], n: usize) {
                     let gemm_off = c * ccols + ni * p;
                     for pix in 0..p {
                         let y = gemm[gemm_off + pix] + b[c];
-                        dst[dst_off + pix] = if *relu { y.max(0.0) } else { y };
+                        dst[dst_off + pix] = if *relu { y.maximum(T::ZERO) } else { y };
                     }
                 }
             }
@@ -589,14 +766,14 @@ fn run_producing(step: &mut Step, src: &[f64], dst: &mut [f64], n: usize) {
         Step::AvgPool { k, c, h, w } => {
             let (k, c, h, w) = (*k, *c, *h, *w);
             let (oh, ow) = (h / k, w / k);
-            let scale = (k * k) as f64;
+            let scale = T::from_f64((k * k) as f64);
             for ni in 0..n {
                 for ci in 0..c {
                     let src_off = (ni * c + ci) * h * w;
                     let dst_off = (ni * c + ci) * oh * ow;
                     for oy in 0..oh {
                         for ox in 0..ow {
-                            let mut s = 0.0;
+                            let mut s = T::ZERO;
                             for dy in 0..k {
                                 for dx in 0..k {
                                     s += src[src_off + (oy * k + dy) * w + ox * k + dx];
@@ -617,7 +794,7 @@ fn run_producing(step: &mut Step, src: &[f64], dst: &mut [f64], n: usize) {
                     let dst_off = (ni * c + ci) * oh * ow;
                     for oy in 0..oh {
                         for ox in 0..ow {
-                            let mut best = f64::NEG_INFINITY;
+                            let mut best = T::NEG_INFINITY;
                             for dy in 0..k {
                                 for dx in 0..k {
                                     let v = src[src_off + (oy * k + dy) * w + ox * k + dx];
@@ -633,5 +810,39 @@ fn run_producing(step: &mut Step, src: &[f64], dst: &mut [f64], n: usize) {
             }
         }
         _ => unreachable!("in-place step dispatched as producing"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_parse_accepts_both_dtypes_and_auto() {
+        assert_eq!(PlanPrecision::parse("ONN_INFER_DTYPE", ""), None);
+        assert_eq!(PlanPrecision::parse("ONN_INFER_DTYPE", "  "), None);
+        assert_eq!(
+            PlanPrecision::parse("ONN_INFER_DTYPE", "f32"),
+            Some(PlanPrecision::F32)
+        );
+        assert_eq!(
+            PlanPrecision::parse("ONN_INFER_DTYPE", " F64 "),
+            Some(PlanPrecision::F64)
+        );
+        assert_eq!(PlanPrecision::default(), PlanPrecision::F64);
+        assert_eq!(PlanPrecision::F32.dtype_name(), "f32");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ONN_INFER_DTYPE=\"double\"")]
+    fn precision_parse_rejects_junk_naming_the_variable() {
+        let _ = PlanPrecision::parse("ONN_INFER_DTYPE", "double");
+    }
+
+    #[test]
+    fn precision_tags_differ() {
+        // The fingerprint must distinguish otherwise-identical plans that
+        // differ only in dtype, or refresh would skip a needed re-freeze.
+        assert_ne!(PlanPrecision::F64.tag(), PlanPrecision::F32.tag());
     }
 }

@@ -5,6 +5,7 @@
 //! them. `im2col` unrolls input patches into a matrix; `col2im` is its
 //! adjoint, used by the convolution backward pass.
 
+use crate::element::Element;
 use crate::tensor::Tensor;
 
 /// Static geometry of a 2-D convolution (NCHW, square stride/padding).
@@ -123,14 +124,16 @@ pub fn im2col_into(input: &Tensor, geom: &Conv2dGeometry, out: &mut Tensor) {
 /// This is the allocation-free core the tensor path above delegates to;
 /// the compiled inference engine (`adept-infer`) calls it directly on its
 /// preallocated plan scratch, so warm-path convolutions never touch a
-/// `Tensor`. Every element of `dst` is written exactly once (zero-padded
-/// positions included), and the write order is identical to the tensor
-/// path — the resulting patch matrix is bit-identical.
+/// `Tensor`. Generic over the element dtype so f32 inference plans unroll
+/// their f32 slabs with the same code. Every element of `dst` is written
+/// exactly once (zero-padded positions included), and the write order is
+/// identical to the tensor path — the resulting patch matrix is
+/// bit-identical per dtype.
 ///
 /// # Panics
 ///
 /// Panics if the slice lengths disagree with `n` and `geom`.
-pub fn im2col_slice_into(src: &[f64], n: usize, geom: &Conv2dGeometry, dst: &mut [f64]) {
+pub fn im2col_slice_into<T: Element>(src: &[T], n: usize, geom: &Conv2dGeometry, dst: &mut [T]) {
     let (c, h, w) = (geom.in_channels, geom.in_h, geom.in_w);
     assert_eq!(src.len(), n * c * h * w, "input length mismatch");
     let (oh, ow) = (geom.out_h(), geom.out_w());
@@ -146,14 +149,14 @@ pub fn im2col_slice_into(src: &[f64], n: usize, geom: &Conv2dGeometry, dst: &mut
                         let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
                         let col0 = row * cols + ni * oh * ow + oy * ow;
                         if iy < 0 || iy >= h as isize {
-                            dst[col0..col0 + ow].fill(0.0);
+                            dst[col0..col0 + ow].fill(T::ZERO);
                             continue;
                         }
                         let src_row = &src[((ni * c + ci) * h + iy as usize) * w..][..w];
                         for ox in 0..ow {
                             let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
                             dst[col0 + ox] = if ix < 0 || ix >= w as isize {
-                                0.0
+                                T::ZERO
                             } else {
                                 src_row[ix as usize]
                             };

@@ -1,11 +1,15 @@
-//! Dense `f64` tensor substrate for the ADEPT reproduction.
+//! Dense dual-precision tensor substrate for the ADEPT reproduction.
 //!
 //! This crate is the numeric foundation everything else builds on. Since the
-//! zero-copy refactor it is organized around three ideas:
+//! zero-copy refactor it is organized around these ideas:
 //!
-//! * **Shared, copy-on-write storage** — a [`Tensor`] is a contiguous
-//!   window into an `Arc<Vec<f64>>`. Clones, reshapes, row extraction,
-//!   batch items ([`Tensor::subtensor`]) and autodiff tape reads are all
+//! * **Shared, copy-on-write storage with a dtype axis** — a
+//!   [`TensorBase<T>`] is a contiguous window into an `Arc<Vec<T>>`, where
+//!   `T` is an [`Element`] (`f64` or `f32`). [`Tensor`] remains the `f64`
+//!   alias and the only dtype autodiff/training ever sees; [`TensorF32`]
+//!   backs the f32 inference mode (see [`element`] for the "training stays
+//!   f64" invariant). Clones, reshapes, row extraction, batch items
+//!   ([`Tensor::subtensor`]) and autodiff tape reads are all
 //!   reference-count bumps; the first mutation of a shared tensor detaches
 //!   it onto exclusive storage. Aliasing is therefore never observable
 //!   through writes.
@@ -13,8 +17,10 @@
 //!   over the same storage. Slicing, transposition and `K×K` tile
 //!   extraction are pure stride arithmetic; [`View::materialize`] is
 //!   zero-copy when the view is contiguous.
-//! * **Batched, strided kernels** — [`matmul_into`] (threaded GEMM with
-//!   row- or column-partitioning), [`matmul_view`] (GEMM straight off view
+//! * **Batched, strided kernels over a register-blocked microkernel** —
+//!   [`matmul_into`] (threaded GEMM with row- or column-partitioning, a
+//!   packed MR×NR register-tile core for large tiles, generic over
+//!   [`Element`]), [`matmul_view`] (GEMM straight off view
 //!   strides), [`batched_matmul_into`] (all PTC tiles of a layer in one
 //!   sweep, addressed by [`Tile`] descriptors) and
 //!   [`batched_matmul_ragged_into`] (mixed-shape [`GemmSpec`] jobs, so the
@@ -51,6 +57,7 @@
 
 mod batched;
 mod conv;
+pub mod element;
 mod matmul;
 mod ops;
 pub mod pool;
@@ -61,15 +68,16 @@ mod view;
 
 pub use batched::{batched_row_combine, batched_row_dot, batched_row_scale};
 pub use conv::{col2im, im2col, im2col_into, im2col_slice_into, Conv2dGeometry};
-#[doc(hidden)]
-pub use matmul::matmul_into_one_axis_partition;
+pub use element::Element;
 pub use matmul::{
     batched_matmul_into, batched_matmul_ragged_into, gemm_thread_count, matmul_into, matmul_view,
     set_gemm_threads, set_wide_gemm_cols, GemmSpec, Tile,
 };
+#[doc(hidden)]
+pub use matmul::{gemm_micro_into, gemm_scalar_ref_into, matmul_into_one_axis_partition};
 pub use shape::{broadcast_shapes, Shape};
-pub use tensor::Tensor;
-pub use view::View;
+pub use tensor::{Tensor, TensorBase, TensorF32};
+pub use view::{View, ViewBase};
 
 #[cfg(test)]
 mod tests {

@@ -1,12 +1,27 @@
-//! Matrix multiplication: cache-friendly serial kernel, a pooled parallel
-//! path, and strided/batched variants that consume [`View`]s so tile
-//! extraction and assembly never materialize operands.
+//! Matrix multiplication: a register-blocked, panel-packed microkernel
+//! generic over the element dtype ([`Element`]: `f64`/`f32`), a pooled
+//! parallel path, and strided/batched variants that consume [`View`]s so
+//! tile extraction and assembly never materialize operands.
 //!
 //! Parallel partitions execute on the shared [`crate::pool`] — persistent
 //! workers instead of a `thread::scope` spawn per GEMM. Every partition
 //! strategy accumulates each output element in the same k-order as the
 //! serial loop, so results are bit-identical across thread counts.
+//!
+//! # Kernel structure
+//!
+//! One generic tile kernel ([`gemm_tile`]) serves every entry point. Small
+//! tiles run a direct scalar i-k-j loop (the reference kernel); large tiles
+//! take the packed path: A is packed into `MR`-row panels and B into
+//! `NR`-column panels (both p-major, reused thread-local scratch via
+//! [`Element::take_pack_scratch`]), and an `MR`×`NR` register-tile
+//! microkernel sweeps the panels. Both paths accumulate each output element
+//! along a single ascending-k chain with the same per-element zero-skip and
+//! no FMA contraction, so the packed path is **bit-identical** to the
+//! scalar reference per dtype — pinned by the microkernel edge-case tests
+//! and the cross-thread determinism suite.
 
+use crate::element::Element;
 use crate::tensor::Tensor;
 use crate::view::View;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -93,108 +108,129 @@ impl Tile {
     }
 }
 
-/// One strided tile GEMM: `C_tile = A_tile · B_tile`, overwriting `C_tile`.
+/// Register-tile height of the packed microkernel (output rows held in
+/// accumulator registers at once).
+const MR: usize = 4;
+/// Register-tile width of the packed microkernel (output columns held in
+/// accumulator registers at once).
+const NR: usize = 8;
+/// k-dimension cache block: one packed B panel covers `KC` inner-dimension
+/// steps. k-blocking never splits an element's accumulation chain — blocks
+/// are visited in ascending order and the running value round-trips through
+/// `C` between blocks, which preserves the exact f64 addition sequence.
+const KC: usize = 256;
+/// Row cache block of the packed A panel.
+const MC: usize = 64;
+/// Column cache block of the packed B panel (bounds the packing scratch to
+/// `NC·KC` elements per thread).
+const NC: usize = 512;
+/// Minimum `m·n·k` element product for the packed path. Below it (e.g. the
+/// 8×8×8 PTC tile GEMMs) packing costs more than it saves and tiles stay on
+/// the direct scalar kernel.
+const PACK_MIN_WORK: usize = 16 * 1024;
+
+/// The one generic strided tile GEMM behind every entry point:
+/// `C_tile = α·A_tile·B_tile`, or `C_tile += α·A_tile·B_tile` when
+/// `accumulate` is set. This collapses the former `gemm_tile_raw` /
+/// `gemm_tile_raw_ext` / `gemm_tile_raw_g` triple into a single kernel
+/// family parameterized over [`Element`].
+///
+/// Large tiles take the packed register-blocked microkernel
+/// ([`packed_kernel`]); small ones the direct scalar loop
+/// ([`scalar_kernel`]). Both monomorphize `accumulate`/`α` so the common
+/// `α = 1`/overwrite path costs nothing, and both accumulate every output
+/// element along the same ascending-k chain with the same per-element
+/// zero-skip — the paths are bit-identical per dtype, so the dispatch
+/// threshold is purely a performance choice.
 ///
 /// # Safety
 ///
 /// `c` must be valid for writes over the tile's index set and no other
 /// thread may concurrently touch those indices. Bounds are checked against
 /// `c_len` via debug assertions only.
-unsafe fn gemm_tile_raw(
-    a: &[f64],
+#[allow(clippy::too_many_arguments)]
+unsafe fn gemm_tile<T: Element>(
+    a: &[T],
     at: Tile,
-    b: &[f64],
+    b: &[T],
     bt: Tile,
-    c: *mut f64,
+    c: *mut T,
     c_len: usize,
     ct: Tile,
     m: usize,
     k: usize,
     n: usize,
-) {
-    unsafe {
-        gemm_tile_raw_g::<false, false>(a, at, b, bt, c, c_len, ct, m, k, n, 1.0);
-    }
-}
-
-/// Generalized strided tile GEMM: `C_tile = α·A_tile·B_tile`, or
-/// `C_tile += α·A_tile·B_tile` when `accumulate` is set.
-///
-/// Dispatches to monomorphized kernel variants so the common
-/// `α = 1`/overwrite path compiles to exactly the [`gemm_tile_raw`] inner
-/// loop — the generality costs the hot path nothing.
-///
-/// # Safety
-///
-/// Same contract as [`gemm_tile_raw`].
-unsafe fn gemm_tile_raw_ext(
-    a: &[f64],
-    at: Tile,
-    b: &[f64],
-    bt: Tile,
-    c: *mut f64,
-    c_len: usize,
-    ct: Tile,
-    m: usize,
-    k: usize,
-    n: usize,
-    alpha: f64,
+    alpha: T,
     accumulate: bool,
 ) {
+    debug_assert!(at.max_index(m, k) < a.len().max(1) || m * k == 0);
+    debug_assert!(bt.max_index(k, n) < b.len().max(1) || k * n == 0);
+    debug_assert!(ct.max_index(m, n) < c_len.max(1) || m * n == 0);
+    let packed = m >= MR && n >= NR && m * n * k >= PACK_MIN_WORK;
     unsafe {
-        match (accumulate, alpha == 1.0) {
-            (false, true) => {
-                gemm_tile_raw_g::<false, false>(a, at, b, bt, c, c_len, ct, m, k, n, alpha)
+        match (accumulate, alpha == T::ONE, packed) {
+            (false, true, false) => {
+                scalar_kernel::<T, false, false>(a, at, b, bt, c, ct, m, k, n, alpha)
             }
-            (false, false) => {
-                gemm_tile_raw_g::<false, true>(a, at, b, bt, c, c_len, ct, m, k, n, alpha)
+            (false, false, false) => {
+                scalar_kernel::<T, false, true>(a, at, b, bt, c, ct, m, k, n, alpha)
             }
-            (true, true) => {
-                gemm_tile_raw_g::<true, false>(a, at, b, bt, c, c_len, ct, m, k, n, alpha)
+            (true, true, false) => {
+                scalar_kernel::<T, true, false>(a, at, b, bt, c, ct, m, k, n, alpha)
             }
-            (true, false) => {
-                gemm_tile_raw_g::<true, true>(a, at, b, bt, c, c_len, ct, m, k, n, alpha)
+            (true, false, false) => {
+                scalar_kernel::<T, true, true>(a, at, b, bt, c, ct, m, k, n, alpha)
+            }
+            (false, true, true) => {
+                packed_kernel::<T, false, false>(a, at, b, bt, c, ct, m, k, n, alpha)
+            }
+            (false, false, true) => {
+                packed_kernel::<T, false, true>(a, at, b, bt, c, ct, m, k, n, alpha)
+            }
+            (true, true, true) => {
+                packed_kernel::<T, true, false>(a, at, b, bt, c, ct, m, k, n, alpha)
+            }
+            (true, false, true) => {
+                packed_kernel::<T, true, true>(a, at, b, bt, c, ct, m, k, n, alpha)
             }
         }
     }
 }
 
-/// The monomorphized GEMM tile kernel: `ACC` selects accumulate-into vs
-/// overwrite, `SCALE` whether `alpha` multiplies the streamed `a` element.
-/// `α` folds into `a_ip` (`α·a_ip`), so `α = −1` is an exact negation and
-/// the `SCALE = false` instantiation is bit- and codegen-identical to the
-/// original specialized kernel.
+/// The direct scalar tile kernel — the reference the packed path must match
+/// bit-for-bit. `ACC` selects accumulate-into vs overwrite, `SCALE` whether
+/// `alpha` multiplies the streamed `a` element. `α` folds into `a_ip`
+/// (`α·a_ip`), so `α = −1` is an exact negation.
 ///
 /// # Safety
 ///
-/// Same contract as [`gemm_tile_raw`].
-unsafe fn gemm_tile_raw_g<const ACC: bool, const SCALE: bool>(
-    a: &[f64],
+/// Same contract as [`gemm_tile`].
+#[allow(clippy::too_many_arguments)]
+unsafe fn scalar_kernel<T: Element, const ACC: bool, const SCALE: bool>(
+    a: &[T],
     at: Tile,
-    b: &[f64],
+    b: &[T],
     bt: Tile,
-    c: *mut f64,
-    c_len: usize,
+    c: *mut T,
     ct: Tile,
     m: usize,
     k: usize,
     n: usize,
-    alpha: f64,
+    alpha: T,
 ) {
-    debug_assert!(at.max_index(m, k) < a.len().max(1) || m * k == 0);
-    debug_assert!(bt.max_index(k, n) < b.len().max(1) || k * n == 0);
-    debug_assert!(ct.max_index(m, n) < c_len.max(1) || m * n == 0);
     let fast = bt.col_stride == 1 && ct.col_stride == 1;
     for i in 0..m {
         let c_row = ct.offset + i * ct.row_stride;
         if !ACC {
             for j in 0..n {
-                *c.add(c_row + j * ct.col_stride) = 0.0;
+                unsafe {
+                    *c.add(c_row + j * ct.col_stride) = T::ZERO;
+                }
             }
         }
         for p in 0..k {
             let raw = a[at.offset + i * at.row_stride + p * at.col_stride];
-            if raw == 0.0 {
+            if raw == T::ZERO {
                 continue;
             }
             let aip = if SCALE { alpha * raw } else { raw };
@@ -203,23 +239,310 @@ unsafe fn gemm_tile_raw_g<const ACC: bool, const SCALE: bool>(
                 // Unit-stride inner loop: stream B and C rows.
                 let b_slice = &b[b_row..b_row + n];
                 for (j, &bj) in b_slice.iter().enumerate() {
-                    *c.add(c_row + j) += aip * bj;
+                    unsafe {
+                        *c.add(c_row + j) += aip * bj;
+                    }
                 }
             } else {
                 for j in 0..n {
-                    *c.add(c_row + j * ct.col_stride) += aip * b[b_row + j * bt.col_stride];
+                    unsafe {
+                        *c.add(c_row + j * ct.col_stride) += aip * b[b_row + j * bt.col_stride];
+                    }
                 }
             }
         }
     }
 }
 
+/// Packs the `mc`×`kc` block of A at `(ic, pc)` into `MR`-row panels,
+/// p-major within each panel (`apack[panel·MR·kc + p·MR + r]`), zero-
+/// padding ragged tail rows. Padding rows are skipped by the microkernel's
+/// zero-test and never stored, so they cannot affect results.
+fn pack_a<T: Element>(
+    a: &[T],
+    at: Tile,
+    apack: &mut Vec<T>,
+    ic: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+) {
+    let panels = mc.div_ceil(MR);
+    apack.clear();
+    apack.resize(panels * MR * kc, T::ZERO);
+    for pi in 0..panels {
+        let rows = MR.min(mc - pi * MR);
+        let dst = &mut apack[pi * MR * kc..(pi + 1) * MR * kc];
+        for p in 0..kc {
+            let col = at.offset + (pc + p) * at.col_stride;
+            for r in 0..rows {
+                dst[p * MR + r] = a[col + (ic + pi * MR + r) * at.row_stride];
+            }
+        }
+    }
+}
+
+/// Packs the `kc`×`nc` block of B at `(pc, jc)` into `NR`-column panels,
+/// p-major within each panel (`bpack[panel·NR·kc + p·NR + j]`), zero-
+/// padding ragged tail columns (padding accumulates into register lanes
+/// that are never stored).
+fn pack_b<T: Element>(
+    b: &[T],
+    bt: Tile,
+    bpack: &mut Vec<T>,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+) {
+    let panels = nc.div_ceil(NR);
+    bpack.clear();
+    bpack.resize(panels * NR * kc, T::ZERO);
+    for pi in 0..panels {
+        let cols = NR.min(nc - pi * NR);
+        let dst = &mut bpack[pi * NR * kc..(pi + 1) * NR * kc];
+        for p in 0..kc {
+            let row = bt.offset + (pc + p) * bt.row_stride;
+            let col0 = jc + pi * NR;
+            if cols == NR && bt.col_stride == 1 {
+                dst[p * NR..(p + 1) * NR].copy_from_slice(&b[row + col0..row + col0 + NR]);
+            } else {
+                for j in 0..cols {
+                    dst[p * NR + j] = b[row + (col0 + j) * bt.col_stride];
+                }
+            }
+        }
+    }
+}
+
+/// The packed register-blocked tile kernel: panel-packs A and B into
+/// thread-local scratch and sweeps `MR`×`NR` register microtiles.
+///
+/// Bit-identity with [`scalar_kernel`] holds because every output element
+/// keeps one ascending-k accumulation chain (k-blocks visited in order,
+/// register accumulators stored to `C` between blocks), the per-`(i,p)`
+/// zero-skip tests the *raw* packed `a` element exactly like the scalar
+/// loop, `α` folds into the same `α·a_ip` product, and no FMA contraction
+/// is emitted.
+///
+/// # Safety
+///
+/// Same contract as [`gemm_tile`].
+#[allow(clippy::too_many_arguments)]
+unsafe fn packed_kernel<T: Element, const ACC: bool, const SCALE: bool>(
+    a: &[T],
+    at: Tile,
+    b: &[T],
+    bt: Tile,
+    c: *mut T,
+    ct: Tile,
+    m: usize,
+    k: usize,
+    n: usize,
+    alpha: T,
+) {
+    if k == 0 {
+        // Degenerate inner dimension: the overwrite path must still zero C.
+        if !ACC {
+            for i in 0..m {
+                let c_row = ct.offset + i * ct.row_stride;
+                for j in 0..n {
+                    unsafe {
+                        *c.add(c_row + j * ct.col_stride) = T::ZERO;
+                    }
+                }
+            }
+        }
+        return;
+    }
+    let (mut apack, mut bpack) = T::take_pack_scratch();
+    let mut jc = 0;
+    while jc < n {
+        let nc = NC.min(n - jc);
+        let mut pc = 0;
+        let mut first = true;
+        while pc < k {
+            let kc = KC.min(k - pc);
+            pack_b(b, bt, &mut bpack, pc, kc, jc, nc);
+            let mut ic = 0;
+            while ic < m {
+                let mc = MC.min(m - ic);
+                pack_a(a, at, &mut apack, ic, mc, pc, kc);
+                let mut jr = 0;
+                while jr < nc {
+                    let nr = NR.min(nc - jr);
+                    let bpanel = &bpack[(jr / NR) * NR * kc..(jr / NR + 1) * NR * kc];
+                    let mut ir = 0;
+                    while ir < mc {
+                        let mr = MR.min(mc - ir);
+                        let apanel = &apack[(ir / MR) * MR * kc..(ir / MR + 1) * MR * kc];
+                        unsafe {
+                            microkernel::<T, ACC, SCALE>(
+                                apanel,
+                                bpanel,
+                                c,
+                                ct,
+                                ic + ir,
+                                jc + jr,
+                                mr,
+                                nr,
+                                kc,
+                                first,
+                                alpha,
+                            );
+                        }
+                        ir += MR;
+                    }
+                    jr += NR;
+                }
+                ic += mc;
+            }
+            first = false;
+            pc += kc;
+        }
+        jc += nc;
+    }
+    T::put_pack_scratch((apack, bpack));
+}
+
+/// One `MR`×`NR` register microtile over a packed A panel (`MR`·`kc`,
+/// p-major) and B panel (`NR`·`kc`, p-major): load-or-zero the
+/// accumulators, stream `kc` rank-1 updates, store the `mr`×`nr` live
+/// corner back to `C`.
+///
+/// # Safety
+///
+/// Same contract as [`gemm_tile`]; panels must hold at least `kc` p-steps.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+unsafe fn microkernel<T: Element, const ACC: bool, const SCALE: bool>(
+    apanel: &[T],
+    bpanel: &[T],
+    c: *mut T,
+    ct: Tile,
+    row0: usize,
+    col0: usize,
+    mr: usize,
+    nr: usize,
+    kc: usize,
+    first: bool,
+    alpha: T,
+) {
+    let mut acc = [[T::ZERO; NR]; MR];
+    if ACC || !first {
+        // Later k-blocks (and the accumulate mode) resume the running sums
+        // already stored in C; a register round-trip of the partial value
+        // does not change its bits.
+        for (r, accr) in acc.iter_mut().enumerate().take(mr) {
+            let c_row = ct.offset + (row0 + r) * ct.row_stride;
+            for (j, slot) in accr.iter_mut().enumerate().take(nr) {
+                *slot = unsafe { *c.add(c_row + (col0 + j) * ct.col_stride) };
+            }
+        }
+    }
+    for p in 0..kc {
+        let arow = &apanel[p * MR..(p + 1) * MR];
+        let brow = &bpanel[p * NR..(p + 1) * NR];
+        for r in 0..MR {
+            let raw = arow[r];
+            if raw == T::ZERO {
+                continue;
+            }
+            let aip = if SCALE { alpha * raw } else { raw };
+            let accr = &mut acc[r];
+            for j in 0..NR {
+                accr[j] += aip * brow[j];
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate().take(mr) {
+        let c_row = ct.offset + (row0 + r) * ct.row_stride;
+        for (j, &v) in accr.iter().enumerate().take(nr) {
+            unsafe {
+                *c.add(c_row + (col0 + j) * ct.col_stride) = v;
+            }
+        }
+    }
+}
+
+/// Serial scalar-reference GEMM over contiguous row-major slices. The
+/// baseline the microkernel benches and edge-case tests compare against;
+/// not part of the supported API.
+#[doc(hidden)]
+pub fn gemm_scalar_ref_into<T: Element>(
+    a: &[T],
+    b: &[T],
+    c: &mut [T],
+    m: usize,
+    k: usize,
+    n: usize,
+    alpha: T,
+    accumulate: bool,
+) {
+    assert_eq!(a.len(), m * k, "lhs buffer length mismatch");
+    assert_eq!(b.len(), k * n, "rhs buffer length mismatch");
+    assert_eq!(c.len(), m * n, "out buffer length mismatch");
+    let (at, bt, ct) = (
+        Tile::contiguous(0, k),
+        Tile::contiguous(0, n),
+        Tile::contiguous(0, n),
+    );
+    let p = c.as_mut_ptr();
+    unsafe {
+        match (accumulate, alpha == T::ONE) {
+            (false, true) => scalar_kernel::<T, false, false>(a, at, b, bt, p, ct, m, k, n, alpha),
+            (false, false) => scalar_kernel::<T, false, true>(a, at, b, bt, p, ct, m, k, n, alpha),
+            (true, true) => scalar_kernel::<T, true, false>(a, at, b, bt, p, ct, m, k, n, alpha),
+            (true, false) => scalar_kernel::<T, true, true>(a, at, b, bt, p, ct, m, k, n, alpha),
+        }
+    }
+}
+
+/// Serial packed-microkernel GEMM over contiguous row-major slices,
+/// bypassing the size-threshold dispatch. Must be bit-identical to
+/// [`gemm_scalar_ref_into`] for every shape and dtype; not part of the
+/// supported API.
+#[doc(hidden)]
+pub fn gemm_micro_into<T: Element>(
+    a: &[T],
+    b: &[T],
+    c: &mut [T],
+    m: usize,
+    k: usize,
+    n: usize,
+    alpha: T,
+    accumulate: bool,
+) {
+    assert_eq!(a.len(), m * k, "lhs buffer length mismatch");
+    assert_eq!(b.len(), k * n, "rhs buffer length mismatch");
+    assert_eq!(c.len(), m * n, "out buffer length mismatch");
+    let (at, bt, ct) = (
+        Tile::contiguous(0, k),
+        Tile::contiguous(0, n),
+        Tile::contiguous(0, n),
+    );
+    let p = c.as_mut_ptr();
+    unsafe {
+        match (accumulate, alpha == T::ONE) {
+            (false, true) => packed_kernel::<T, false, false>(a, at, b, bt, p, ct, m, k, n, alpha),
+            (false, false) => packed_kernel::<T, false, true>(a, at, b, bt, p, ct, m, k, n, alpha),
+            (true, true) => packed_kernel::<T, true, false>(a, at, b, bt, p, ct, m, k, n, alpha),
+            (true, false) => packed_kernel::<T, true, true>(a, at, b, bt, p, ct, m, k, n, alpha),
+        }
+    }
+}
+
 /// Raw mutable pointer that may cross scoped-thread boundaries. The GEMM
 /// partitioners guarantee the index sets written through it are disjoint.
-#[derive(Clone, Copy)]
-struct SendPtr(*mut f64);
-unsafe impl Send for SendPtr {}
-unsafe impl Sync for SendPtr {}
+struct SendPtr<T>(*mut T);
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
 
 /// `C = A · B` for row-major slices: `a` is `m×k`, `b` is `k×n`, `c` is `m×n`.
 ///
@@ -232,10 +555,14 @@ unsafe impl Sync for SendPtr {}
 /// Every output element is accumulated in the same k-order regardless of
 /// partitioning, so results are bit-identical across thread counts.
 ///
+/// Generic over the element dtype ([`Element`]): f64 call sites (autodiff,
+/// training) infer `T = f64` unchanged; the f32 instantiation serves the
+/// compiled-inference plans.
+///
 /// # Panics
 ///
 /// Panics if slice lengths disagree with the given dimensions.
-pub fn matmul_into(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+pub fn matmul_into<T: Element>(a: &[T], b: &[T], c: &mut [T], m: usize, k: usize, n: usize) {
     assert_eq!(a.len(), m * k, "lhs buffer length mismatch");
     assert_eq!(b.len(), k * n, "rhs buffer length mismatch");
     assert_eq!(c.len(), m * n, "out buffer length mismatch");
@@ -312,12 +639,13 @@ fn is_wide(m: usize, n: usize) -> bool {
 /// forwards (so those no longer funnel through one one-axis partition).
 /// Every output element accumulates in the same k-order regardless of
 /// partitioning, so results are bit-identical across thread counts.
-fn gemm_dispatch(
-    a: &[f64],
+#[allow(clippy::too_many_arguments)]
+fn gemm_dispatch<T: Element>(
+    a: &[T],
     at: Tile,
-    b: &[f64],
+    b: &[T],
     bt: Tile,
-    c: &mut [f64],
+    c: &mut [T],
     ct: Tile,
     m: usize,
     k: usize,
@@ -329,7 +657,7 @@ fn gemm_dispatch(
     let c_ptr = SendPtr(c.as_mut_ptr());
     if threads <= 1 || flops < PAR_FLOP_THRESHOLD || m * n == 0 {
         unsafe {
-            gemm_tile_raw(a, at, b, bt, c_ptr.0, c_len, ct, m, k, n);
+            gemm_tile(a, at, b, bt, c_ptr.0, c_len, ct, m, k, n, T::ONE, false);
         }
         return;
     }
@@ -340,7 +668,7 @@ fn gemm_dispatch(
         let specs = wide_gemm_specs(at, bt, ct, m, k, n, threads);
         // SAFETY: the column blocks tile the output disjointly.
         unsafe {
-            batched_matmul_ragged_into(a, b, c, &specs, 1.0, false);
+            batched_matmul_ragged_into(a, b, c, &specs, T::ONE, false);
         }
         return;
     }
@@ -350,12 +678,13 @@ fn gemm_dispatch(
 /// The legacy one-axis parallel partition: by rows when there are enough of
 /// them, by columns otherwise (the only way to spread a 1×n GEMM). Runs on
 /// the shared pool; each job owns a disjoint slab of the output.
-fn partition_one_axis(
-    a: &[f64],
+#[allow(clippy::too_many_arguments)]
+fn partition_one_axis<T: Element>(
+    a: &[T],
     at: Tile,
-    b: &[f64],
+    b: &[T],
     bt: Tile,
-    c_ptr: SendPtr,
+    c_ptr: SendPtr<T>,
     c_len: usize,
     ct: Tile,
     m: usize,
@@ -381,7 +710,20 @@ fn partition_one_axis(
                 };
                 scope.spawn(move || unsafe {
                     let c_ptr = c_ptr;
-                    gemm_tile_raw(a, at_chunk, b, bt, c_ptr.0, c_len, ct_chunk, take, k, n);
+                    gemm_tile(
+                        a,
+                        at_chunk,
+                        b,
+                        bt,
+                        c_ptr.0,
+                        c_len,
+                        ct_chunk,
+                        take,
+                        k,
+                        n,
+                        T::ONE,
+                        false,
+                    );
                 });
                 row0 += take;
             }
@@ -405,7 +747,20 @@ fn partition_one_axis(
                 };
                 scope.spawn(move || unsafe {
                     let c_ptr = c_ptr;
-                    gemm_tile_raw(a, at, b, bt_chunk, c_ptr.0, c_len, ct_chunk, m, k, take);
+                    gemm_tile(
+                        a,
+                        at,
+                        b,
+                        bt_chunk,
+                        c_ptr.0,
+                        c_len,
+                        ct_chunk,
+                        m,
+                        k,
+                        take,
+                        T::ONE,
+                        false,
+                    );
                 });
                 col0 += take;
             }
@@ -458,10 +813,10 @@ fn wide_gemm_specs(
 /// `conv_forward` benchmark can compare the partition strategies; not part
 /// of the supported API.
 #[doc(hidden)]
-pub fn matmul_into_one_axis_partition(
-    a: &[f64],
-    b: &[f64],
-    c: &mut [f64],
+pub fn matmul_into_one_axis_partition<T: Element>(
+    a: &[T],
+    b: &[T],
+    c: &mut [T],
     m: usize,
     k: usize,
     n: usize,
@@ -480,7 +835,7 @@ pub fn matmul_into_one_axis_partition(
     let flops = 2.0 * m as f64 * n as f64 * k as f64;
     if threads <= 1 || flops < PAR_FLOP_THRESHOLD || m * n == 0 {
         unsafe {
-            gemm_tile_raw(a, at, b, bt, c_ptr.0, c_len, ct, m, k, n);
+            gemm_tile(a, at, b, bt, c_ptr.0, c_len, ct, m, k, n, T::ONE, false);
         }
         return;
     }
@@ -513,12 +868,13 @@ pub fn matmul_into_one_axis_partition(
 ///
 /// Panics if the descriptor counts differ or any tile indexes out of
 /// bounds.
-pub unsafe fn batched_matmul_into(
-    a: &[f64],
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn batched_matmul_into<T: Element>(
+    a: &[T],
     a_tiles: &[Tile],
-    b: &[f64],
+    b: &[T],
     b_tiles: &[Tile],
-    c: &mut [f64],
+    c: &mut [T],
     c_tiles: &[Tile],
     m: usize,
     k: usize,
@@ -551,8 +907,19 @@ pub unsafe fn batched_matmul_into(
     if threads <= 1 || flops < PAR_FLOP_THRESHOLD || batch == 1 {
         for t in 0..batch {
             unsafe {
-                gemm_tile_raw(
-                    a, a_tiles[t], b, b_tiles[t], c_ptr.0, c_len, c_tiles[t], m, k, n,
+                gemm_tile(
+                    a,
+                    a_tiles[t],
+                    b,
+                    b_tiles[t],
+                    c_ptr.0,
+                    c_len,
+                    c_tiles[t],
+                    m,
+                    k,
+                    n,
+                    T::ONE,
+                    false,
                 );
             }
         }
@@ -573,7 +940,20 @@ pub unsafe fn batched_matmul_into(
                 let c_ptr = c_ptr;
                 for t in 0..take {
                     unsafe {
-                        gemm_tile_raw(a, ats[t], b, bts[t], c_ptr.0, c_len, cts[t], m, k, n);
+                        gemm_tile(
+                            a,
+                            ats[t],
+                            b,
+                            bts[t],
+                            c_ptr.0,
+                            c_len,
+                            cts[t],
+                            m,
+                            k,
+                            n,
+                            T::ONE,
+                            false,
+                        );
                     }
                 }
             });
@@ -633,12 +1013,12 @@ impl GemmSpec {
 /// # Panics
 ///
 /// Panics if any job's operand placement indexes out of bounds.
-pub unsafe fn batched_matmul_ragged_into(
-    a: &[f64],
-    b: &[f64],
-    c: &mut [f64],
+pub unsafe fn batched_matmul_ragged_into<T: Element>(
+    a: &[T],
+    b: &[T],
+    c: &mut [T],
     specs: &[GemmSpec],
-    alpha: f64,
+    alpha: T,
     accumulate: bool,
 ) {
     for (t, s) in specs.iter().enumerate() {
@@ -662,7 +1042,7 @@ pub unsafe fn batched_matmul_ragged_into(
     if threads <= 1 || total_flops < PAR_FLOP_THRESHOLD || specs.len() <= 1 {
         for s in specs {
             unsafe {
-                gemm_tile_raw_ext(
+                gemm_tile(
                     a, s.a, b, s.b, c_ptr.0, c_len, s.c, s.m, s.k, s.n, alpha, accumulate,
                 );
             }
@@ -685,7 +1065,7 @@ pub unsafe fn batched_matmul_ragged_into(
                 let c_ptr = c_ptr;
                 for s in chunk {
                     unsafe {
-                        gemm_tile_raw_ext(
+                        gemm_tile(
                             a, s.a, b, s.b, c_ptr.0, c_len, s.c, s.m, s.k, s.n, alpha, accumulate,
                         );
                     }

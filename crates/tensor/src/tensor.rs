@@ -1,31 +1,39 @@
-//! The core dense tensor type: Arc-backed, copy-on-write storage.
+//! The core dense tensor type: Arc-backed, copy-on-write storage, generic
+//! over the element dtype ([`crate::Element`]: `f64` or `f32`).
 
+use crate::element::Element;
 use crate::shape::Shape;
-use crate::view::View;
+use crate::view::ViewBase;
 use std::fmt;
 use std::sync::Arc;
 
-/// A dense, row-major, dynamically shaped `f64` tensor backed by shared,
-/// copy-on-write storage.
+/// A dense, row-major, dynamically shaped tensor backed by shared,
+/// copy-on-write storage, generic over its element dtype.
+///
+/// [`Tensor`] (= `TensorBase<f64>`) is the default and the only dtype the
+/// autodiff tape and training ever see; [`TensorF32`] (= `TensorBase<f32>`)
+/// is the inference-time storage mode produced by [`Tensor::to_f32`] at
+/// plan-freeze time. See [`crate::element`] for the "training stays f64"
+/// invariant.
 ///
 /// # Storage model
 ///
-/// A `Tensor` is a *contiguous window* `[offset, offset + len)` into an
-/// `Arc<Vec<f64>>` buffer. Cloning a tensor, reshaping it, extracting a
-/// [`Tensor::row`], or taking a value off an autodiff tape never copies the
-/// buffer — only the `Arc` reference count moves. The first mutating call
-/// (`as_mut_slice`, `at_mut`, `set_block`, `axpy`, …) on a tensor whose
+/// A tensor is a *contiguous window* `[offset, offset + len)` into an
+/// `Arc<Vec<T>>` buffer. Cloning a tensor, reshaping it, extracting a
+/// [`TensorBase::row`], or taking a value off an autodiff tape never copies
+/// the buffer — only the `Arc` reference count moves. The first mutating
+/// call (`as_mut_slice`, `at_mut`, `set_block`, `axpy`, …) on a tensor whose
 /// buffer is shared (or windowed) detaches it onto a fresh exclusive
 /// allocation first, so writers can never be observed through other handles.
 ///
 /// # Aliasing rules
 ///
 /// * Readers may alias freely: `clone`, `reshape`, `row` and
-///   [`Tensor::view`] all share storage.
+///   [`TensorBase::view`] all share storage.
 /// * A mutated tensor never aliases anything: copy-on-write guarantees that
 ///   after any `&mut self` operation the storage is exclusively owned.
-/// * [`View`] handles non-contiguous windows (strided slices, transposes,
-///   tiles); [`View::materialize`] is zero-copy exactly when the view is
+/// * [`View`](crate::View) handles non-contiguous windows (strided slices, transposes,
+///   tiles); [`ViewBase::materialize`] is zero-copy exactly when the view is
 ///   contiguous.
 ///
 /// # Examples
@@ -45,13 +53,19 @@ use std::sync::Arc;
 /// assert_eq!(t.as_slice()[0], 0.0);
 /// ```
 #[derive(Debug, Clone)]
-pub struct Tensor {
-    pub(crate) data: Arc<Vec<f64>>,
+pub struct TensorBase<T> {
+    pub(crate) data: Arc<Vec<T>>,
     pub(crate) offset: usize,
     pub(crate) shape: Shape,
 }
 
-impl Default for Tensor {
+/// The default `f64` tensor — the only dtype autodiff/training sees.
+pub type Tensor = TensorBase<f64>;
+
+/// The `f32` storage/compute tensor of the inference-only precision mode.
+pub type TensorF32 = TensorBase<f32>;
+
+impl<T> Default for TensorBase<T> {
     /// An empty rank-1 tensor (`shape [0]`, zero elements).
     ///
     /// The rank-0 `Shape::default()` would claim one element against empty
@@ -65,19 +79,19 @@ impl Default for Tensor {
     }
 }
 
-impl PartialEq for Tensor {
+impl<T: Element> PartialEq for TensorBase<T> {
     fn eq(&self, other: &Self) -> bool {
         self.shape == other.shape && self.as_slice() == other.as_slice()
     }
 }
 
-impl Tensor {
+impl<T: Element> TensorBase<T> {
     /// Creates a tensor from a flat `Vec` and a shape.
     ///
     /// # Panics
     ///
     /// Panics if `data.len()` does not equal the shape's element count.
-    pub fn from_vec(data: Vec<f64>, shape: &[usize]) -> Self {
+    pub fn from_vec(data: Vec<T>, shape: &[usize]) -> Self {
         let shape = Shape::new(shape);
         assert_eq!(
             data.len(),
@@ -92,7 +106,7 @@ impl Tensor {
         }
     }
 
-    pub(crate) fn from_parts(data: Vec<f64>, shape: Shape) -> Self {
+    pub(crate) fn from_parts(data: Vec<T>, shape: Shape) -> Self {
         debug_assert_eq!(data.len(), shape.len());
         Self {
             data: Arc::new(data),
@@ -111,7 +125,7 @@ impl Tensor {
     ///
     /// Panics if the window `[offset, offset + shape.len())` exceeds the
     /// storage length.
-    pub fn from_shared(storage: Arc<Vec<f64>>, offset: usize, shape: &[usize]) -> Self {
+    pub fn from_shared(storage: Arc<Vec<T>>, offset: usize, shape: &[usize]) -> Self {
         let shape = Shape::new(shape);
         assert!(
             offset + shape.len() <= storage.len(),
@@ -127,7 +141,7 @@ impl Tensor {
     }
 
     /// Creates a scalar (rank-0) tensor.
-    pub fn scalar(value: f64) -> Self {
+    pub fn scalar(value: T) -> Self {
         Self {
             data: Arc::new(vec![value]),
             offset: 0,
@@ -139,7 +153,7 @@ impl Tensor {
     pub fn zeros(shape: &[usize]) -> Self {
         let shape = Shape::new(shape);
         Self {
-            data: Arc::new(vec![0.0; shape.len()]),
+            data: Arc::new(vec![T::ZERO; shape.len()]),
             offset: 0,
             shape,
         }
@@ -147,11 +161,11 @@ impl Tensor {
 
     /// Creates an all-ones tensor.
     pub fn ones(shape: &[usize]) -> Self {
-        Self::full(shape, 1.0)
+        Self::full(shape, T::ONE)
     }
 
     /// Creates a tensor filled with `value`.
-    pub fn full(shape: &[usize], value: f64) -> Self {
+    pub fn full(shape: &[usize], value: T) -> Self {
         let shape = Shape::new(shape);
         Self {
             data: Arc::new(vec![value; shape.len()]),
@@ -160,6 +174,262 @@ impl Tensor {
         }
     }
 
+    /// Dimension extents.
+    pub fn shape(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Full shape object.
+    pub fn shape_obj(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Whether the tensor holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether both tensors are windows into the same allocation.
+    pub fn shares_storage(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// The backing storage (shared; for zero-copy plumbing and tests).
+    pub fn storage(&self) -> Arc<Vec<T>> {
+        Arc::clone(&self.data)
+    }
+
+    /// This tensor's window offset into [`TensorBase::storage`].
+    pub fn storage_offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Immutable view of the backing storage window (row-major).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data[self.offset..self.offset + self.len()]
+    }
+
+    /// Detaches this tensor onto exclusively owned, offset-0 storage.
+    ///
+    /// No-op when the tensor already owns its full buffer exclusively; the
+    /// single copy here is what makes every `&mut self` method copy-on-write.
+    fn make_exclusive(&mut self) {
+        let len = self.len();
+        if self.offset == 0 && self.data.len() == len && Arc::get_mut(&mut self.data).is_some() {
+            return;
+        }
+        let detached: Vec<T> = self.data[self.offset..self.offset + len].to_vec();
+        self.data = Arc::new(detached);
+        self.offset = 0;
+    }
+
+    /// Mutable view of the backing storage (row-major). Copy-on-write:
+    /// detaches from shared storage first.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        self.make_exclusive();
+        Arc::get_mut(&mut self.data).expect("storage exclusive after make_exclusive")
+    }
+
+    /// Consumes the tensor, returning the backing storage (copying only if
+    /// it is shared or windowed).
+    pub fn into_vec(mut self) -> Vec<T> {
+        self.make_exclusive();
+        match Arc::try_unwrap(self.data) {
+            Ok(v) => v,
+            Err(arc) => arc[..].to_vec(),
+        }
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or out-of-bounds coordinates.
+    pub fn at(&self, index: &[usize]) -> T {
+        self.data[self.offset + self.shape.offset(index)]
+    }
+
+    /// Mutable element at a multi-dimensional index (copy-on-write).
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or out-of-bounds coordinates.
+    pub fn at_mut(&mut self, index: &[usize]) -> &mut T {
+        let off = self.shape.offset(index);
+        &mut self.as_mut_slice()[off]
+    }
+
+    /// Returns the tensor reinterpreted with a new shape of equal length.
+    ///
+    /// Zero-copy: the result shares this tensor's storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> Self {
+        let new_shape = Shape::new(shape);
+        assert_eq!(
+            self.len(),
+            new_shape.len(),
+            "cannot reshape {} elements into {new_shape}",
+            self.len()
+        );
+        Self {
+            data: Arc::clone(&self.data),
+            offset: self.offset,
+            shape: new_shape,
+        }
+    }
+
+    /// A strided [`ViewBase`] of the whole tensor (zero-copy).
+    pub fn view(&self) -> ViewBase<T> {
+        ViewBase::of(self)
+    }
+
+    /// The single value of a scalar or one-element tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor has more than one element.
+    pub fn item(&self) -> T {
+        assert_eq!(
+            self.len(),
+            1,
+            "item() on tensor with {} elements",
+            self.len()
+        );
+        self.as_slice()[0]
+    }
+
+    /// Extracts row `r` of a matrix as a vector tensor.
+    ///
+    /// Zero-copy: rows of a row-major matrix are contiguous, so the result
+    /// is a window sharing this tensor's storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or `r` is out of bounds.
+    pub fn row(&self, r: usize) -> Self {
+        assert_eq!(self.rank(), 2, "row() expects a matrix");
+        let (rows, cols) = (self.shape()[0], self.shape()[1]);
+        assert!(r < rows, "row {r} out of bounds for {rows} rows");
+        Self {
+            data: Arc::clone(&self.data),
+            offset: self.offset + r * cols,
+            shape: Shape::new(&[cols]),
+        }
+    }
+
+    /// Extracts column `c` of a matrix as a vector tensor (strided copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or `c` is out of bounds.
+    pub fn col(&self, c: usize) -> Self {
+        assert_eq!(self.rank(), 2, "col() expects a matrix");
+        let (rows, cols) = (self.shape()[0], self.shape()[1]);
+        assert!(c < cols, "col {c} out of bounds for {cols} cols");
+        let src = self.as_slice();
+        let data = (0..rows).map(|r| src[r * cols + c]).collect();
+        Self::from_vec(data, &[rows])
+    }
+
+    /// The contiguous sub-tensor at index `i` of the leading axis.
+    ///
+    /// Zero-copy: `[T, …rest]` at index `i` is the window `[…rest]` starting
+    /// at `i · rest.len()`. This is how batched operations hand out per-item
+    /// tensors without copying.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a rank-0 tensor or an out-of-bounds index.
+    pub fn subtensor(&self, i: usize) -> Self {
+        assert!(self.rank() >= 1, "subtensor() needs rank >= 1");
+        let n = self.shape()[0];
+        assert!(i < n, "index {i} out of bounds for leading axis of {n}");
+        let rest = &self.shape()[1..];
+        let stride: usize = rest.iter().product();
+        Self {
+            data: Arc::clone(&self.data),
+            offset: self.offset + i * stride,
+            shape: Shape::new(rest),
+        }
+    }
+
+    /// Writes `block` into `self` (a matrix) with its top-left corner at
+    /// `(r0, c0)`. Copy-on-write on `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not rank 2 or the block does not fit.
+    pub fn set_block(&mut self, r0: usize, c0: usize, block: &Self) {
+        assert_eq!(self.rank(), 2, "set_block target must be a matrix");
+        assert_eq!(block.rank(), 2, "set_block source must be a matrix");
+        let (rows, cols) = (self.shape()[0], self.shape()[1]);
+        let (br, bc) = (block.shape()[0], block.shape()[1]);
+        assert!(
+            r0 + br <= rows && c0 + bc <= cols,
+            "block {br}x{bc} at ({r0},{c0}) exceeds {rows}x{cols}"
+        );
+        // Copy-on-write detaches `self` first, so a storage-sharing `block`
+        // keeps reading the untouched original allocation.
+        let dst = self.as_mut_slice();
+        let src = block.as_slice();
+        for i in 0..br {
+            let dst_off = (r0 + i) * cols + c0;
+            dst[dst_off..dst_off + bc].copy_from_slice(&src[i * bc..(i + 1) * bc]);
+        }
+    }
+
+    /// Copies the `rows`×`cols` block whose top-left corner is `(r0, c0)`.
+    ///
+    /// For a zero-copy handle to the same region use
+    /// [`TensorBase::block_view`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or the block exceeds bounds.
+    pub fn block(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> Self {
+        self.block_view(r0, c0, rows, cols).materialize()
+    }
+
+    /// A zero-copy strided view of the `rows`×`cols` block at `(r0, c0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or the block exceeds bounds.
+    pub fn block_view(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> ViewBase<T> {
+        assert_eq!(self.rank(), 2, "block_view() expects a matrix");
+        let (nr, nc) = (self.shape()[0], self.shape()[1]);
+        assert!(
+            r0 + rows <= nr && c0 + cols <= nc,
+            "block {rows}x{cols} at ({r0},{c0}) exceeds {nr}x{nc}"
+        );
+        self.view().slice(0, r0, rows).slice(1, c0, cols)
+    }
+
+    /// A zero-copy transposed view of a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn t_view(&self) -> ViewBase<T> {
+        assert_eq!(self.rank(), 2, "t_view() expects a matrix");
+        self.view().transpose()
+    }
+}
+
+impl Tensor {
     /// Creates the `n`×`n` identity matrix.
     pub fn eye(n: usize) -> Self {
         let mut data = vec![0.0; n * n];
@@ -211,143 +481,6 @@ impl Tensor {
         Self::from_parts(data, Shape::new(&[n, n]))
     }
 
-    /// Dimension extents.
-    pub fn shape(&self) -> &[usize] {
-        self.shape.dims()
-    }
-
-    /// Full shape object.
-    pub fn shape_obj(&self) -> &Shape {
-        &self.shape
-    }
-
-    /// Number of dimensions.
-    pub fn rank(&self) -> usize {
-        self.shape.rank()
-    }
-
-    /// Total element count.
-    pub fn len(&self) -> usize {
-        self.shape.len()
-    }
-
-    /// Whether the tensor holds zero elements.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Whether both tensors are windows into the same allocation.
-    pub fn shares_storage(&self, other: &Tensor) -> bool {
-        Arc::ptr_eq(&self.data, &other.data)
-    }
-
-    /// The backing storage (shared; for zero-copy plumbing and tests).
-    pub fn storage(&self) -> Arc<Vec<f64>> {
-        Arc::clone(&self.data)
-    }
-
-    /// This tensor's window offset into [`Tensor::storage`].
-    pub fn storage_offset(&self) -> usize {
-        self.offset
-    }
-
-    /// Immutable view of the backing storage window (row-major).
-    pub fn as_slice(&self) -> &[f64] {
-        &self.data[self.offset..self.offset + self.len()]
-    }
-
-    /// Detaches this tensor onto exclusively owned, offset-0 storage.
-    ///
-    /// No-op when the tensor already owns its full buffer exclusively; the
-    /// single copy here is what makes every `&mut self` method copy-on-write.
-    fn make_exclusive(&mut self) {
-        let len = self.len();
-        if self.offset == 0 && self.data.len() == len && Arc::get_mut(&mut self.data).is_some() {
-            return;
-        }
-        let detached: Vec<f64> = self.data[self.offset..self.offset + len].to_vec();
-        self.data = Arc::new(detached);
-        self.offset = 0;
-    }
-
-    /// Mutable view of the backing storage (row-major). Copy-on-write:
-    /// detaches from shared storage first.
-    pub fn as_mut_slice(&mut self) -> &mut [f64] {
-        self.make_exclusive();
-        Arc::get_mut(&mut self.data).expect("storage exclusive after make_exclusive")
-    }
-
-    /// Consumes the tensor, returning the backing storage (copying only if
-    /// it is shared or windowed).
-    pub fn into_vec(mut self) -> Vec<f64> {
-        self.make_exclusive();
-        match Arc::try_unwrap(self.data) {
-            Ok(v) => v,
-            Err(arc) => arc[..].to_vec(),
-        }
-    }
-
-    /// Element at a multi-dimensional index.
-    ///
-    /// # Panics
-    ///
-    /// Panics on rank mismatch or out-of-bounds coordinates.
-    pub fn at(&self, index: &[usize]) -> f64 {
-        self.data[self.offset + self.shape.offset(index)]
-    }
-
-    /// Mutable element at a multi-dimensional index (copy-on-write).
-    ///
-    /// # Panics
-    ///
-    /// Panics on rank mismatch or out-of-bounds coordinates.
-    pub fn at_mut(&mut self, index: &[usize]) -> &mut f64 {
-        let off = self.shape.offset(index);
-        &mut self.as_mut_slice()[off]
-    }
-
-    /// Returns the tensor reinterpreted with a new shape of equal length.
-    ///
-    /// Zero-copy: the result shares this tensor's storage.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the element counts differ.
-    pub fn reshape(&self, shape: &[usize]) -> Tensor {
-        let new_shape = Shape::new(shape);
-        assert_eq!(
-            self.len(),
-            new_shape.len(),
-            "cannot reshape {} elements into {new_shape}",
-            self.len()
-        );
-        Tensor {
-            data: Arc::clone(&self.data),
-            offset: self.offset,
-            shape: new_shape,
-        }
-    }
-
-    /// A strided [`View`] of the whole tensor (zero-copy).
-    pub fn view(&self) -> View {
-        View::of(self)
-    }
-
-    /// The single value of a scalar or one-element tensor.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the tensor has more than one element.
-    pub fn item(&self) -> f64 {
-        assert_eq!(
-            self.len(),
-            1,
-            "item() on tensor with {} elements",
-            self.len()
-        );
-        self.as_slice()[0]
-    }
-
     /// Elementwise approximate equality within absolute tolerance `tol`.
     pub fn allclose(&self, other: &Tensor, tol: f64) -> bool {
         self.shape == other.shape
@@ -372,121 +505,28 @@ impl Tensor {
             .fold(0.0, f64::max)
     }
 
-    /// Extracts row `r` of a matrix as a vector tensor.
+    /// Quantizes to an `f32` tensor (one rounding pass; fresh storage).
     ///
-    /// Zero-copy: rows of a row-major matrix are contiguous, so the result
-    /// is a window sharing this tensor's storage.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the tensor is not rank 2 or `r` is out of bounds.
-    pub fn row(&self, r: usize) -> Tensor {
-        assert_eq!(self.rank(), 2, "row() expects a matrix");
-        let (rows, cols) = (self.shape()[0], self.shape()[1]);
-        assert!(r < rows, "row {r} out of bounds for {rows} rows");
-        Tensor {
-            data: Arc::clone(&self.data),
-            offset: self.offset + r * cols,
-            shape: Shape::new(&[cols]),
-        }
+    /// This is the freeze-time weight quantization of f32 inference plans —
+    /// the *only* supported direction data enters the f32 world, so training
+    /// and the autodiff tape stay f64 end to end (see [`crate::element`]).
+    pub fn to_f32(&self) -> TensorF32 {
+        TensorF32::from_parts(
+            self.as_slice().iter().map(|&v| v as f32).collect(),
+            self.shape.clone(),
+        )
     }
+}
 
-    /// Extracts column `c` of a matrix as a vector tensor (strided copy).
+impl TensorF32 {
+    /// Widens back to an `f64` tensor (fresh storage).
     ///
-    /// # Panics
-    ///
-    /// Panics if the tensor is not rank 2 or `c` is out of bounds.
-    pub fn col(&self, c: usize) -> Tensor {
-        assert_eq!(self.rank(), 2, "col() expects a matrix");
-        let (rows, cols) = (self.shape()[0], self.shape()[1]);
-        assert!(c < cols, "col {c} out of bounds for {cols} cols");
-        let src = self.as_slice();
-        let data = (0..rows).map(|r| src[r * cols + c]).collect();
-        Tensor::from_vec(data, &[rows])
-    }
-
-    /// The contiguous sub-tensor at index `i` of the leading axis.
-    ///
-    /// Zero-copy: `[T, …rest]` at index `i` is the window `[…rest]` starting
-    /// at `i · rest.len()`. This is how batched operations hand out per-item
-    /// tensors without copying.
-    ///
-    /// # Panics
-    ///
-    /// Panics on a rank-0 tensor or an out-of-bounds index.
-    pub fn subtensor(&self, i: usize) -> Tensor {
-        assert!(self.rank() >= 1, "subtensor() needs rank >= 1");
-        let n = self.shape()[0];
-        assert!(i < n, "index {i} out of bounds for leading axis of {n}");
-        let rest = &self.shape()[1..];
-        let stride: usize = rest.iter().product();
-        Tensor {
-            data: Arc::clone(&self.data),
-            offset: self.offset + i * stride,
-            shape: Shape::new(rest),
-        }
-    }
-
-    /// Writes `block` into `self` (a matrix) with its top-left corner at
-    /// `(r0, c0)`. Copy-on-write on `self`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if either tensor is not rank 2 or the block does not fit.
-    pub fn set_block(&mut self, r0: usize, c0: usize, block: &Tensor) {
-        assert_eq!(self.rank(), 2, "set_block target must be a matrix");
-        assert_eq!(block.rank(), 2, "set_block source must be a matrix");
-        let (rows, cols) = (self.shape()[0], self.shape()[1]);
-        let (br, bc) = (block.shape()[0], block.shape()[1]);
-        assert!(
-            r0 + br <= rows && c0 + bc <= cols,
-            "block {br}x{bc} at ({r0},{c0}) exceeds {rows}x{cols}"
-        );
-        // Copy-on-write detaches `self` first, so a storage-sharing `block`
-        // keeps reading the untouched original allocation.
-        let dst = self.as_mut_slice();
-        let src = block.as_slice();
-        for i in 0..br {
-            let dst_off = (r0 + i) * cols + c0;
-            dst[dst_off..dst_off + bc].copy_from_slice(&src[i * bc..(i + 1) * bc]);
-        }
-    }
-
-    /// Copies the `rows`×`cols` block whose top-left corner is `(r0, c0)`.
-    ///
-    /// For a zero-copy handle to the same region use
-    /// [`Tensor::block_view`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if the tensor is not rank 2 or the block exceeds bounds.
-    pub fn block(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> Tensor {
-        self.block_view(r0, c0, rows, cols).materialize()
-    }
-
-    /// A zero-copy strided view of the `rows`×`cols` block at `(r0, c0)`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the tensor is not rank 2 or the block exceeds bounds.
-    pub fn block_view(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> View {
-        assert_eq!(self.rank(), 2, "block_view() expects a matrix");
-        let (nr, nc) = (self.shape()[0], self.shape()[1]);
-        assert!(
-            r0 + rows <= nr && c0 + cols <= nc,
-            "block {rows}x{cols} at ({r0},{c0}) exceeds {nr}x{nc}"
-        );
-        self.view().slice(0, r0, rows).slice(1, c0, cols)
-    }
-
-    /// A zero-copy transposed view of a matrix.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the tensor is not rank 2.
-    pub fn t_view(&self) -> View {
-        assert_eq!(self.rank(), 2, "t_view() expects a matrix");
-        self.view().transpose()
+    /// Exact: every `f32` is representable in `f64`.
+    pub fn to_f64(&self) -> Tensor {
+        Tensor::from_parts(
+            self.as_slice().iter().map(|&v| v as f64).collect(),
+            self.shape.clone(),
+        )
     }
 }
 
@@ -663,5 +703,33 @@ mod tests {
         let keep = a.clone();
         assert_eq!(a.into_vec(), vec![0.0, 1.0, 2.0, 3.0]);
         assert_eq!(keep.row(1).into_vec(), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn f32_tensors_share_and_cow_like_f64() {
+        let a = TensorF32::from_vec(vec![1.0f32, 2.0, 3.0, 4.0], &[2, 2]);
+        let mut b = a.clone();
+        assert!(a.shares_storage(&b));
+        b.as_mut_slice()[0] = 9.0;
+        assert!(!a.shares_storage(&b));
+        assert_eq!(a.at(&[0, 0]), 1.0);
+        assert_eq!(b.at(&[0, 0]), 9.0);
+        // f32 slabs back views too.
+        let t = a.t_view();
+        assert_eq!(t.at(&[1, 0]), 2.0);
+        assert_eq!(t.materialize().as_slice(), &[1.0, 3.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn dtype_conversions_round_trip() {
+        let a = Tensor::from_vec(vec![0.5, -1.25, 0.1, 3.0], &[2, 2]);
+        let narrow = a.to_f32();
+        assert_eq!(narrow.shape(), &[2, 2]);
+        assert_eq!(narrow.at(&[0, 1]), -1.25f32);
+        // 0.1 rounds; 0.5/-1.25/3.0 are exact in f32.
+        let wide = narrow.to_f64();
+        assert_eq!(wide.at(&[0, 0]), 0.5);
+        assert_eq!(wide.at(&[1, 0]), 0.1f32 as f64);
+        assert_ne!(wide.at(&[1, 0]), 0.1);
     }
 }

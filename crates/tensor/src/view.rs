@@ -1,13 +1,16 @@
 //! Strided, zero-copy views into tensor storage.
 //!
 //! A [`View`] is an offset + per-axis strides window into the same
-//! `Arc<Vec<f64>>` buffer a [`Tensor`] owns. Views express slicing,
-//! transposition and tile extraction without touching the data; they
-//! materialize back into contiguous tensors only when (and if) a kernel
-//! needs contiguity — and even then [`View::materialize`] is zero-copy for
-//! views that are already contiguous.
+//! `Arc<Vec<T>>` buffer a [`TensorBase`] owns — generic over the element
+//! dtype like the tensors themselves, so f32 inference slabs back views
+//! exactly as f64 training tensors do. Views express slicing, transposition
+//! and tile extraction without touching the data; they materialize back
+//! into contiguous tensors only when (and if) a kernel needs contiguity —
+//! and even then [`ViewBase::materialize`] is zero-copy for views that are
+//! already contiguous.
 
-use crate::tensor::Tensor;
+use crate::element::Element;
+use crate::tensor::TensorBase;
 use std::sync::Arc;
 
 /// A non-owning, possibly non-contiguous window into tensor storage.
@@ -25,17 +28,20 @@ use std::sync::Arc;
 /// assert_eq!(tile.materialize().as_slice(), &[5.0, 6.0, 9.0, 10.0]);
 /// ```
 #[derive(Debug, Clone)]
-pub struct View {
-    data: Arc<Vec<f64>>,
+pub struct ViewBase<T> {
+    data: Arc<Vec<T>>,
     offset: usize,
     dims: Vec<usize>,
     strides: Vec<usize>,
 }
 
-impl View {
+/// The default `f64` view.
+pub type View = ViewBase<f64>;
+
+impl<T: Element> ViewBase<T> {
     /// Views the whole of `t` with its natural row-major strides.
-    pub fn of(t: &Tensor) -> View {
-        View {
+    pub fn of(t: &TensorBase<T>) -> ViewBase<T> {
+        ViewBase {
             data: t.storage(),
             offset: t.storage_offset(),
             dims: t.shape().to_vec(),
@@ -74,7 +80,7 @@ impl View {
     }
 
     /// Whether this view and `t` share one allocation.
-    pub fn shares_storage(&self, t: &Tensor) -> bool {
+    pub fn shares_storage(&self, t: &TensorBase<T>) -> bool {
         Arc::ptr_eq(&self.data, &t.storage())
     }
 
@@ -95,7 +101,7 @@ impl View {
     /// # Panics
     ///
     /// Panics on rank mismatch or out-of-bounds coordinates.
-    pub fn at(&self, index: &[usize]) -> f64 {
+    pub fn at(&self, index: &[usize]) -> T {
         assert_eq!(index.len(), self.rank(), "index rank mismatch");
         let mut off = self.offset;
         for (d, (&i, (&n, &s))) in index
@@ -114,7 +120,7 @@ impl View {
     /// # Panics
     ///
     /// Panics if the axis or range is out of bounds.
-    pub fn slice(&self, axis: usize, start: usize, len: usize) -> View {
+    pub fn slice(&self, axis: usize, start: usize, len: usize) -> ViewBase<T> {
         assert!(axis < self.rank(), "axis {axis} out of bounds");
         assert!(
             start + len <= self.dims[axis],
@@ -133,7 +139,7 @@ impl View {
     /// # Panics
     ///
     /// Panics on views of rank < 2.
-    pub fn transpose(&self) -> View {
+    pub fn transpose(&self) -> ViewBase<T> {
         assert!(self.rank() >= 2, "transpose needs rank >= 2");
         let mut out = self.clone();
         let r = out.dims.len();
@@ -147,7 +153,7 @@ impl View {
     /// # Panics
     ///
     /// Panics unless the leading axis has extent 1.
-    pub fn squeeze0(&self) -> View {
+    pub fn squeeze0(&self) -> ViewBase<T> {
         assert!(
             self.rank() >= 1 && self.dims[0] == 1,
             "squeeze0 needs a leading axis of extent 1"
@@ -163,7 +169,7 @@ impl View {
     /// # Panics
     ///
     /// Panics on rank-0 views or out-of-bounds `i`.
-    pub fn index0(&self, i: usize) -> View {
+    pub fn index0(&self, i: usize) -> ViewBase<T> {
         self.slice(0, i, 1).squeeze0()
     }
 
@@ -172,7 +178,7 @@ impl View {
     /// # Panics
     ///
     /// Panics if `dst.len() != self.len()`.
-    pub fn copy_into(&self, dst: &mut [f64]) {
+    pub fn copy_into(&self, dst: &mut [T]) {
         assert_eq!(dst.len(), self.len(), "destination length mismatch");
         if self.is_empty() {
             return;
@@ -212,27 +218,27 @@ impl View {
         }
     }
 
-    /// Converts to a contiguous [`Tensor`].
+    /// Converts to a contiguous [`TensorBase`].
     ///
     /// Zero-copy when the view is already contiguous (the tensor windows the
     /// same storage); otherwise performs one tight strided copy.
-    pub fn materialize(&self) -> Tensor {
+    pub fn materialize(&self) -> TensorBase<T> {
         if self.is_contiguous() {
-            return Tensor::from_shared(Arc::clone(&self.data), self.offset, &self.dims);
+            return TensorBase::from_shared(Arc::clone(&self.data), self.offset, &self.dims);
         }
-        let mut out = vec![0.0; self.len()];
+        let mut out = vec![T::ZERO; self.len()];
         self.copy_into(&mut out);
-        Tensor::from_vec(out, &self.dims)
+        TensorBase::from_vec(out, &self.dims)
     }
 
-    pub(crate) fn storage_slice(&self) -> &[f64] {
+    pub(crate) fn storage_slice(&self) -> &[T] {
         &self.data
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use crate::tensor::{Tensor, TensorF32};
 
     fn m34() -> Tensor {
         Tensor::from_vec((0..12).map(|x| x as f64).collect(), &[3, 4])
@@ -306,6 +312,19 @@ mod tests {
         let mut dst = vec![0.0; 12];
         t.copy_into(&mut dst);
         assert_eq!(dst[..4], [0.0, 4.0, 8.0, 1.0]);
+    }
+
+    #[test]
+    fn f32_views_window_f32_slabs() {
+        // The dtype axis reaches views: f32 slabs slice, transpose and
+        // materialize exactly like f64 ones, zero-copy when contiguous.
+        let m = TensorF32::from_vec((0..12).map(|x| x as f32).collect(), &[3, 4]);
+        let v = m.view();
+        assert!(v.is_contiguous() && v.shares_storage(&m));
+        let t = v.transpose();
+        assert_eq!(t.at(&[2, 1]), m.at(&[1, 2]));
+        let row = m.view().slice(0, 1, 1);
+        assert!(row.materialize().shares_storage(&m));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use adept::search::{search, AdeptConfig};
 use adept_autodiff::Graph;
 use adept_datasets::{DatasetKind, SyntheticConfig};
-use adept_infer::{ExecPlan, PlanFromCheckpointError};
+use adept_infer::{ExecPlan, PlanFromCheckpointError, PlanPrecision};
 use adept_nn::layers::{Layer, Sequential};
 use adept_nn::models::{proxy_cnn, Backend, InputShape};
 use adept_nn::train::{train_classifier, TrainConfig};
@@ -129,9 +129,18 @@ fn assert_round_trip(tag: &str, model: &mut Sequential, store: &ParamStore, ckpt
             );
         }
 
-        let mut plan = ExecPlan::compile(model, store, &shape, n, ckpt.noise_seed).unwrap();
-        let mut re_plan =
-            ExecPlan::compile(&re_model, &re_store, &shape, n, ckpt.noise_seed).unwrap();
+        let mut plan =
+            ExecPlan::compile(model, store, &shape, n, ckpt.noise_seed, PlanPrecision::F64)
+                .unwrap();
+        let mut re_plan = ExecPlan::compile(
+            &re_model,
+            &re_store,
+            &shape,
+            n,
+            ckpt.noise_seed,
+            PlanPrecision::F64,
+        )
+        .unwrap();
         let mut want = vec![0.0; n * plan.output_features()];
         let mut got = vec![0.0; n * re_plan.output_features()];
         plan.run_batch(&input, n, &mut want);
@@ -211,9 +220,11 @@ fn faulted_plan_compiles_from_checkpoint_bit_identical() {
             n,
             ckpt.noise_seed,
             Some(std::sync::Arc::new(fault.clone())),
+            PlanPrecision::F64,
         )
         .unwrap();
-        let (mut from_file, reloaded) = ExecPlan::compile_from_checkpoint(&path, n).unwrap();
+        let (mut from_file, reloaded) =
+            ExecPlan::compile_from_checkpoint(&path, n, PlanPrecision::F64).unwrap();
         assert_eq!(
             reloaded.fault.as_ref().map(FaultScenario::fingerprint),
             Some(fault.fingerprint()),
@@ -275,7 +286,7 @@ fn corrupted_and_truncated_files_are_rejected() {
     assert!(err.message.contains("cannot read"), "{err}");
 
     // compile_from_checkpoint surfaces the same checkpoint errors.
-    match ExecPlan::compile_from_checkpoint(&path, 4) {
+    match ExecPlan::compile_from_checkpoint(&path, 4, PlanPrecision::F64) {
         Err(PlanFromCheckpointError::Checkpoint(e)) => {
             assert!(e.message.contains("cannot read"), "{e}")
         }
@@ -300,7 +311,8 @@ fn shipped_device_specs_load_and_back_models() {
         let backend = Backend::from_device(&spec);
         let mut store = ParamStore::new();
         let model = proxy_cnn(&mut store, InputShape::new(1, 6, 6), 2, 3, &backend, 1);
-        let mut plan = ExecPlan::compile(&model, &store, &[1, 6, 6], 1, 0).unwrap();
+        let mut plan =
+            ExecPlan::compile(&model, &store, &[1, 6, 6], 1, 0, PlanPrecision::F64).unwrap();
         let input = synth_input(36);
         let mut out = vec![0.0; plan.output_features()];
         plan.run_batch(&input, 1, &mut out);

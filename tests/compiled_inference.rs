@@ -12,7 +12,7 @@
 
 use adept::search::{search, AdeptConfig};
 use adept_autodiff::Graph;
-use adept_infer::ExecPlan;
+use adept_infer::{ExecPlan, PlanPrecision};
 use adept_nn::layers::{Flatten, Layer, Relu, Sequential};
 use adept_nn::models::{proxy_cnn, Backend, InputShape};
 use adept_nn::onn::OnnLinear;
@@ -98,7 +98,8 @@ fn assert_parity(
             Tensor::from_vec(input.clone(), &tape_shape),
             seed,
         );
-        let mut plan = ExecPlan::compile(model, store, sample_shape, n, seed).unwrap();
+        let mut plan =
+            ExecPlan::compile(model, store, sample_shape, n, seed, PlanPrecision::F64).unwrap();
         let mut got = vec![0.0; n * plan.output_features()];
         plan.run_batch(&input, n, &mut got);
         assert_eq!(expected.as_slice().len(), got.len());
@@ -217,7 +218,7 @@ fn warm_path_allocates_nothing() {
         1,
     );
     let n = 4;
-    let mut plan = ExecPlan::compile(&model, &store, &[2, 8, 8], n, 0).unwrap();
+    let mut plan = ExecPlan::compile(&model, &store, &[2, 8, 8], n, 0, PlanPrecision::F64).unwrap();
     let input = synth_input(n * plan.input_elems());
     let mut out = vec![0.0; n * plan.output_features()];
     // Warm twice, then measure.
@@ -242,7 +243,7 @@ fn refresh_rebuilds_only_on_parameter_change() {
         &Backend::butterfly(4),
         2,
     );
-    let mut plan = ExecPlan::compile(&model, &store, &[1, 8, 8], 2, 0).unwrap();
+    let mut plan = ExecPlan::compile(&model, &store, &[1, 8, 8], 2, 0, PlanPrecision::F64).unwrap();
     assert!(
         !plan.refresh(&model, &store).unwrap(),
         "clean refresh must no-op"
@@ -258,7 +259,8 @@ fn refresh_rebuilds_only_on_parameter_change() {
     let input = synth_input(plan.input_elems());
     let mut got = vec![0.0; plan.output_features()];
     plan.run_batch(&input, 1, &mut got);
-    let mut fresh = ExecPlan::compile(&model, &store, &[1, 8, 8], 2, 0).unwrap();
+    let mut fresh =
+        ExecPlan::compile(&model, &store, &[1, 8, 8], 2, 0, PlanPrecision::F64).unwrap();
     let mut want = vec![0.0; fresh.output_features()];
     fresh.run_batch(&input, 1, &mut want);
     assert_eq!(got, want, "refreshed plan must match a fresh compile");
