@@ -1,7 +1,15 @@
 //! The tape: graph storage, variable handles, reverse accumulation.
 
+use adept_telemetry::Counter;
 use adept_tensor::Tensor;
 use std::cell::RefCell;
+
+/// One per logical backward pass, regardless of which entry point ran —
+/// deterministic across `ONN_THREADS`.
+static BACKWARD_RUNS: Counter = Counter::stable("backward.runs");
+/// Spans handed to worker replay. Zero on the serial fallback
+/// (`ONN_THREADS=1`), hence volatile.
+static SPANS_REPLAYED: Counter = Counter::volatile("backward.spans_replayed");
 
 /// Backward hook of one tape node.
 ///
@@ -193,9 +201,19 @@ impl Graph {
     /// Panics if `loss` is not a single-element tensor or belongs to another
     /// graph.
     pub fn backward(&self, loss: Var<'_>) -> Gradients {
+        // One stable `backward` span per logical pass: the parallel
+        // entry point either delegates here (serial fallback) or opens
+        // its own — never both.
+        let _span = adept_telemetry::span("backward");
+        BACKWARD_RUNS.incr();
         let nodes = self.nodes.borrow();
         let mut grads = seed_grads(&nodes, self, loss);
-        replay_serial_range(&nodes, &mut grads, 0, loss.id + 1);
+        {
+            // In the serial replay glue and span interiors are fused;
+            // attribute the whole sweep to glue (zero span replays).
+            let _glue = adept_telemetry::span_volatile("backward/glue_sweep");
+            replay_serial_range(&nodes, &mut grads, 0, loss.id + 1);
+        }
         Gradients { grads }
     }
 
@@ -244,6 +262,8 @@ impl Graph {
         if spans.is_empty() {
             return self.backward(loss);
         }
+        let _span = adept_telemetry::span("backward");
+        BACKWARD_RUNS.incr();
         let nodes_guard = self.nodes.borrow();
         let nodes: &[Node] = &nodes_guard;
         let mut grads = seed_grads(nodes, self, loss);
@@ -253,6 +273,7 @@ impl Graph {
         // span interiors (their consumers all live above them, so their
         // incoming gradients are final once the sweep passes).
         {
+            let _glue = adept_telemetry::span_volatile("backward/glue_sweep");
             let mut hi = loss.id + 1;
             for span in spans.iter().rev() {
                 replay_serial_range(nodes, &mut grads, span.end, hi);
@@ -276,7 +297,9 @@ impl Graph {
                     *slot = Some(SpanReplay::default());
                     continue;
                 }
+                SPANS_REPLAYED.incr();
                 scope.spawn(move || {
+                    let _replay = adept_telemetry::span_volatile("backward/span_replay");
                     *slot = Some(replay_span(nodes, span, snap));
                 });
             }
@@ -285,19 +308,25 @@ impl Graph {
         // Phase 3: merge in descending span order — the position at which
         // the serial walk emits each span's import contributions, between
         // the glue above and the glue below the span.
-        for (span, result) in spans.iter().zip(results).rev() {
-            let replay = result.expect("every span replay fills its slot");
-            for (pid, pg) in replay.external {
-                debug_assert!(pid < bottom, "span {span:?} leaked into the swept region");
-                accumulate(&mut grads[pid], pg);
-            }
-            for (id, g) in replay.leaves {
-                grads[id] = Some(g);
+        {
+            let _merge = adept_telemetry::span_volatile("backward/merge");
+            for (span, result) in spans.iter().zip(results).rev() {
+                let replay = result.expect("every span replay fills its slot");
+                for (pid, pg) in replay.external {
+                    debug_assert!(pid < bottom, "span {span:?} leaked into the swept region");
+                    accumulate(&mut grads[pid], pg);
+                }
+                for (id, g) in replay.leaves {
+                    grads[id] = Some(g);
+                }
             }
         }
 
         // Phase 4: finish the tape below the lowest span serially.
-        replay_serial_range(nodes, &mut grads, 0, bottom);
+        {
+            let _glue = adept_telemetry::span_volatile("backward/glue_sweep");
+            replay_serial_range(nodes, &mut grads, 0, bottom);
+        }
         Gradients { grads }
     }
 

@@ -374,7 +374,7 @@ mod tests {
         let loss = partials[0].add(partials[1]).add(partials[2]);
         let serial = main.backward(loss);
         let par = {
-            let _guard = THREAD_OVERRIDE.lock().unwrap_or_else(|p| p.into_inner());
+            let _guard = adept_telemetry::sync::lock_recover(&THREAD_OVERRIDE);
             adept_tensor::set_gemm_threads(4);
             let g = main.backward_parallel(loss);
             adept_tensor::set_gemm_threads(0);
@@ -404,7 +404,7 @@ mod tests {
         let after = main.splice(seg2)[0];
         let _ = after.mul_scalar(2.0);
         let serial = main.backward(loss);
-        let _guard = THREAD_OVERRIDE.lock().unwrap_or_else(|p| p.into_inner());
+        let _guard = adept_telemetry::sync::lock_recover(&THREAD_OVERRIDE);
         adept_tensor::set_gemm_threads(4);
         let par = main.backward_parallel(loss);
         adept_tensor::set_gemm_threads(0);
@@ -429,7 +429,7 @@ mod tests {
         }))[0];
         let loss = used.mul_scalar(1.0);
         let serial = main.backward(loss);
-        let _guard = THREAD_OVERRIDE.lock().unwrap_or_else(|p| p.into_inner());
+        let _guard = adept_telemetry::sync::lock_recover(&THREAD_OVERRIDE);
         adept_tensor::set_gemm_threads(4);
         let par = main.backward_parallel(loss);
         adept_tensor::set_gemm_threads(0);
@@ -453,7 +453,7 @@ mod tests {
             |_, v| vec![v[0].mul(v[1]).sum()],
         ))[0];
         let serial = main.backward(loss);
-        let _guard = THREAD_OVERRIDE.lock().unwrap_or_else(|p| p.into_inner());
+        let _guard = adept_telemetry::sync::lock_recover(&THREAD_OVERRIDE);
         adept_tensor::set_gemm_threads(4);
         let par = main.backward_parallel(loss);
         adept_tensor::set_gemm_threads(0);
@@ -484,7 +484,7 @@ mod tests {
         }
         let loss = total.unwrap();
         let serial = main.backward(loss);
-        let _guard = THREAD_OVERRIDE.lock().unwrap_or_else(|p| p.into_inner());
+        let _guard = adept_telemetry::sync::lock_recover(&THREAD_OVERRIDE);
         adept_tensor::set_gemm_threads(4);
         let par = main.backward_parallel(loss);
         adept_tensor::set_gemm_threads(0);

@@ -26,8 +26,10 @@ use adept_nn::layers::Layer;
 use adept_nn::models::Backend;
 use adept_nn::train::evaluate_faulted;
 use adept_photonics::{DeviceCount, FaultKind, FaultScenario, Pdk};
+use adept_telemetry::LocalHistogram;
 use adept_tensor::pool;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Grid shape + training budget of one sweep run.
 #[derive(Debug, Clone)]
@@ -91,6 +93,14 @@ pub struct SweepCell {
     pub noise_std: f64,
     /// Test accuracy in percent.
     pub accuracy_pct: f64,
+    /// Median `run_batch` latency over the cell's evaluation batches, in
+    /// microseconds. Timing, not accuracy: unlike every other grid number
+    /// it is *not* bit-stable across machines or `ONN_THREADS` (CI strips
+    /// latency columns before diffing thread legs).
+    pub p50_batch_us: f64,
+    /// 99th-percentile `run_batch` latency over the evaluation batches
+    /// (µs); same caveat as [`SweepCell::p50_batch_us`].
+    pub p99_batch_us: f64,
 }
 
 /// Per-topology facts shared by all its cells.
@@ -152,22 +162,28 @@ fn scenario(seed: u64, p: f64) -> Option<Arc<FaultScenario>> {
     ))
 }
 
-/// Test accuracy (%) of a compiled plan over a dataset.
-fn plan_accuracy(plan: &mut ExecPlan, test: &Dataset) -> f64 {
+/// Test accuracy (%) of a compiled plan over a dataset, plus the per-call
+/// `run_batch` latency distribution (a [`LocalHistogram`]: unsynchronized
+/// and always recording, so the cell's timing column costs no atomics and
+/// needs no `ONN_TELEMETRY`).
+fn plan_accuracy(plan: &mut ExecPlan, test: &Dataset) -> (f64, LocalHistogram) {
     let in_elems = plan.input_elems();
     let classes = plan.output_features();
     let cap = plan.max_batch();
     let mut logits = vec![0.0; cap * classes];
     let images = test.images.as_slice();
+    let mut lat = LocalHistogram::new();
     let mut correct = 0usize;
     let mut i = 0usize;
     while i < test.len() {
         let n = cap.min(test.len() - i);
+        let t0 = Instant::now();
         plan.run_batch(
             &images[i * in_elems..(i + n) * in_elems],
             n,
             &mut logits[..n * classes],
         );
+        lat.record_duration(t0.elapsed());
         for r in 0..n {
             let row = &logits[r * classes..(r + 1) * classes];
             let pred = row
@@ -179,7 +195,12 @@ fn plan_accuracy(plan: &mut ExecPlan, test: &Dataset) -> f64 {
         }
         i += n;
     }
-    100.0 * correct as f64 / test.len() as f64
+    (100.0 * correct as f64 / test.len() as f64, lat)
+}
+
+/// Histogram-bucket quantile in microseconds (bucket bounds are ns).
+fn quantile_us(lat: &LocalHistogram, p: f64) -> f64 {
+    lat.quantile(p) as f64 / 1_000.0
 }
 
 /// Runs the sweep: trains one clean baseline per topology, compiles one
@@ -228,6 +249,8 @@ pub fn run_sweep(topologies: &[(String, Backend)], settings: &SweepSettings) -> 
                     fault_p: p,
                     noise_std: sigma,
                     accuracy_pct: 0.0,
+                    p50_batch_us: 0.0,
+                    p99_batch_us: 0.0,
                 });
                 plans.push(plan);
             }
@@ -242,7 +265,10 @@ pub fn run_sweep(topologies: &[(String, Backend)], settings: &SweepSettings) -> 
     pool::scope(|scope| {
         for (cell, plan) in cells.iter_mut().zip(plans.iter_mut()) {
             scope.spawn(move || {
-                cell.accuracy_pct = plan_accuracy(plan, test);
+                let (acc, lat) = plan_accuracy(plan, test);
+                cell.accuracy_pct = acc;
+                cell.p50_batch_us = quantile_us(&lat, 50.0);
+                cell.p99_batch_us = quantile_us(&lat, 99.0);
             });
         }
     });
@@ -303,11 +329,13 @@ pub fn robustness_json(outcome: &SweepOutcome) -> String {
     s.push_str("  },\n  \"grid\": [\n");
     for (i, c) in outcome.cells.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"topology\": \"{}\", \"fault_p\": {}, \"noise_std\": {}, \"accuracy_pct\": {:.4}}}{}\n",
+            "    {{\"topology\": \"{}\", \"fault_p\": {}, \"noise_std\": {}, \"accuracy_pct\": {:.4}, \"p50_batch_us\": {:.1}, \"p99_batch_us\": {:.1}}}{}\n",
             c.topology,
             c.fault_p,
             c.noise_std,
             c.accuracy_pct,
+            c.p50_batch_us,
+            c.p99_batch_us,
             if i + 1 < outcome.cells.len() { "," } else { "" },
         ));
     }
@@ -352,6 +380,8 @@ mod tests {
                 fault_p: 0.1,
                 noise_std: 0.02,
                 accuracy_pct: 80.5,
+                p50_batch_us: 120.0,
+                p99_batch_us: 450.5,
             }],
             recovery: RecoveryReport {
                 topology: "butterfly8".into(),
@@ -365,6 +395,8 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(json.contains("\"robustness_grid\""));
         assert!(json.contains("\"accuracy_pct\": 80.5000"));
+        assert!(json.contains("\"p50_batch_us\": 120.0"));
+        assert!(json.contains("\"p99_batch_us\": 450.5"));
         assert!(json.contains("\"retrained_pct\": 87.0000"));
     }
 }

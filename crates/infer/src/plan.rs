@@ -38,9 +38,17 @@ use adept_nn::{
     lower_model_faulted, Checkpoint, CheckpointError, LowerError, LoweredStep, ParamStore,
 };
 use adept_photonics::FaultScenario;
+use adept_telemetry::Counter;
 use adept_tensor::{im2col_slice_into, matmul_into, Conv2dGeometry, Element, TensorBase};
 use std::fmt;
 use std::sync::{Arc, OnceLock};
+
+/// Logical inference totals: `run_batch` calls and samples pushed
+/// through them. Deterministic across `ONN_THREADS` for a fixed call
+/// pattern (serving coalescing is pinned by explicit batch/thread
+/// config wherever these are diffed).
+static PLAN_BATCHES: Counter = Counter::stable("plan.batches");
+static PLAN_SAMPLES: Counter = Counter::stable("plan.samples");
 
 /// Why [`ExecPlan::compile_from_checkpoint`] failed: either the checkpoint
 /// itself is bad, or the rebuilt model does not lower.
@@ -214,6 +222,20 @@ impl<T: Element> Step<T> {
     fn is_in_place(&self) -> bool {
         matches!(self, Step::BatchNorm { .. } | Step::Relu { .. })
     }
+
+    /// Telemetry span path for this step's kernel. Static strings only:
+    /// the warm path must stay allocation-free with telemetry off *and*
+    /// steady-state cheap with it on.
+    fn kind_path(&self) -> &'static str {
+        match self {
+            Step::Linear { .. } => "plan/linear",
+            Step::Conv { .. } => "plan/conv",
+            Step::BatchNorm { .. } => "plan/batch_norm",
+            Step::Relu { .. } => "plan/relu",
+            Step::AvgPool { .. } => "plan/avg_pool",
+            Step::MaxPool { .. } => "plan/max_pool",
+        }
+    }
 }
 
 /// The dtype-monomorphic half of a plan: the step list plus the two
@@ -235,6 +257,8 @@ impl<T: Element> Program<T> {
         let mut dst = std::mem::take(&mut self.buf_b);
         T::slice_from_f64(input, &mut src[..input.len()]);
         for step in &mut self.steps {
+            // Per-step kernel timing; a no-op guard with telemetry off.
+            let _span = adept_telemetry::span(step.kind_path());
             if step.is_in_place() {
                 run_in_place(step, &mut src, n);
             } else {
@@ -660,6 +684,8 @@ impl ExecPlan {
         );
         assert_eq!(input.len(), n * self.in_elems, "input length mismatch");
         assert_eq!(out.len(), n * self.out_features, "output length mismatch");
+        PLAN_BATCHES.incr();
+        PLAN_SAMPLES.add(n as u64);
         match &mut self.body {
             Body::F64(p) => p.run(input, n, out),
             Body::F32(p) => p.run(input, n, out),

@@ -40,23 +40,46 @@
 //! * **Graceful shutdown** — closing the queue stops admissions but
 //!   workers drain everything already admitted before exiting, so no
 //!   request is silently dropped on shutdown.
+//!
+//! # Telemetry
+//!
+//! When [`adept_telemetry`] is enabled (`ONN_TELEMETRY=1`) each session
+//! also feeds the process-wide registry: stable outcome counters
+//! (`serve.requests` / `serve.served` / `serve.shed` / `serve.timed_out` /
+//! `serve.failed`, bumped once per session from the final tallies), a
+//! volatile `serve.batches` counter (coalescing is timing-dependent), and
+//! two latency histograms splitting enqueue-to-completion into its halves:
+//! `serve.queue_wait` (enqueue → batch pickup, per served request) and
+//! `serve.exec` (`run_batch` wall-clock, per successful mini-batch). The
+//! same split is always available — telemetry on or off — as the
+//! `queue_wait_*` / `exec_*` percentile fields on [`ServeReport`].
 
 use crate::plan::ExecPlan;
+use adept_telemetry::sync::{lock_recover, wait_recover, wait_timeout_recover};
+use adept_telemetry::{Counter, Histogram};
 use adept_tensor::pool;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-/// Locks `m`, recovering the guard from a poisoned mutex. Every critical
-/// section in this module only pushes/pops complete items, so the state
-/// behind a poisoned lock is still coherent; recovering (instead of
-/// unwrapping) keeps one panicked holder from cascading panics into every
-/// subsequent lock site — the blast radius stays the batch.
-fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
-}
+/// Per-session outcome totals, bumped once per [`serve_with`] session from
+/// the final tallies. Stable: for a pinned config (queue cap ≥ request
+/// count, no deadline) every outcome is fully determined by the workload,
+/// so the CI telemetry leg can diff these across `ONN_THREADS`.
+static REQUESTS: Counter = Counter::stable("serve.requests");
+static SERVED_TOTAL: Counter = Counter::stable("serve.served");
+static SHED_TOTAL: Counter = Counter::stable("serve.shed");
+static TIMED_OUT_TOTAL: Counter = Counter::stable("serve.timed_out");
+static FAILED_TOTAL: Counter = Counter::stable("serve.failed");
+/// Mini-batch executions. Volatile: coalescing (how many requests one
+/// worker grabs per pop) depends on producer/worker timing.
+static BATCHES_TOTAL: Counter = Counter::volatile("serve.batches");
+/// Enqueue → batch-pickup wait, one sample per *served* request.
+static QUEUE_WAIT: Histogram = Histogram::nanos("serve.queue_wait");
+/// `run_batch` wall-clock, one sample per successful mini-batch.
+static EXEC: Histogram = Histogram::nanos("serve.exec");
 
 /// Knobs for one serving session.
 #[derive(Debug, Clone)]
@@ -147,6 +170,16 @@ pub struct ServeReport {
     pub p50_latency: Duration,
     /// 99th-percentile enqueue-to-completion latency over served requests.
     pub p99_latency: Duration,
+    /// Median enqueue → batch-pickup wait over served requests: how long a
+    /// request sat in the bounded queue before a worker claimed its batch.
+    pub queue_wait_p50: Duration,
+    /// 99th-percentile enqueue → batch-pickup wait over served requests.
+    pub queue_wait_p99: Duration,
+    /// Median `run_batch` wall-clock over successful mini-batches — the
+    /// pure execution half of the latency, queueing excluded.
+    pub exec_p50: Duration,
+    /// 99th-percentile `run_batch` wall-clock over successful mini-batches.
+    pub exec_p99: Duration,
 }
 
 /// The executable a worker replays batches through. [`ExecPlan`] is the
@@ -242,10 +275,7 @@ impl Queue {
             }
             if !out.is_empty() {
                 // Partial batch in hand: give stragglers one deadline.
-                let (next, timeout) = self
-                    .ready
-                    .wait_timeout(st, max_wait)
-                    .unwrap_or_else(|e| e.into_inner());
+                let (next, timeout) = wait_timeout_recover(&self.ready, st, max_wait);
                 st = next;
                 while out.len() < max {
                     match st.pending.pop_front() {
@@ -261,7 +291,7 @@ impl Queue {
             if st.closed {
                 return false;
             }
-            st = self.ready.wait(st).unwrap_or_else(|e| e.into_inner());
+            st = wait_recover(&self.ready, st);
         }
     }
 }
@@ -345,6 +375,9 @@ pub fn serve_with(
     let mut outputs = vec![0.0; n_requests * out_f];
     let outcomes: Vec<AtomicU8> = (0..n_requests).map(|_| AtomicU8::new(PENDING)).collect();
     let latencies: Mutex<Vec<Duration>> = Mutex::new(Vec::with_capacity(n_requests));
+    let queue_waits: Mutex<Vec<Duration>> = Mutex::new(Vec::with_capacity(n_requests));
+    // One entry per mini-batch; batches ≤ served ≤ n_requests.
+    let execs: Mutex<Vec<Duration>> = Mutex::new(Vec::with_capacity(n_requests));
     let batches = AtomicUsize::new(0);
     let queue = Queue::new(queue_cap);
     let out_ptr = OutPtr(outputs.as_mut_ptr());
@@ -354,6 +387,8 @@ pub fn serve_with(
         for _ in 0..threads {
             let queue = &queue;
             let latencies = &latencies;
+            let queue_waits = &queue_waits;
+            let execs = &execs;
             let batches = &batches;
             let out_ptr = &out_ptr;
             let outcomes = outcomes.as_slice();
@@ -383,13 +418,19 @@ pub fn serve_with(
                     if n == 0 {
                         continue;
                     }
+                    let exec_start = Instant::now();
                     let ran = catch_unwind(AssertUnwindSafe(|| {
                         runner.run_batch(&staged[..n * in_elems], n, &mut logits[..n * out_f]);
                     }));
                     match ran {
                         Ok(()) => {
                             let done = Instant::now();
+                            let exec = done - exec_start;
+                            EXEC.record_duration(exec);
+                            BATCHES_TOTAL.incr();
+                            lock_recover(execs).push(exec);
                             let mut lat = lock_recover(latencies);
+                            let mut waits = lock_recover(queue_waits);
                             for (slot, &(idx, enqueued)) in live.iter().enumerate() {
                                 // Disjoint per-request slice: idx is unique
                                 // across all batches, so no two workers
@@ -403,6 +444,11 @@ pub fn serve_with(
                                 }
                                 outcomes[idx].store(SERVED, Ordering::Relaxed);
                                 lat.push(done - enqueued);
+                                // Queue wait = enqueue → batch pickup; the
+                                // deadline check stamped pickup as `now`.
+                                let wait = now - enqueued;
+                                QUEUE_WAIT.record_duration(wait);
+                                waits.push(wait);
                             }
                             batches.fetch_add(1, Ordering::Relaxed);
                         }
@@ -436,6 +482,10 @@ pub fn serve_with(
     let elapsed = started.elapsed();
     let mut lat = latencies.into_inner().unwrap_or_else(|e| e.into_inner());
     lat.sort_unstable();
+    let mut waits = queue_waits.into_inner().unwrap_or_else(|e| e.into_inner());
+    waits.sort_unstable();
+    let mut exec = execs.into_inner().unwrap_or_else(|e| e.into_inner());
+    exec.sort_unstable();
     let outcomes: Vec<RequestOutcome> = outcomes
         .into_iter()
         .map(|o| match o.into_inner() {
@@ -453,6 +503,11 @@ pub fn serve_with(
         count(RequestOutcome::Failed),
     );
     debug_assert_eq!(served + shed + timed_out + failed, n_requests);
+    REQUESTS.add(n_requests as u64);
+    SERVED_TOTAL.add(served as u64);
+    SHED_TOTAL.add(shed as u64);
+    TIMED_OUT_TOTAL.add(timed_out as u64);
+    FAILED_TOTAL.add(failed as u64);
     let report = ServeReport {
         requests: n_requests,
         served,
@@ -467,6 +522,10 @@ pub fn serve_with(
         req_per_sec: served as f64 / elapsed.as_secs_f64().max(1e-12),
         p50_latency: percentile(&lat, 50.0),
         p99_latency: percentile(&lat, 99.0),
+        queue_wait_p50: percentile(&waits, 50.0),
+        queue_wait_p99: percentile(&waits, 99.0),
+        exec_p50: percentile(&exec, 50.0),
+        exec_p99: percentile(&exec, 99.0),
     };
     (outputs, report)
 }

@@ -34,8 +34,17 @@
 
 use crate::param::{ForwardCtx, ParamId};
 use adept_autodiff::{ImportSpec, TapeSegment, Var};
+use adept_telemetry::sync::lock_recover;
+use adept_telemetry::Counter;
 use adept_tensor::{gemm_thread_count, pool, Tensor};
 use std::sync::Mutex;
+
+/// Logical build-phase totals: one stage/record/splice per weight per
+/// build, at any thread count — deterministic by the scheduler's
+/// contract, so they render in the snapshot's deterministic section.
+static WEIGHTS_STAGED: Counter = Counter::stable("mesh.weights_staged");
+static WEIGHTS_RECORDED: Counter = Counter::stable("mesh.weights_recorded");
+static SEGMENTS_SPLICED: Counter = Counter::stable("mesh.segments_spliced");
 
 /// Main-thread staging of one [`MeshWeight`] build: everything phase 2
 /// needs, packaged as plain `Send + Sync` data so the mesh walks can record
@@ -157,8 +166,13 @@ pub fn prebuild_mesh_weights<'g>(ctx: &ForwardCtx<'g, '_>, weights: &[&dyn MeshW
     if weights.is_empty() {
         return;
     }
+    let _build_span = adept_telemetry::span("mesh_build");
     // Phase 1: stage in layer order on the main thread (tape + RNG order).
-    let staged: Vec<StagedBuild> = weights.iter().map(|w| w.stage(ctx)).collect();
+    let staged: Vec<StagedBuild> = {
+        let _stage_span = adept_telemetry::span("mesh_build/stage");
+        weights.iter().map(|w| w.stage(ctx)).collect()
+    };
+    WEIGHTS_STAGED.add(weights.len() as u64);
     // Phases 2+3: record on the pool, splice + finish on this thread in
     // layer-index order as each weight's segment lands.
     schedule_segments(
@@ -199,9 +213,19 @@ fn schedule_segments<W, S>(
     S: Sync,
 {
     assert_eq!(weights.len(), staged.len(), "one staging per weight");
+    // The record/splice spans live here, inside the scheduler, so the
+    // serial path and the pooled path emit the same per-weight span
+    // counts — the determinism the CI telemetry leg diffs.
     if gemm_thread_count() <= 1 {
         for (i, (w, st)) in weights.iter().zip(staged).enumerate() {
-            finish(i, record(w, st, false));
+            let segment = {
+                let _span = adept_telemetry::span("mesh_build/record");
+                record(w, st, false)
+            };
+            WEIGHTS_RECORDED.incr();
+            let _span = adept_telemetry::span("mesh_build/splice");
+            finish(i, segment);
+            SEGMENTS_SPLICED.incr();
         }
         return;
     }
@@ -215,7 +239,12 @@ fn schedule_segments<W, S>(
             .map(|((w, st), slot)| {
                 let record = &record;
                 scope.spawn_handle(move || {
-                    *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(record(w, st, true));
+                    let segment = {
+                        let _span = adept_telemetry::span("mesh_build/record");
+                        record(w, st, true)
+                    };
+                    WEIGHTS_RECORDED.incr();
+                    *lock_recover(slot) = Some(segment);
                 })
             })
             .collect();
@@ -224,10 +253,14 @@ fn schedule_segments<W, S>(
             // An empty slot means the record job panicked: stop finishing
             // and let the scope's join propagate the worker's original
             // payload instead of masking it with a scheduler-internal one.
-            let Some(segment) = slots[i].lock().unwrap_or_else(|p| p.into_inner()).take() else {
+            let Some(segment) = lock_recover(&slots[i]).take() else {
                 break;
             };
-            finish(i, segment);
+            {
+                let _span = adept_telemetry::span("mesh_build/splice");
+                finish(i, segment);
+            }
+            SEGMENTS_SPLICED.incr();
         }
     });
 }
@@ -246,7 +279,7 @@ mod tests {
 
     #[test]
     fn prebuild_matches_direct_build_bitwise() {
-        let _guard = THREAD_OVERRIDE.lock().unwrap_or_else(|p| p.into_inner());
+        let _guard = lock_recover(&THREAD_OVERRIDE);
         let mut store = ParamStore::new();
         let topo = BlockMeshTopology::butterfly(4);
         // Ragged 6×10 weight exercises cropped edge tiles.

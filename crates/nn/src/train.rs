@@ -23,10 +23,15 @@ use crate::param::{ForwardCtx, ParamStore};
 use adept_autodiff::Graph;
 use adept_datasets::Dataset;
 use adept_photonics::FaultScenario;
+use adept_telemetry::Counter;
 use adept_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
+
+/// Logical training totals — identical at any `ONN_THREADS`.
+static TRAIN_STEPS: Counter = Counter::stable("train.steps");
+static TRAIN_SAMPLES: Counter = Counter::stable("train.samples");
 
 /// Hyper-parameters of a training run.
 #[derive(Debug, Clone)]
@@ -110,6 +115,12 @@ pub fn train_classifier(
             let count = cfg.batch_size.min(data.len() - start);
             let (images, labels) = data.batch(start, count);
             start += count;
+            // Per-phase spans: children of one `train_step` span, with
+            // paths derived from the handle — the tree is identical at
+            // any thread count (only the durations vary).
+            let step_span = adept_telemetry::span("train_step");
+            TRAIN_STEPS.incr();
+            TRAIN_SAMPLES.add(count as u64);
             let graph = Graph::new();
             let ctx = ForwardCtx::with_faults(
                 &graph,
@@ -120,21 +131,37 @@ pub fn train_classifier(
                     .wrapping_add((epoch * steps_per_epoch + batches) as u64),
                 faults.clone(),
             );
-            prebuild_mesh_weights(&ctx, &model.mesh_weights());
+            {
+                let _span = step_span.child("prebuild");
+                prebuild_mesh_weights(&ctx, &model.mesh_weights());
+            }
             let x = graph.constant(images);
-            let logits = model.forward(&ctx, x);
-            let loss = logits.cross_entropy_logits(&labels);
-            epoch_loss += loss.value().item();
+            let logits = {
+                let _span = step_span.child("forward");
+                model.forward(&ctx, x)
+            };
+            let loss = {
+                let _span = step_span.child("loss");
+                let loss = logits.cross_entropy_logits(&labels);
+                epoch_loss += loss.value().item();
+                loss
+            };
             batches += 1;
             // The spliced weight-build segments replay their gradient
             // subtrees concurrently; bit-identical to `backward` at any
             // thread count (see `Graph::backward_parallel`).
-            let grads = graph.backward_parallel(loss);
-            let updates = ctx.into_param_grads(&grads);
-            store.zero_grads();
-            store.accumulate_many(&updates);
-            opt.set_lr(sched.lr(step));
-            opt.step(store, &params);
+            let updates = {
+                let _span = step_span.child("backward");
+                let grads = graph.backward_parallel(loss);
+                ctx.into_param_grads(&grads)
+            };
+            {
+                let _span = step_span.child("optimizer");
+                store.zero_grads();
+                store.accumulate_many(&updates);
+                opt.set_lr(sched.lr(step));
+                opt.step(store, &params);
+            }
             step += 1;
         }
         loss_history.push(epoch_loss / batches.max(1) as f64);

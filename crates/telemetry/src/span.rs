@@ -1,0 +1,88 @@
+//! Hierarchical tracing spans with explicit, handle-derived paths.
+
+use crate::enabled;
+use crate::registry::{intern_path, record_span, Stability};
+use std::time::Instant;
+
+/// Start a stable span at `path` (segments separated by `/`). Returns a
+/// guard that records the elapsed wall-clock time under `path` when it
+/// drops. While telemetry is disabled this is a no-op: no clock read,
+/// no interning, no allocation.
+#[inline]
+pub fn span(path: &'static str) -> SpanGuard {
+    enter(0, path, Stability::Stable)
+}
+
+/// Start a volatile span (its count may differ across `ONN_THREADS`;
+/// timing section only).
+#[inline]
+pub fn span_volatile(path: &'static str) -> SpanGuard {
+    enter(0, path, Stability::Volatile)
+}
+
+/// [`span`] as a macro, for call sites that read better as
+/// `span!("train_step")`.
+#[macro_export]
+macro_rules! span {
+    ($path:expr) => {
+        $crate::span($path)
+    };
+}
+
+fn enter(parent: u32, path: &'static str, stability: Stability) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::noop();
+    }
+    SpanGuard {
+        path: intern_path(parent, path, stability),
+        start: Some(Instant::now()),
+    }
+}
+
+/// A running span; records its duration on drop. `Sync`, so a parent
+/// guard can be borrowed by worker closures to derive children — the
+/// child's path comes from the parent's *path*, never from which thread
+/// it runs on, which is what keeps span trees deterministic across
+/// `ONN_THREADS`.
+pub struct SpanGuard {
+    /// Interned path id; 0 for the disabled no-op guard.
+    path: u32,
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    fn noop() -> Self {
+        SpanGuard {
+            path: 0,
+            start: None,
+        }
+    }
+
+    /// Start a stable child span named `name` under this span's path.
+    /// Children of a no-op guard are no-ops.
+    #[inline]
+    pub fn child(&self, name: &'static str) -> SpanGuard {
+        if self.path == 0 {
+            return SpanGuard::noop();
+        }
+        enter(self.path, name, Stability::Stable)
+    }
+
+    /// Start a volatile child span.
+    #[inline]
+    pub fn child_volatile(&self, name: &'static str) -> SpanGuard {
+        if self.path == 0 {
+            return SpanGuard::noop();
+        }
+        enter(self.path, name, Stability::Volatile)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            record_span(self.path, ns);
+        }
+    }
+}

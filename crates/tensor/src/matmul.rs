@@ -1265,9 +1265,7 @@ mod tests {
     static THREAD_OVERRIDE: Mutex<()> = Mutex::new(());
 
     fn thread_override_lock() -> std::sync::MutexGuard<'static, ()> {
-        THREAD_OVERRIDE
-            .lock()
-            .unwrap_or_else(|poison| poison.into_inner())
+        adept_telemetry::sync::lock_recover(&THREAD_OVERRIDE)
     }
 
     fn naive(a: &Tensor, b: &Tensor) -> Tensor {

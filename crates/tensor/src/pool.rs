@@ -48,12 +48,31 @@
 //! tests and benches — still runs pooled). CI runs the suite under
 //! `ONN_THREADS=1` and default; any output divergence is a determinism
 //! regression.
+//!
+//! # Telemetry
+//!
+//! With `ONN_TELEMETRY` on, the pool reports volatile counters (jobs
+//! spawned, worker vs. helper task runs, worker busy/idle nanoseconds)
+//! and a queue-depth histogram. All of them are scheduling-dependent by
+//! nature — `schedule_segments` spawns nothing at one thread — so they
+//! render only in the snapshot's timing section, never in the
+//! deterministic diff.
 
+use adept_telemetry::sync::{lock_recover, wait_recover, wait_timeout_recover};
+use adept_telemetry::{Counter, Histogram};
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Scheduling-dependent instruments (timing section only).
+static JOBS_SPAWNED: Counter = Counter::volatile("pool.jobs_spawned");
+static WORKER_RUNS: Counter = Counter::volatile("pool.worker_runs");
+static HELPER_RUNS: Counter = Counter::volatile("pool.helper_runs");
+static WORKER_BUSY_NS: Counter = Counter::volatile("pool.worker_busy_ns");
+static WORKER_IDLE_NS: Counter = Counter::volatile("pool.worker_idle_ns");
+static QUEUE_DEPTH: Histogram = Histogram::counts("pool.queue_depth");
 
 type Task = Box<dyn FnOnce() + Send>;
 type PanicPayload = Box<dyn std::any::Any + Send>;
@@ -81,7 +100,7 @@ impl JobState {
     }
 
     fn finish(&self, panic: Option<PanicPayload>) {
-        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let mut st = lock_recover(&self.state);
         st.finished = true;
         st.panic = panic;
         self.cv.notify_all();
@@ -97,17 +116,17 @@ struct Shared {
 impl Shared {
     /// Pops the newest task (helpers prioritize nested sub-jobs).
     fn pop_back(&self) -> Option<(Task, Arc<JobState>)> {
-        self.queue
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .pop_back()
+        lock_recover(&self.queue).pop_back()
     }
 
     fn push(&self, task: Task, state: Arc<JobState>) {
-        self.queue
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .push_back((task, state));
+        let depth = {
+            let mut queue = lock_recover(&self.queue);
+            queue.push_back((task, state));
+            queue.len()
+        };
+        JOBS_SPAWNED.incr();
+        QUEUE_DEPTH.record(depth as u64);
         self.cv.notify_one();
     }
 }
@@ -151,16 +170,25 @@ fn shared() -> &'static Shared {
 
 fn worker_loop(shared: &'static Shared) {
     loop {
+        let idle_from = adept_telemetry::enabled().then(Instant::now);
         let task = {
-            let mut queue = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            let mut queue = lock_recover(&shared.queue);
             loop {
                 if let Some(t) = queue.pop_front() {
                     break t;
                 }
-                queue = shared.cv.wait(queue).unwrap_or_else(|p| p.into_inner());
+                queue = wait_recover(&shared.cv, queue);
             }
         };
+        if let Some(t0) = idle_from {
+            WORKER_IDLE_NS.add(t0.elapsed().as_nanos() as u64);
+        }
+        let busy_from = adept_telemetry::enabled().then(Instant::now);
+        WORKER_RUNS.incr();
         run_task(task.0, &task.1);
+        if let Some(t0) = busy_from {
+            WORKER_BUSY_NS.add(t0.elapsed().as_nanos() as u64);
+        }
     }
 }
 
@@ -276,24 +304,22 @@ fn help_until_finished(job: &JobState) {
     let pool = shared();
     loop {
         {
-            let st = job.state.lock().unwrap_or_else(|p| p.into_inner());
+            let st = lock_recover(&job.state);
             if st.finished {
                 return;
             }
         }
         // Help: run the newest queued task (nested sub-jobs first).
         if let Some((task, state)) = pool.pop_back() {
+            HELPER_RUNS.incr();
             run_task(task, &state);
             continue;
         }
         // Nothing runnable: our job is executing elsewhere. The timeout
         // guards the push-after-empty-check race.
-        let st = job.state.lock().unwrap_or_else(|p| p.into_inner());
+        let st = lock_recover(&job.state);
         if !st.finished {
-            let _ = job
-                .cv
-                .wait_timeout(st, Duration::from_micros(200))
-                .unwrap_or_else(|p| p.into_inner());
+            let _ = wait_timeout_recover(&job.cv, st, Duration::from_micros(200));
         }
     }
 }
@@ -356,7 +382,7 @@ impl<'env> Scope<'env> {
         let mut first_panic = None;
         for job in self.jobs.drain(..) {
             help_until_finished(&job);
-            let mut st = job.state.lock().unwrap_or_else(|p| p.into_inner());
+            let mut st = lock_recover(&job.state);
             if first_panic.is_none() {
                 first_panic = st.panic.take();
             }
@@ -462,15 +488,13 @@ mod tests {
                 .enumerate()
                 .map(|(i, slot)| {
                     s.spawn_handle(move || {
-                        *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(i * i);
+                        *lock_recover(slot) = Some(i * i);
                     })
                 })
                 .collect();
             for (i, h) in handles.iter().enumerate() {
                 s.wait(h);
-                let got = slots[i]
-                    .lock()
-                    .unwrap_or_else(|p| p.into_inner())
+                let got = lock_recover(&slots[i])
                     .take()
                     .expect("job finished before wait returned");
                 consumed.push(got);

@@ -13,9 +13,12 @@
 //! under its declared name, alongside the built-in baselines.
 //!
 //! Everything printed to **stdout** is seeded and bit-stable across
-//! `ONN_THREADS` — CI diffs it across {1, 8, default}. Timings go to
-//! stderr. The grid is also written to `crates/bench/BENCH_robustness.json`
-//! next to the other bench artifacts.
+//! `ONN_THREADS` — CI diffs it across {1, 8, default} — *except* the two
+//! trailing per-cell latency columns (p50/p99 `run_batch` µs), which are
+//! wall-clock timing; CI strips those last two pipe-separated fields
+//! before comparing legs. Other timings go to stderr. The grid is also
+//! written to `crates/bench/BENCH_robustness.json` next to the other
+//! bench artifacts.
 
 use adept_bench::sweep::{robustness_json, run_sweep, SweepSettings};
 use adept_bench::Scale;
@@ -73,11 +76,14 @@ fn main() {
             t.counts.cr,
             t.counts.blocks
         );
-        println!("{:>8} | {:>8} | {:>8}", "fault_p", "noise", "acc(%)");
+        println!(
+            "{:>8} | {:>8} | {:>8} | {:>10} | {:>10}",
+            "fault_p", "noise", "acc(%)", "p50(us)", "p99(us)"
+        );
         for c in outcome.cells.iter().filter(|c| c.topology == t.name) {
             println!(
-                "{:>8.3} | {:>8.3} | {:>8.4}",
-                c.fault_p, c.noise_std, c.accuracy_pct
+                "{:>8.3} | {:>8.3} | {:>8.4} | {:>10.1} | {:>10.1}",
+                c.fault_p, c.noise_std, c.accuracy_pct, c.p50_batch_us, c.p99_batch_us
             );
         }
     }

@@ -232,4 +232,11 @@ fn main() {
         rep.p50_latency.as_secs_f64() * 1e6,
         rep.p99_latency.as_secs_f64() * 1e6
     );
+    eprintln!(
+        "  queue wait: p50 {:.1} µs, p99 {:.1} µs | exec: p50 {:.1} µs, p99 {:.1} µs",
+        rep.queue_wait_p50.as_secs_f64() * 1e6,
+        rep.queue_wait_p99.as_secs_f64() * 1e6,
+        rep.exec_p50.as_secs_f64() * 1e6,
+        rep.exec_p99.as_secs_f64() * 1e6
+    );
 }

@@ -107,7 +107,7 @@ fn assert_round_trip(tag: &str, model: &mut Sequential, store: &ParamStore, ckpt
     let mut tape_shape = vec![n];
     tape_shape.extend_from_slice(&shape);
 
-    let _guard = THREAD_OVERRIDE.lock().unwrap_or_else(|e| e.into_inner());
+    let _guard = adept_telemetry::sync::lock_recover(&THREAD_OVERRIDE);
     for threads in [1usize, 8] {
         set_gemm_threads(threads);
         let want = tape_forward(
@@ -210,7 +210,7 @@ fn faulted_plan_compiles_from_checkpoint_bit_identical() {
     let n = 4;
     let input = synth_input(n * elems);
 
-    let _guard = THREAD_OVERRIDE.lock().unwrap_or_else(|e| e.into_inner());
+    let _guard = adept_telemetry::sync::lock_recover(&THREAD_OVERRIDE);
     for threads in [1usize, 8] {
         set_gemm_threads(threads);
         let mut direct = ExecPlan::compile_faulted(

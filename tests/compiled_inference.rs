@@ -9,6 +9,12 @@
 //! GEMM threads, allocations by the same counting global allocator as
 //! `tests/zero_copy.rs` (zero bytes implies zero `Graph`/`Var` nodes: a
 //! node allocates).
+//!
+//! Since the plan's step loop is now traced by `adept_telemetry`, the
+//! zero-alloc pin doubles as the **telemetry-off overhead contract**: with
+//! `ONN_TELEMETRY` unset (this harness never sets it) every span/counter/
+//! histogram call inside the warm path must reduce to one relaxed atomic
+//! load and allocate nothing.
 
 use adept::search::{search, AdeptConfig};
 use adept_autodiff::Graph;
@@ -221,6 +227,13 @@ fn warm_path_allocates_nothing() {
     let mut plan = ExecPlan::compile(&model, &store, &[2, 8, 8], n, 0, PlanPrecision::F64).unwrap();
     let input = synth_input(n * plan.input_elems());
     let mut out = vec![0.0; n * plan.output_features()];
+    // The plan's step loop opens a telemetry span per step; this pin only
+    // holds on the disabled path, so the contract is two-sided: telemetry
+    // must actually be off, and off must cost zero bytes.
+    assert!(
+        !adept_telemetry::enabled(),
+        "test harness must run with ONN_TELEMETRY unset"
+    );
     // Warm twice, then measure.
     plan.run_batch(&input, n, &mut out);
     plan.run_batch(&input, n, &mut out);
@@ -230,6 +243,33 @@ fn warm_path_allocates_nothing() {
         bytes, 0,
         "compiled warm path allocated {bytes} bytes (must be allocation-free)"
     );
+}
+
+/// Disabled telemetry primitives, measured directly: counter bumps,
+/// histogram records and span guards (including child derivation) must
+/// allocate zero bytes when `ONN_TELEMETRY` is off. This is the pinned
+/// "zero overhead when off" guarantee the serving path relies on,
+/// independent of what the plan happens to call today.
+#[test]
+fn disabled_telemetry_allocates_nothing() {
+    use adept_telemetry::{Counter, Histogram};
+    use std::time::Duration;
+    static C: Counter = Counter::stable("test_off.counter");
+    static H: Histogram = Histogram::nanos("test_off.hist");
+    // Force the one-time env read (which may allocate) before measuring.
+    assert!(!adept_telemetry::enabled());
+    let (bytes, ()) = bytes_allocated(|| {
+        for i in 0..100u64 {
+            C.add(i);
+            H.record(i);
+            H.record_duration(Duration::from_nanos(i));
+            let s = adept_telemetry::span("test_off/parent");
+            let _c = s.child("leaf");
+            let _v = s.child_volatile("leaf2");
+        }
+    });
+    assert_eq!(bytes, 0, "disabled telemetry allocated {bytes} bytes");
+    assert_eq!(C.value(), 0, "disabled counter must not accumulate");
 }
 
 #[test]

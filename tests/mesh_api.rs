@@ -31,7 +31,7 @@ use std::sync::Mutex;
 static THREAD_OVERRIDE: Mutex<()> = Mutex::new(());
 
 fn lock() -> std::sync::MutexGuard<'static, ()> {
-    THREAD_OVERRIDE.lock().unwrap_or_else(|p| p.into_inner())
+    adept_telemetry::sync::lock_recover(&THREAD_OVERRIDE)
 }
 
 /// The batched `[T, B, K]` walk over a butterfly topology must agree with

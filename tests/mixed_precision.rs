@@ -279,7 +279,7 @@ proptest! {
     /// known to dominate the f32 error; random logits can tie.)
     #[test]
     fn f32_plan_tracks_f64_on_random_inputs(seed in 0u64..24) {
-        let _guard = THREAD_OVERRIDE.lock().unwrap_or_else(|e| e.into_inner());
+        let _guard = adept_telemetry::sync::lock_recover(&THREAD_OVERRIDE);
         set_gemm_threads(1);
         let mut store = ParamStore::new();
         let model = proxy_cnn(

@@ -33,7 +33,7 @@ use std::sync::Mutex;
 static THREAD_OVERRIDE: Mutex<()> = Mutex::new(());
 
 fn lock() -> std::sync::MutexGuard<'static, ()> {
-    THREAD_OVERRIDE.lock().unwrap_or_else(|p| p.into_inner())
+    adept_telemetry::sync::lock_recover(&THREAD_OVERRIDE)
 }
 
 /// One training-style step: prebuild (optionally), forward, loss, backward.

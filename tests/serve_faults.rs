@@ -274,3 +274,44 @@ fn shutdown_drains_every_admitted_request() {
     assert!(report.p99_latency >= report.p50_latency);
     assert!(report.req_per_sec > 0.0);
 }
+
+/// The report's latency split: queue-wait and exec percentiles cover only
+/// served work, exec reflects the runner's real `run_batch` wall-clock
+/// (the stalling mock cannot execute faster than its stall), and each
+/// pair is ordered p50 ≤ p99. A session that serves nothing (every batch
+/// poisoned) reports zeros for the whole split.
+#[test]
+fn report_splits_latency_into_queue_wait_and_exec() {
+    let n = 8;
+    let stall = Duration::from_millis(5);
+    let inputs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let make = MockRunner::factory(stall);
+    let (_, report) = serve_with(&make, &inputs, n, &cfg(2, 1, n, Duration::ZERO));
+    assert_counts_sum(&report);
+    assert_eq!(report.served, n, "no deadline + roomy queue serves all");
+    assert!(
+        report.exec_p50 >= stall,
+        "exec p50 {:?} below the runner's {stall:?} stall",
+        report.exec_p50
+    );
+    assert!(report.exec_p50 <= report.exec_p99);
+    assert!(report.queue_wait_p50 <= report.queue_wait_p99);
+    assert!(
+        report.p99_latency >= report.exec_p50,
+        "end-to-end latency contains execution"
+    );
+
+    let poisoned = vec![POISON; n];
+    let (_, rep) = serve_with(&make, &poisoned, n, &cfg(2, 1, n, Duration::ZERO));
+    assert_counts_sum(&rep);
+    assert_eq!(rep.served, 0, "all-poison stream must serve nothing");
+    assert_eq!(rep.failed, n);
+    for d in [
+        rep.queue_wait_p50,
+        rep.queue_wait_p99,
+        rep.exec_p50,
+        rep.exec_p99,
+    ] {
+        assert_eq!(d, Duration::ZERO, "no served work, no latency split");
+    }
+}
